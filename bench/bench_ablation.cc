@@ -1,0 +1,120 @@
+// Ablations for the design choices DESIGN.md calls out, plus the
+// paper's Section 5 future-work variants:
+//
+//  1. V2S locality targeting ON vs OFF (same hash-range queries, wrong
+//     node): quantifies the intra-Vertica shuffle the hash-ring design
+//     eliminates.
+//  2. S2V pre-hashing ON vs OFF (Section 5): aligning each save task
+//     with one Vertica segment removes intra-Vertica routing on writes.
+//  3. S2V vs the two-stage (Spark-Redshift-style) save through an HDFS
+//     landing zone (Sections 5/6): the extra full copy costs real time.
+
+#include "baselines/two_stage.h"
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fabric;
+using namespace fabric::bench;
+
+double InternalBytes(Fabric& fabric) {
+  double total = 0;
+  for (int n = 0; n < fabric.db()->num_nodes(); ++n) {
+    total += fabric.network()->LinkBytesCarried(
+        fabric.db()->node_host(n).int_egress);
+  }
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Ablations: locality, pre-hash, two-stage",
+              "Sec. 3.1.2 (locality), Sec. 5 (pre-hash, 2-stage)");
+
+  // ---------------- 1. V2S locality on/off
+  {
+    std::printf("\n[1] V2S locality-aware node targeting (D1, 32 parts)\n");
+    std::printf("%-22s %10s %18s\n", "variant", "time (s)",
+                "intra-Vertica bytes");
+    for (bool locality : {true, false}) {
+      FabricOptions options;
+      Fabric fabric(options);
+      SaveViaS2V(fabric, D1Schema(),
+                 D1Rows(static_cast<int>(options.real_rows)), "d1", 128);
+      double before = InternalBytes(fabric);
+      double elapsed = fabric.RunTimed([&](sim::Process& driver) {
+        auto df = fabric.spark()
+                      ->Read()
+                      .Format(connector::kVerticaSourceName)
+                      .Option("table", "d1")
+                      .Option("numpartitions", 32)
+                      .Option("locality", locality ? "true" : "false")
+                      .Load(driver);
+        FABRIC_CHECK_OK(df.status());
+        FABRIC_CHECK_OK(df->Materialize(driver).status());
+      });
+      std::printf("%-22s %10.0f %18s\n",
+                  locality ? "locality (paper)" : "misaligned (ablated)",
+                  elapsed,
+                  HumanBytes(InternalBytes(fabric) - before).c_str());
+    }
+  }
+
+  // ---------------- 2. S2V pre-hash on/off
+  {
+    std::printf("\n[2] S2V pre-hashed DataFrame (Sec. 5 future work; D1, "
+                "128 parts)\n");
+    std::printf("%-22s %10s %18s\n", "variant", "time (s)",
+                "intra-Vertica bytes");
+    for (bool prehash : {false, true}) {
+      FabricOptions options;
+      Fabric fabric(options);
+      double before = InternalBytes(fabric);
+      double elapsed = fabric.RunTimed([&](sim::Process& driver) {
+        auto df = fabric.spark()->CreateDataFrame(
+            D1Schema(), D1Rows(static_cast<int>(options.real_rows)), 128);
+        FABRIC_CHECK_OK(df.status());
+        FABRIC_CHECK_OK(df->Write()
+                            .Format(connector::kVerticaSourceName)
+                            .Option("table", "d1")
+                            .Option("numpartitions", 128)
+                            .Option("prehash", prehash ? "true" : "false")
+                            .Mode(spark::SaveMode::kOverwrite)
+                            .Save(driver));
+      });
+      std::printf("%-22s %10.0f %18s\n",
+                  prehash ? "pre-hashed (Sec. 5)" : "baseline S2V",
+                  elapsed,
+                  HumanBytes(InternalBytes(fabric) - before).c_str());
+    }
+  }
+
+  // ---------------- 3. S2V vs two-stage through HDFS
+  {
+    std::printf("\n[3] single-stage S2V vs two-stage via HDFS landing "
+                "zone (D1)\n");
+    FabricOptions options;
+    options.with_hdfs = true;
+    Fabric fabric(options);
+    const int real_rows = static_cast<int>(options.real_rows);
+    double s2v = SaveViaS2V(fabric, D1Schema(), D1Rows(real_rows),
+                            "direct_t", 128);
+    baselines::TwoStageTiming timing;
+    fabric.RunTimed([&](sim::Process& driver) {
+      auto df = fabric.spark()->CreateDataFrame(D1Schema(),
+                                                D1Rows(real_rows), 128);
+      FABRIC_CHECK_OK(df.status());
+      auto result = baselines::TwoStageSave(driver, fabric.spark(),
+                                            fabric.hdfs(), fabric.db(),
+                                            *df, "/landing", "staged_t");
+      FABRIC_CHECK_OK(result.status());
+      timing = *result;
+    });
+    std::printf("%-28s %10.0f s\n", "S2V (single stage)", s2v);
+    std::printf("%-28s %10.0f s  (stage1 %.0f + stage2 %.0f)\n",
+                "two-stage via HDFS", timing.total(), timing.stage1_write,
+                timing.stage2_load);
+  }
+  return 0;
+}

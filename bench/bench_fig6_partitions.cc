@@ -1,0 +1,35 @@
+// Figure 6: V2S and S2V execution time while varying the number of Spark
+// partitions (4 .. 256) on the 4:8 cluster with dataset D1 (100 float
+// columns x 100M rows). Paper headline points: V2S 497 s @32 / 475 s
+// @128; S2V 252 s @128; both curves bowl-shaped.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fabric;
+  using namespace fabric::bench;
+
+  PrintHeader("Figure 6: execution time vs number of partitions",
+              "Fig. 6 — V2S best 475 s @128 (497 s @32), S2V best 252 s "
+              "@128; bowl shape");
+
+  const int kPartitions[] = {4, 8, 16, 32, 64, 128, 256};
+  std::printf("%-12s %12s %12s\n", "partitions", "V2S (s)", "S2V (s)");
+  for (int partitions : kPartitions) {
+    // Fresh fabric per point (runs are independent, like the paper's
+    // averaged trials).
+    FabricOptions options;
+    Fabric s2v_fabric(options);
+    double s2v_seconds =
+        SaveViaS2V(s2v_fabric, D1Schema(),
+                   D1Rows(static_cast<int>(options.real_rows)), "d1",
+                   partitions);
+
+    // V2S reads the table the save produced (same fabric, same data).
+    double v2s_seconds = LoadViaV2S(s2v_fabric, "d1", partitions);
+
+    std::printf("%-12d %12.0f %12.0f\n", partitions, v2s_seconds,
+                s2v_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Figure 7: execution time vs number of rows (1M .. 1000M, log-log),
+// dataset D1, V2S at 32 partitions and S2V at 128 (the best settings
+// from Figure 6). Paper: both linear in the data size; S2V slower than
+// V2S at small sizes (fixed transactional overheads; S2V takes ~19 s at
+// 1M rows), converging and then edging ahead at large sizes.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fabric;
+  using namespace fabric::bench;
+
+  PrintHeader("Figure 7: execution time vs data size (log-log linear)",
+              "Fig. 7 — linear scaling; S2V ~19 s at 1M rows; curves "
+              "cross at large sizes");
+
+  const double kPaperRows[] = {1e6, 10e6, 100e6, 1000e6};
+  std::printf("%-12s %12s %12s\n", "rows", "V2S@32 (s)", "S2V@128 (s)");
+  for (double paper_rows : kPaperRows) {
+    FabricOptions options;
+    options.paper_rows = paper_rows;
+    Fabric fabric(options);
+    double s2v = SaveViaS2V(fabric, D1Schema(),
+                            D1Rows(static_cast<int>(options.real_rows)),
+                            "d1", 128);
+    double v2s = LoadViaV2S(fabric, "d1", 32);
+    std::printf("%-12s %12.0f %12.0f\n",
+                HumanCount(paper_rows).c_str(), v2s, s2v);
+  }
+  return 0;
+}

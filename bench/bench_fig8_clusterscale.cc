@@ -1,0 +1,40 @@
+// Figure 8: cluster scalability. Clusters 2:4, 4:8 and 8:16
+// (Vertica:Spark) with the data scaled along (100M/200M/400M rows), so
+// data per node is constant; partitions scale with the cluster (V2S
+// 16/32/64, S2V 64/128/256). Paper: slight (<10%) degradation per
+// doubling — near-flat scaling.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fabric;
+  using namespace fabric::bench;
+
+  PrintHeader("Figure 8: cluster scaling at fixed data per node",
+              "Fig. 8 — <10% degradation per doubling of cluster + data");
+
+  struct Config {
+    int vertica, spark, v2s_parts, s2v_parts;
+    double paper_rows;
+  };
+  const Config kConfigs[] = {{2, 4, 16, 64, 100e6},
+                             {4, 8, 32, 128, 200e6},
+                             {8, 16, 64, 256, 400e6}};
+  std::printf("%-10s %-10s %12s %12s\n", "cluster", "rows", "V2S (s)",
+              "S2V (s)");
+  for (const Config& config : kConfigs) {
+    FabricOptions options;
+    options.vertica_nodes = config.vertica;
+    options.spark_workers = config.spark;
+    options.paper_rows = config.paper_rows;
+    Fabric fabric(options);
+    double s2v = SaveViaS2V(fabric, D1Schema(),
+                            D1Rows(static_cast<int>(options.real_rows)),
+                            "d1", config.s2v_parts);
+    double v2s = LoadViaV2S(fabric, "d1", config.v2s_parts);
+    std::printf("%d:%-8d %-10s %12.0f %12.0f\n", config.vertica,
+                config.spark, HumanCount(config.paper_rows).c_str(), v2s,
+                s2v);
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 9: data dimensionality. Same 10,000M cells as 100 cols x 100M
+// rows (the D1 baseline) vs 1 col x 10,000M rows. Paper: the 1-column
+// variant takes far longer — per-row overheads (JDBC encode on V2S;
+// Avro encode + COPY parse/unpack on S2V) dominate when the cell count
+// is spread over 100x more rows.
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fabric;
+  using namespace fabric::bench;
+
+  PrintHeader("Figure 9: data shape (same cells, different rows/cols)",
+              "Fig. 9 — 1 col x 10000M rows takes several times longer "
+              "than 100 cols x 100M rows");
+
+  struct Shape {
+    int cols;
+    double paper_rows;
+    const char* label;
+  };
+  const Shape kShapes[] = {{100, 100e6, "100 cols x 100M rows"},
+                           {1, 10000e6, "1 col   x 10000M rows"}};
+  std::printf("%-26s %12s %12s\n", "shape", "V2S@32 (s)", "S2V@128 (s)");
+  for (const Shape& shape : kShapes) {
+    FabricOptions options;
+    options.paper_rows = shape.paper_rows;
+    // Keep real cells manageable for the 1-col variant.
+    options.real_rows = shape.cols == 1 ? 200000 : kDefaultRealRows;
+    Fabric fabric(options);
+    double s2v = SaveViaS2V(
+        fabric, D1Schema(shape.cols),
+        D1Rows(static_cast<int>(options.real_rows), shape.cols), "d1",
+        128);
+    double v2s = LoadViaV2S(fabric, "d1", 32);
+    std::printf("%-26s %12.0f %12.0f\n", shape.label, v2s, s2v);
+  }
+  return 0;
+}

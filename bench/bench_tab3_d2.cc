@@ -1,0 +1,39 @@
+// Table 3: dataset D2 (tweet_id + tweet_text, 1.46B rows, same 140 GB
+// raw size as D1). Paper: V2S 378 s (faster than D1's ~490 s — string
+// data inflates less on the JDBC wire), S2V 386 s (slower than D1's
+// 252 s — 14.6x more rows cost per-row Avro/COPY overhead).
+
+#include "bench/bench_common.h"
+
+int main() {
+  using namespace fabric;
+  using namespace fabric::bench;
+
+  PrintHeader("Table 3: dataset D2 (1.46B twitter rows)",
+              "Tab. 3 — V2S 378 s, S2V 386 s; compare D1 (V2S ~490 s, "
+              "S2V 252 s)");
+
+  // D1 reference point on the same harness.
+  {
+    FabricOptions options;
+    Fabric fabric(options);
+    double s2v = SaveViaS2V(fabric, D1Schema(),
+                            D1Rows(static_cast<int>(options.real_rows)),
+                            "d1", 128);
+    double v2s = LoadViaV2S(fabric, "d1", 32);
+    std::printf("%-10s %12s %12s\n", "dataset", "V2S (s)", "S2V (s)");
+    std::printf("%-10s %12.0f %12.0f\n", "D1", v2s, s2v);
+  }
+  {
+    FabricOptions options;
+    options.paper_rows = 1.46e9;
+    options.real_rows = 50000;  // ~90 B rows: keep real bytes moderate
+    Fabric fabric(options);
+    double s2v = SaveViaS2V(fabric, D2Schema(),
+                            D2Rows(static_cast<int>(options.real_rows)),
+                            "d2", 128);
+    double v2s = LoadViaV2S(fabric, "d2", 32);
+    std::printf("%-10s %12.0f %12.0f\n", "D2", v2s, s2v);
+  }
+  return 0;
+}

@@ -1,0 +1,247 @@
+#include "baselines/jdbc_source.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/profile.h"
+#include "vertica/session.h"
+
+namespace fabric::baselines {
+
+using spark::PushDown;
+using spark::SourceOptions;
+using spark::TaskContext;
+using storage::Row;
+using storage::Schema;
+using vertica::QueryResult;
+using vertica::Session;
+
+namespace {
+
+class JdbcScan : public spark::ScanRelation {
+ public:
+  JdbcScan(vertica::Database* db, spark::SparkCluster* cluster,
+           std::string table, Schema schema, int entry_node,
+           std::string partition_column, int64_t lower, int64_t upper,
+           int partitions)
+      : db_(db), cluster_(cluster), table_(std::move(table)),
+        schema_(std::move(schema)), entry_node_(entry_node),
+        partition_column_(std::move(partition_column)), lower_(lower),
+        upper_(upper), partitions_(partitions) {}
+
+  const Schema& schema() const override { return schema_; }
+  int num_partitions() const override { return partitions_; }
+
+  std::string PartitionQuery(int partition, const PushDown& push) const {
+    std::string select_list;
+    if (push.count_only) {
+      select_list = "COUNT(*)";
+    } else if (push.required_columns.empty()) {
+      select_list = "*";
+    } else {
+      select_list = Join(push.required_columns, ", ");
+    }
+    std::string where;
+    if (partitions_ > 1) {
+      // Spark's JDBC stride logic: equal strides over [lower, upper);
+      // the first/last partitions are open-ended so the whole table is
+      // covered even outside the user-provided bounds.
+      int64_t stride = (upper_ - lower_) / partitions_;
+      if (stride <= 0) stride = 1;
+      int64_t begin = lower_ + stride * partition;
+      int64_t end = begin + stride;
+      if (partition == 0) {
+        where = StrCat(partition_column_, " < ", end);
+      } else if (partition == partitions_ - 1) {
+        where = StrCat(partition_column_, " >= ", begin);
+      } else {
+        where = StrCat(partition_column_, " >= ", begin, " AND ",
+                       partition_column_, " < ", end);
+      }
+    }
+    for (const spark::ColumnPredicate& filter : push.filters) {
+      if (!where.empty()) where += " AND ";
+      where += filter.ToSqlCondition();
+    }
+    std::string sql = StrCat("SELECT ", select_list, " FROM ", table_);
+    if (!where.empty()) sql += StrCat(" WHERE ", where);
+    return sql;  // note: no AT EPOCH — only best-effort consistency
+  }
+
+  Result<PartitionData> ReadPartition(TaskContext& task, int partition,
+                                      const PushDown& push) override {
+    // Every partition connects to the one configured host.
+    FABRIC_ASSIGN_OR_RETURN(
+        std::unique_ptr<Session> session,
+        db_->Connect(*task.process, entry_node_, &task.worker_host()));
+    FABRIC_ASSIGN_OR_RETURN(
+        QueryResult result,
+        session->Execute(*task.process, PartitionQuery(partition, push)));
+    FABRIC_RETURN_IF_ERROR(session->Close(*task.process));
+    PartitionData data;
+    if (push.count_only) {
+      data.count = result.rows[0][0].int64_value();
+      return data;
+    }
+    const CostModel& cost = cluster_->cost();
+    FABRIC_RETURN_IF_ERROR(task.Compute(result.rows.size() *
+                                        cost.spark_row_process_cpu *
+                                        cost.data_scale));
+    data.count = static_cast<int64_t>(result.rows.size());
+    data.rows = std::move(result.rows);
+    return data;
+  }
+
+ private:
+  vertica::Database* db_;
+  spark::SparkCluster* cluster_;
+  std::string table_;
+  Schema schema_;
+  int entry_node_;
+  std::string partition_column_;
+  int64_t lower_;
+  int64_t upper_;
+  int partitions_;
+};
+
+class JdbcWrite : public spark::WriteRelation {
+ public:
+  JdbcWrite(vertica::Database* db, spark::SparkCluster* cluster,
+            std::string table, Schema schema, int entry_node,
+            spark::SaveMode mode, int batch_rows)
+      : db_(db), cluster_(cluster), table_(std::move(table)),
+        schema_(std::move(schema)), entry_node_(entry_node), mode_(mode),
+        batch_rows_(batch_rows) {}
+
+  Status Setup(sim::Process& driver, int) override {
+    FABRIC_ASSIGN_OR_RETURN(
+        std::unique_ptr<Session> session,
+        db_->Connect(driver, entry_node_, &cluster_->driver_host()));
+    bool exists = db_->catalog().HasTable(table_);
+    if (mode_ == spark::SaveMode::kErrorIfExists && exists) {
+      return AlreadyExistsError(StrCat("table '", table_, "' exists"));
+    }
+    if (mode_ == spark::SaveMode::kOverwrite && exists) {
+      FABRIC_RETURN_IF_ERROR(
+          session->Execute(driver, StrCat("DROP TABLE ", table_))
+              .status());
+      exists = false;
+    }
+    if (!exists) {
+      FABRIC_RETURN_IF_ERROR(
+          session->Execute(driver, StrCat("CREATE TABLE ", table_, " (",
+                                          schema_.ToDdlBody(), ")"))
+              .status());
+    }
+    return session->Close(driver);
+  }
+
+  Status WriteTaskPartition(TaskContext& task, int partition,
+                            const std::vector<Row>& rows) override {
+    (void)partition;
+    sim::Process& self = *task.process;
+    FABRIC_ASSIGN_OR_RETURN(
+        std::unique_ptr<Session> session,
+        db_->Connect(self, entry_node_, &task.worker_host()));
+    // Batched INSERT statements under one per-partition transaction —
+    // but with no cross-task coordination, so a failed job can leave the
+    // table partially or doubly loaded (the contrast with S2V).
+    FABRIC_RETURN_IF_ERROR(session->Execute(self, "BEGIN").status());
+    for (size_t begin = 0; begin < rows.size();
+         begin += static_cast<size_t>(batch_rows_)) {
+      size_t end =
+          std::min(rows.size(), begin + static_cast<size_t>(batch_rows_));
+      std::string values;
+      for (size_t i = begin; i < end; ++i) {
+        if (i > begin) values += ", ";
+        values += "(";
+        for (size_t c = 0; c < rows[i].size(); ++c) {
+          if (c > 0) values += ", ";
+          values += rows[i][c].ToSqlLiteral();
+        }
+        values += ")";
+      }
+      FABRIC_RETURN_IF_ERROR(
+          session->Execute(self, StrCat("INSERT INTO ", table_, " VALUES ",
+                                        values))
+              .status());
+    }
+    FABRIC_RETURN_IF_ERROR(session->Execute(self, "COMMIT").status());
+    return session->Close(self);
+  }
+
+  Status Finalize(sim::Process&, Status job_status) override {
+    return job_status;
+  }
+
+ private:
+  vertica::Database* db_;
+  spark::SparkCluster* cluster_;
+  std::string table_;
+  Schema schema_;
+  int entry_node_;
+  spark::SaveMode mode_;
+  int batch_rows_;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<spark::ScanRelation>> JdbcDefaultSource::CreateScan(
+    sim::Process& driver, const SourceOptions& options) {
+  (void)driver;
+  FABRIC_ASSIGN_OR_RETURN(std::string table, options.Get("dbtable"));
+  FABRIC_ASSIGN_OR_RETURN(const vertica::TableDef* def,
+                          db_->catalog().GetTable(table));
+  int entry_node = 0;
+  if (options.Has("host")) {
+    FABRIC_ASSIGN_OR_RETURN(std::string host, options.Get("host"));
+    FABRIC_ASSIGN_OR_RETURN(entry_node, db_->ResolveNode(host));
+  }
+  // Parallelism only with the integer partition column + bounds.
+  std::string partition_column = options.GetOr("partitioncolumn", "");
+  int partitions = 1;
+  int64_t lower = 0, upper = 0;
+  if (!partition_column.empty()) {
+    FABRIC_ASSIGN_OR_RETURN(int col_idx,
+                            def->schema.IndexOf(partition_column));
+    if (def->schema.column(col_idx).type != storage::DataType::kInt64) {
+      return InvalidArgumentError(
+          "partitioncolumn must be an INTEGER column");
+    }
+    FABRIC_ASSIGN_OR_RETURN(lower, options.GetInt("lowerbound"));
+    FABRIC_ASSIGN_OR_RETURN(upper, options.GetInt("upperbound"));
+    partitions =
+        static_cast<int>(options.GetIntOr("numpartitions", 1));
+    if (partitions <= 0) partitions = 1;
+  }
+  return std::shared_ptr<spark::ScanRelation>(std::make_shared<JdbcScan>(
+      db_, cluster_, table, def->schema, entry_node, partition_column,
+      lower, upper, partitions));
+}
+
+Result<std::shared_ptr<spark::WriteRelation>>
+JdbcDefaultSource::CreateWrite(sim::Process& driver,
+                               const SourceOptions& options,
+                               spark::SaveMode mode,
+                               const storage::Schema& schema) {
+  (void)driver;
+  FABRIC_ASSIGN_OR_RETURN(std::string table, options.Get("dbtable"));
+  int entry_node = 0;
+  if (options.Has("host")) {
+    FABRIC_ASSIGN_OR_RETURN(std::string host, options.Get("host"));
+    FABRIC_ASSIGN_OR_RETURN(entry_node, db_->ResolveNode(host));
+  }
+  int batch_rows = static_cast<int>(options.GetIntOr("batchsize", 1000));
+  return std::shared_ptr<spark::WriteRelation>(std::make_shared<JdbcWrite>(
+      db_, cluster_, table, schema, entry_node, mode, batch_rows));
+}
+
+void RegisterJdbcSource(spark::SparkSession* session,
+                        vertica::Database* db) {
+  session->RegisterFormat(
+      kJdbcSourceName,
+      std::make_shared<JdbcDefaultSource>(db, session->cluster()));
+}
+
+}  // namespace fabric::baselines

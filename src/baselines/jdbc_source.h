@@ -1,0 +1,48 @@
+#ifndef FABRIC_BASELINES_JDBC_SOURCE_H_
+#define FABRIC_BASELINES_JDBC_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "spark/dataframe.h"
+#include "spark/datasource.h"
+#include "vertica/database.h"
+
+namespace fabric::baselines {
+
+inline constexpr const char* kJdbcSourceName = "jdbc";
+
+// Spark's generic JDBC DefaultSource (the Section 4.7.1 baseline), with
+// its documented limitations reproduced:
+//
+//  * load() parallelism requires an INTEGER `partitioncolumn` plus user-
+//    supplied `lowerbound`/`upperbound`; otherwise a single partition.
+//  * every connection goes through the single `host` given in options —
+//    one Vertica node serves (and internally shuffles) everything.
+//  * no epoch snapshot: each partition query sees whatever is committed
+//    when it happens to run (only "best-effort" consistency).
+//  * save() issues batched INSERT statements; partitions commit
+//    independently, so failures can leave partial or duplicated data.
+class JdbcDefaultSource : public spark::DataSourceProvider {
+ public:
+  JdbcDefaultSource(vertica::Database* db, spark::SparkCluster* cluster)
+      : db_(db), cluster_(cluster) {}
+
+  Result<std::shared_ptr<spark::ScanRelation>> CreateScan(
+      sim::Process& driver, const spark::SourceOptions& options) override;
+
+  Result<std::shared_ptr<spark::WriteRelation>> CreateWrite(
+      sim::Process& driver, const spark::SourceOptions& options,
+      spark::SaveMode mode, const storage::Schema& schema) override;
+
+ private:
+  vertica::Database* db_;
+  spark::SparkCluster* cluster_;
+};
+
+void RegisterJdbcSource(spark::SparkSession* session,
+                        vertica::Database* db);
+
+}  // namespace fabric::baselines
+
+#endif  // FABRIC_BASELINES_JDBC_SOURCE_H_

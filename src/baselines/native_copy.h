@@ -1,0 +1,25 @@
+#ifndef FABRIC_BASELINES_NATIVE_COPY_H_
+#define FABRIC_BASELINES_NATIVE_COPY_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "sim/engine.h"
+#include "vertica/database.h"
+
+namespace fabric::baselines {
+
+// Vertica's native parallel bulk load (the Table 4 baseline): the input
+// file is pre-split into parts placed on the nodes' local disks, and one
+// COPY ... DIRECT runs per part, all in parallel. Returns the virtual
+// makespan in seconds. `splits` holds the rows of each file part; part i
+// is loaded through node i % num_nodes.
+//
+// Must be called from a driving process.
+Result<double> RunParallelCopy(
+    sim::Process& self, vertica::Database* db, const std::string& table,
+    const std::vector<std::vector<storage::Row>>& splits);
+
+}  // namespace fabric::baselines
+
+#endif  // FABRIC_BASELINES_NATIVE_COPY_H_

@@ -1,0 +1,38 @@
+#ifndef FABRIC_BASELINES_TWO_STAGE_H_
+#define FABRIC_BASELINES_TWO_STAGE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "hdfs/hdfs.h"
+#include "spark/dataframe.h"
+#include "vertica/database.h"
+
+namespace fabric::baselines {
+
+// The two-stage save the paper contrasts with S2V (Section 5, and the
+// Spark-Redshift connector of Section 6): stage 1 writes the whole
+// DataFrame to an intermediate landing zone (HDFS here, S3 for
+// Redshift); stage 2 bulk-loads the staged files into Vertica under one
+// bracketing transaction, each load pulling its file across the
+// network. Exactly-once comes from the staging hand-off, at the price of
+// an extra full copy of the data — the trade-off the paper discusses.
+//
+// Returns the virtual seconds for (stage1, stage2).
+struct TwoStageTiming {
+  double stage1_write = 0;
+  double stage2_load = 0;
+  double total() const { return stage1_write + stage2_load; }
+};
+
+Result<TwoStageTiming> TwoStageSave(sim::Process& driver,
+                                    spark::SparkSession* spark,
+                                    hdfs::HdfsCluster* hdfs,
+                                    vertica::Database* db,
+                                    const spark::DataFrame& frame,
+                                    const std::string& landing_path,
+                                    const std::string& target_table);
+
+}  // namespace fabric::baselines
+
+#endif  // FABRIC_BASELINES_TWO_STAGE_H_

@@ -1,0 +1,78 @@
+#include "common/csv.h"
+
+namespace fabric {
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CsvEncodeRecord(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& field = fields[i];
+    if (!NeedsQuoting(field)) {
+      out += field;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : field) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> CsvDecodeRecord(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return InvalidArgumentError("CSV: quote inside unquoted field");
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current.push_back(c);
+    ++i;
+  }
+  if (in_quotes) return InvalidArgumentError("CSV: unbalanced quote");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace fabric

@@ -1,0 +1,25 @@
+#ifndef FABRIC_COMMON_CSV_H_
+#define FABRIC_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fabric {
+
+// Minimal RFC-4180-ish CSV support: fields separated by commas, quoted with
+// double quotes when they contain comma/quote/newline, embedded quotes
+// doubled. The paper's datasets originate in HDFS as delimited text; this
+// is the codec used by the HDFS simulator and the COPY baseline.
+
+// Renders one record (no trailing newline).
+std::string CsvEncodeRecord(const std::vector<std::string>& fields);
+
+// Parses one record. Fails on unbalanced quotes.
+Result<std::vector<std::string>> CsvDecodeRecord(std::string_view line);
+
+}  // namespace fabric
+
+#endif  // FABRIC_COMMON_CSV_H_

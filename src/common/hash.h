@@ -1,0 +1,30 @@
+#ifndef FABRIC_COMMON_HASH_H_
+#define FABRIC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace fabric {
+
+// 64-bit hashing used for Vertica-style hash segmentation. Vertica's HASH()
+// maps arbitrary column values onto a 2^64 ring, with contiguous ranges of
+// the ring assigned to nodes (the "hash ring" of Section 3.1.2). We mimic
+// that contract: uniform, deterministic, combinable across columns.
+
+// Mixes a 64-bit value (splitmix64 finalizer; strong avalanche).
+uint64_t Mix64(uint64_t x);
+
+// Hashes raw bytes (FNV-1a body + Mix64 finalizer).
+uint64_t HashBytes(std::string_view bytes);
+
+uint64_t HashInt64(int64_t value);
+uint64_t HashDouble(double value);
+uint64_t HashBool(bool value);
+
+// Combines hashes of successive columns into one segmentation hash,
+// order-sensitive, as Vertica's multi-column HASH(a, b, ...) is.
+uint64_t HashCombine(uint64_t seed, uint64_t value);
+
+}  // namespace fabric
+
+#endif  // FABRIC_COMMON_HASH_H_

@@ -1,0 +1,78 @@
+#include "common/random.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fabric {
+namespace {
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  // Seed the four lanes via splitmix64, per the xoshiro authors' advice.
+  uint64_t s = seed;
+  for (auto& lane : state_) {
+    s += 0x9e3779b97f4a7c15ULL;
+    lane = Mix64(s);
+  }
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextUint64(uint64_t bound) {
+  FABRIC_CHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt64(int64_t lo, int64_t hi) {
+  FABRIC_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextUint64(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::string Rng::NextString(int length) {
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    // Spaces roughly every 6th character to look like text.
+    if (i > 0 && NextUint64(6) == 0) {
+      out.push_back(' ');
+    } else {
+      out.push_back(static_cast<char>('a' + NextUint64(26)));
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace fabric

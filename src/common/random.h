@@ -1,0 +1,43 @@
+#ifndef FABRIC_COMMON_RANDOM_H_
+#define FABRIC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace fabric {
+
+// Deterministic, seedable PRNG (xoshiro256**). All randomized behaviour in
+// the fabric (data generation, failure injection, speculative timing noise)
+// draws from explicitly seeded Rng instances so every experiment and test
+// is reproducible from its seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t NextUint64();
+
+  // Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextUint64(uint64_t bound);
+
+  // Uniform in [lo, hi]. Requires lo <= hi.
+  int64_t NextInt64(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability `p` (clamped to [0,1]).
+  bool NextBool(double p);
+
+  // Random lowercase-ASCII "word-ish" string of the given length.
+  std::string NextString(int length);
+
+  // Forks an independent stream (for per-task generators).
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace fabric
+
+#endif  // FABRIC_COMMON_RANDOM_H_

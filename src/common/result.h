@@ -1,0 +1,67 @@
+#ifndef FABRIC_COMMON_RESULT_H_
+#define FABRIC_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace fabric {
+
+// Result<T> holds either a value of type T or a non-OK Status, mirroring
+// absl::StatusOr<T>. Accessing the value of an errored Result aborts the
+// program (it is a caller bug, checked via FABRIC_CHECK).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit, so `return value;` and `return SomeError();`
+  // both work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    FABRIC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    FABRIC_CHECK(ok()) << "value() on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    FABRIC_CHECK(ok()) << "value() on errored Result: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    FABRIC_CHECK(ok()) << "value() on errored Result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace fabric
+
+// Assigns the value of a Result-returning expression to `lhs`, or returns
+// its status from the enclosing function. `lhs` may be a declaration.
+#define FABRIC_ASSIGN_OR_RETURN(lhs, expr)                           \
+  FABRIC_ASSIGN_OR_RETURN_IMPL_(                                     \
+      FABRIC_RESULT_CONCAT_(_fabric_result_, __LINE__), lhs, expr)
+
+#define FABRIC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#define FABRIC_RESULT_CONCAT_(a, b) FABRIC_RESULT_CONCAT_IMPL_(a, b)
+#define FABRIC_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // FABRIC_COMMON_RESULT_H_

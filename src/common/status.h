@@ -1,0 +1,82 @@
+#ifndef FABRIC_COMMON_STATUS_H_
+#define FABRIC_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace fabric {
+
+// Canonical error space, loosely following absl::StatusCode. Keep the set
+// small: these are the codes the fabric libraries actually distinguish.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    // caller passed something malformed
+  kNotFound,           // named entity (table, node, model, ...) absent
+  kAlreadyExists,      // create of an entity that exists
+  kFailedPrecondition, // system state forbids the operation
+  kAborted,            // transaction / task aborted (conflict, conditional)
+  kUnavailable,        // connection refused / dropped / node down
+  kResourceExhausted,  // session or pool limits hit
+  kOutOfRange,         // index/epoch outside valid range
+  kInternal,           // invariant violation (bug)
+  kUnimplemented,      // feature intentionally absent
+  kCancelled,          // task killed by the scheduler / failure injector
+};
+
+// Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-type error carrier used across all fabric APIs instead of
+// exceptions. A default-constructed Status is OK. Statuses are cheap to
+// copy for the OK case (empty message).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such table 'foo'".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+// Constructors for each canonical error, mirroring absl's free functions.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status AbortedError(std::string message);
+Status UnavailableError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status OutOfRangeError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status CancelledError(std::string message);
+
+}  // namespace fabric
+
+// Evaluates `expr` (a Status or Result expression with a .status()) and
+// returns from the enclosing function on error.
+#define FABRIC_RETURN_IF_ERROR(expr)                       \
+  do {                                                     \
+    ::fabric::Status _fabric_status = (expr);              \
+    if (!_fabric_status.ok()) return _fabric_status;       \
+  } while (false)
+
+#endif  // FABRIC_COMMON_STATUS_H_

@@ -1,0 +1,52 @@
+#ifndef FABRIC_COMMON_STRING_UTIL_H_
+#define FABRIC_COMMON_STRING_UTIL_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fabric {
+
+// Splits `input` on `delimiter`, keeping empty pieces.
+std::vector<std::string> Split(std::string_view input, char delimiter);
+
+// Joins `pieces` with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+// ASCII-only case mapping.
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Case-insensitive ASCII equality (SQL keywords, option names).
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Streams all arguments together (absl::StrCat stand-in).
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+// Formats a byte count as "1.5 GB" etc. for logs and bench output.
+std::string HumanBytes(double bytes);
+
+// Formats row counts as "100M", "1.46B" etc. (paper-style labels).
+std::string HumanCount(double count);
+
+// Parses a signed integer / double; returns false on malformed input.
+bool ParseInt64(std::string_view text, int64_t* out);
+bool ParseDouble(std::string_view text, double* out);
+
+}  // namespace fabric
+
+#endif  // FABRIC_COMMON_STRING_UTIL_H_

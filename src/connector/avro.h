@@ -1,0 +1,24 @@
+#ifndef FABRIC_CONNECTOR_AVRO_H_
+#define FABRIC_CONNECTOR_AVRO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace fabric::connector {
+
+// Compact binary row batch codec standing in for Apache Avro (Section
+// 3.2.2): schema'd, no delimiters, null bitmap per row, varint-free fixed
+// layout. S2V encodes each task's rows with this before shipping them to
+// Vertica's COPY.
+std::string AvroEncodeBatch(const storage::Schema& schema,
+                            const std::vector<storage::Row>& rows);
+
+Result<std::vector<storage::Row>> AvroDecodeBatch(
+    const storage::Schema& schema, const std::string& data);
+
+}  // namespace fabric::connector
+
+#endif  // FABRIC_CONNECTOR_AVRO_H_

@@ -1,0 +1,39 @@
+#include "connector/default_source.h"
+
+#include "common/string_util.h"
+#include "connector/s2v.h"
+#include "connector/v2s.h"
+
+namespace fabric::connector {
+
+Result<std::shared_ptr<spark::ScanRelation>>
+VerticaDefaultSource::CreateScan(sim::Process& driver,
+                                 const spark::SourceOptions& options) {
+  FABRIC_ASSIGN_OR_RETURN(std::shared_ptr<V2SRelation> relation,
+                          V2SRelation::Create(driver, db_, cluster_,
+                                              options));
+  return std::shared_ptr<spark::ScanRelation>(std::move(relation));
+}
+
+Result<std::shared_ptr<spark::WriteRelation>>
+VerticaDefaultSource::CreateWrite(sim::Process& driver,
+                                  const spark::SourceOptions& options,
+                                  spark::SaveMode mode,
+                                  const storage::Schema& schema) {
+  std::string job_name =
+      options.GetOr("jobname", StrCat("job", next_job_++));
+  FABRIC_ASSIGN_OR_RETURN(
+      std::shared_ptr<S2VRelation> relation,
+      S2VRelation::Create(driver, db_, cluster_, options, mode, schema,
+                          std::move(job_name)));
+  return std::shared_ptr<spark::WriteRelation>(std::move(relation));
+}
+
+void RegisterVerticaSource(spark::SparkSession* session,
+                           vertica::Database* db) {
+  session->RegisterFormat(
+      kVerticaSourceName,
+      std::make_shared<VerticaDefaultSource>(db, session->cluster()));
+}
+
+}  // namespace fabric::connector

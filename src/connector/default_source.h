@@ -1,0 +1,43 @@
+#ifndef FABRIC_CONNECTOR_DEFAULT_SOURCE_H_
+#define FABRIC_CONNECTOR_DEFAULT_SOURCE_H_
+
+#include <memory>
+#include <string>
+
+#include "spark/dataframe.h"
+#include "spark/datasource.h"
+#include "vertica/database.h"
+
+namespace fabric::connector {
+
+// Format name users pass to df.read/df.write (Table 1).
+inline constexpr const char* kVerticaSourceName =
+    "com.vertica.spark.datasource.DefaultSource";
+
+// The HPE Vertica Connector for Apache Spark: wires V2S into load() and
+// S2V into save() through Spark's External Data Source API.
+class VerticaDefaultSource : public spark::DataSourceProvider {
+ public:
+  VerticaDefaultSource(vertica::Database* db, spark::SparkCluster* cluster)
+      : db_(db), cluster_(cluster) {}
+
+  Result<std::shared_ptr<spark::ScanRelation>> CreateScan(
+      sim::Process& driver, const spark::SourceOptions& options) override;
+
+  Result<std::shared_ptr<spark::WriteRelation>> CreateWrite(
+      sim::Process& driver, const spark::SourceOptions& options,
+      spark::SaveMode mode, const storage::Schema& schema) override;
+
+ private:
+  vertica::Database* db_;
+  spark::SparkCluster* cluster_;
+  int64_t next_job_ = 1;  // unique S2V job names
+};
+
+// Registers the connector on a session under kVerticaSourceName.
+void RegisterVerticaSource(spark::SparkSession* session,
+                           vertica::Database* db);
+
+}  // namespace fabric::connector
+
+#endif  // FABRIC_CONNECTOR_DEFAULT_SOURCE_H_

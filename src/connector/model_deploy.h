@@ -1,0 +1,50 @@
+#ifndef FABRIC_CONNECTOR_MODEL_DEPLOY_H_
+#define FABRIC_CONNECTOR_MODEL_DEPLOY_H_
+
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "pmml/model.h"
+#include "vertica/database.h"
+
+namespace fabric::connector {
+
+// MD: model deployment from Spark to Vertica (Section 3.3). PMML
+// documents are stored in Vertica's internal DFS (model shapes vary too
+// much for a generic table schema); their metadata lands in the
+// `pmml_models` table; and the PMMLPredict scalar UDx evaluates a stored
+// model over table columns from SQL:
+//
+//   SELECT PMMLPredict(sepal_length, ..., petal_width
+//                      USING PARAMETERS model_name='regression')
+//   FROM IrisTable
+//
+// Works for any PMML producer (Spark MLlib here; SAS / Distributed R in
+// the paper's framing).
+
+inline constexpr const char* kModelMetadataTable = "pmml_models";
+
+// Ships the document to a node (network cost from `client`), stores it in
+// the DFS and records metadata. Overwrites an existing model of the same
+// name.
+Status DeployPmmlModel(sim::Process& self, vertica::Database* db,
+                       const net::Host* client,
+                       const pmml::PmmlModel& model);
+
+// Reads a deployed model back from the DFS.
+Result<pmml::PmmlModel> GetPmml(sim::Process& self, vertica::Database* db,
+                                const std::string& name);
+
+// Deployed model names (from the metadata table).
+Result<std::vector<std::string>> ListPmmlModels(sim::Process& self,
+                                                vertica::Database* db);
+
+// Registers the generic PMMLPredict evaluator UDx on the database. Call
+// once per database; deployments after registration are picked up
+// automatically (the UDx resolves models by name at call time).
+void RegisterPmmlPredict(vertica::Database* db);
+
+}  // namespace fabric::connector
+
+#endif  // FABRIC_CONNECTOR_MODEL_DEPLOY_H_

@@ -1,0 +1,96 @@
+#ifndef FABRIC_CONNECTOR_S2V_H_
+#define FABRIC_CONNECTOR_S2V_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spark/datasource.h"
+#include "vertica/database.h"
+
+namespace fabric::connector {
+
+// S2V: the Spark-to-Vertica half of the connector (Section 3.2). A save
+// is one Spark job whose stateless tasks coordinate exclusively through
+// four Vertica tables, giving exactly-once semantics under task failures,
+// restarts, speculative duplicates and total Spark failure:
+//
+//   staging table       same schema as the target; all task data lands
+//                       here first (temporary)
+//   task status table   one row per task: inserted/failed counts + done
+//                       flag, updated under the same transaction as the
+//                       task's COPY (temporary)
+//   last committer      single row; a conditional UPDATE elects exactly
+//                       one finishing task (temporary)
+//   final status table  permanent record (job name, failed-row
+//                       percentage, finished flag) that survives total
+//                       Spark failure
+//
+// Phases per task (Figure 5):
+//   1  COPY partition data into staging + conditionally mark done, in one
+//      transaction (abort if a duplicate already marked it)
+//   2  if any task is not done, terminate
+//   3  race to write the last-committer row (leader election)
+//   4  read it back; losers terminate
+//   5  the leader verifies the rejected-row tolerance and atomically
+//      promotes staging into the target (Overwrite: atomic rename with
+//      replace; Append: INSERT...SELECT + conditional finished update in
+//      one transaction)
+//
+// Options: table, host, user, password, numpartitions,
+// failedrowstolerance (fraction, default 0), batchrows.
+class S2VRelation : public spark::WriteRelation {
+ public:
+  static Result<std::shared_ptr<S2VRelation>> Create(
+      sim::Process& driver, vertica::Database* db,
+      spark::SparkCluster* cluster, const spark::SourceOptions& options,
+      spark::SaveMode mode, const storage::Schema& schema,
+      std::string job_name);
+
+  Status Setup(sim::Process& driver, int num_partitions) override;
+  // Pre-hash optimization (the paper's Section 5 future work): when the
+  // `prehash` option is set, rows are re-split so each task holds only
+  // rows of the Vertica segment owned by the node the task connects to,
+  // eliminating intra-Vertica routing during the save.
+  std::function<int(const storage::Row&)> Partitioner(
+      int num_partitions) override;
+  Status WriteTaskPartition(spark::TaskContext& task, int partition,
+                            const std::vector<storage::Row>& rows) override;
+  Status Finalize(sim::Process& driver, Status job_status) override;
+
+  // Table names (tests & docs).
+  const std::string& staging_table() const { return staging_table_; }
+  const std::string& status_table() const { return status_table_; }
+  const std::string& committer_table() const { return committer_table_; }
+  static constexpr const char* kFinalStatusTable = "s2v_job_status";
+
+  const std::string& job_name() const { return job_name_; }
+
+ private:
+  S2VRelation() = default;
+
+  // Phase 1 as one transaction; returns OK whether or not this attempt
+  // was the one that staged the data (duplicates abort quietly).
+  Status StageData(spark::TaskContext& task, int partition,
+                   const std::vector<storage::Row>& rows,
+                   vertica::Session* session);
+
+  vertica::Database* db_ = nullptr;
+  spark::SparkCluster* cluster_ = nullptr;
+  std::string target_;
+  spark::SaveMode mode_ = spark::SaveMode::kErrorIfExists;
+  storage::Schema schema_;
+  std::string job_name_;
+  std::string staging_table_;
+  std::string status_table_;
+  std::string committer_table_;
+  double tolerance_ = 0.0;
+  bool prehash_ = false;
+  int batch_rows_ = 5000;
+  int num_partitions_ = 0;
+  int entry_node_ = 0;
+};
+
+}  // namespace fabric::connector
+
+#endif  // FABRIC_CONNECTOR_S2V_H_

@@ -1,0 +1,66 @@
+#ifndef FABRIC_CONNECTOR_V2S_H_
+#define FABRIC_CONNECTOR_V2S_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spark/datasource.h"
+#include "vertica/catalog.h"
+#include "vertica/database.h"
+
+namespace fabric::connector {
+
+// V2S: the Vertica-to-Spark half of the HPE Vertica Connector for Apache
+// Spark (Section 3.1). Each Spark partition formulates a unique query for
+// a non-overlapping slice of the hash ring, targets the Vertica node that
+// owns that slice (eliminating intra-Vertica shuffling), reads at one
+// common epoch (a consistent snapshot across all tasks and retries), and
+// pushes projections, filters and COUNT down into Vertica.
+//
+// Options: table, host, user, password, numpartitions, at_epoch
+// (optional override; default = the current epoch at load time).
+class V2SRelation : public spark::ScanRelation {
+ public:
+  // Driver-side construction: resolves schema, segment layout and the
+  // snapshot epoch from the system catalog.
+  static Result<std::shared_ptr<V2SRelation>> Create(
+      sim::Process& driver, vertica::Database* db,
+      spark::SparkCluster* cluster, const spark::SourceOptions& options);
+
+  const storage::Schema& schema() const override { return schema_; }
+  int num_partitions() const override { return num_partitions_; }
+
+  Result<PartitionData> ReadPartition(spark::TaskContext& task,
+                                      int partition,
+                                      const spark::PushDown& push) override;
+
+  // The SQL a given partition would issue (exposed for tests and docs).
+  std::string PartitionQuery(int partition,
+                             const spark::PushDown& push) const;
+
+  // Node each partition connects to (tests verify locality).
+  int PartitionTargetNode(int partition) const {
+    return partition_nodes_[partition];
+  }
+
+  int64_t snapshot_epoch() const { return snapshot_epoch_; }
+
+ private:
+  V2SRelation() = default;
+
+  vertica::Database* db_ = nullptr;
+  spark::SparkCluster* cluster_ = nullptr;
+  std::string table_;
+  bool is_view_ = false;
+  storage::Schema schema_;
+  std::vector<std::string> segmentation_columns_;  // synthetic for views
+  int num_partitions_ = 0;
+  int64_t snapshot_epoch_ = 0;
+  std::vector<vertica::HashRange> partition_ranges_;
+  std::vector<int> partition_nodes_;
+};
+
+}  // namespace fabric::connector
+
+#endif  // FABRIC_CONNECTOR_V2S_H_

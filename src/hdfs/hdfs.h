@@ -1,0 +1,109 @@
+#ifndef FABRIC_HDFS_HDFS_H_
+#define FABRIC_HDFS_HDFS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/result.h"
+#include "net/host.h"
+#include "net/network.h"
+#include "spark/dataframe.h"
+#include "spark/datasource.h"
+#include "storage/schema.h"
+
+namespace fabric::hdfs {
+
+// Simulated HDFS cluster: a set of datanodes storing fixed-size blocks
+// with replication (defaults: 64 MB blocks, 3x, Section 4.1). Used as the
+// experiments' data origin and as the read/write baseline of Section
+// 4.7.2. There is no consistency machinery — files are immutable once
+// written, exactly the property the paper contrasts with a database.
+class HdfsCluster {
+ public:
+  struct Options {
+    int num_datanodes = 4;
+    CostModel cost;
+  };
+
+  struct Block {
+    int64_t rows = 0;
+    double raw_bytes = 0;           // unscaled (real) bytes
+    std::vector<int> replicas;      // datanode indices
+    std::vector<storage::Row> data; // actual rows (first replica's copy)
+  };
+
+  struct File {
+    storage::Schema schema;
+    std::vector<Block> blocks;
+  };
+
+  HdfsCluster(sim::Engine* engine, net::Network* network, Options options);
+
+  int num_datanodes() const { return options_.num_datanodes; }
+  const net::Host& datanode_host(int i) const { return hosts_[i]; }
+  const CostModel& cost() const { return options_.cost; }
+  net::Network* network() const { return network_; }
+
+  // Instantly materializes a file (test/bench fixture setup; no cost).
+  // Blocks are cut so that scaled bytes per block ~= hdfs_block_bytes.
+  Status PutFileForTest(const std::string& path, storage::Schema schema,
+                        std::vector<storage::Row> rows);
+
+  Result<const File*> GetFile(const std::string& path) const;
+  bool Exists(const std::string& path) const;
+  Status Delete(const std::string& path);
+
+  // Streams one block to `reader_host`, charging namenode lookup, the
+  // datanode's egress and decode CPU on the reading side is the caller's
+  // business. Returns the block's rows.
+  Result<std::vector<storage::Row>> ReadBlock(sim::Process& self,
+                                              const std::string& path,
+                                              int block,
+                                              const net::Host& reader_host);
+
+  // Writes rows as a new block of `path` from `writer_host`, charging the
+  // replication pipeline (writer -> dn1 -> dn2 -> ...). Creates the file
+  // on first write. Concurrent per-task writes append distinct blocks
+  // (like one file per task in a directory).
+  Status WriteBlock(sim::Process& self, const std::string& path,
+                    const storage::Schema& schema,
+                    const std::vector<storage::Row>& rows,
+                    const net::Host& writer_host);
+
+ private:
+  sim::Engine* engine_;
+  net::Network* network_;
+  Options options_;
+  std::vector<net::Host> hosts_;
+  std::map<std::string, File> files_;
+  int next_replica_ = 0;  // round-robin placement cursor
+};
+
+// "parquet"-style Spark-native data source over an HdfsCluster: reads get
+// one partition per block; writes emit one file per task. Options:
+// "path".
+class HdfsParquetSource : public spark::DataSourceProvider {
+ public:
+  HdfsParquetSource(HdfsCluster* hdfs, spark::SparkCluster* cluster)
+      : hdfs_(hdfs), cluster_(cluster) {}
+
+  Result<std::shared_ptr<spark::ScanRelation>> CreateScan(
+      sim::Process& driver, const spark::SourceOptions& options) override;
+
+  Result<std::shared_ptr<spark::WriteRelation>> CreateWrite(
+      sim::Process& driver, const spark::SourceOptions& options,
+      spark::SaveMode mode, const storage::Schema& schema) override;
+
+ private:
+  HdfsCluster* hdfs_;
+  spark::SparkCluster* cluster_;
+};
+
+void RegisterHdfsSource(spark::SparkSession* session, HdfsCluster* hdfs);
+
+}  // namespace fabric::hdfs
+
+#endif  // FABRIC_HDFS_HDFS_H_

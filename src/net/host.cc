@@ -1,0 +1,40 @@
+#include "net/host.h"
+
+#include "common/string_util.h"
+
+namespace fabric::net {
+
+Host AddHost(Network* network, const std::string& name,
+             double external_bandwidth, double internal_bandwidth,
+             int cores, double disk_bandwidth) {
+  Host host;
+  host.name = name;
+  host.ext_egress = network->AddLink(StrCat(name, ":ext_out"),
+                                     external_bandwidth);
+  host.ext_ingress = network->AddLink(StrCat(name, ":ext_in"),
+                                      external_bandwidth);
+  if (internal_bandwidth > 0) {
+    host.int_egress =
+        network->AddLink(StrCat(name, ":int_out"), internal_bandwidth);
+    host.int_ingress =
+        network->AddLink(StrCat(name, ":int_in"), internal_bandwidth);
+  }
+  if (cores > 0) {
+    host.cpu = network->AddLink(StrCat(name, ":cpu"),
+                                cores * kCpuUnitsPerCore);
+  }
+  if (disk_bandwidth > 0) {
+    host.disk = network->AddLink(StrCat(name, ":disk"), disk_bandwidth);
+  }
+  return host;
+}
+
+Status RunCpu(sim::Process& self, Network* network, const Host& host,
+              double cpu_seconds) {
+  if (cpu_seconds <= 0) return self.CheckAlive();
+  if (!host.has_cpu()) return self.Sleep(cpu_seconds);
+  return network->Transfer(self, {host.cpu}, cpu_seconds * kCpuUnitsPerCore,
+                           kSingleCoreRate);
+}
+
+}  // namespace fabric::net

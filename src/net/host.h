@@ -1,0 +1,49 @@
+#ifndef FABRIC_NET_HOST_H_
+#define FABRIC_NET_HOST_H_
+
+#include <string>
+
+#include "net/network.h"
+
+namespace fabric::net {
+
+// Convenience bundle of the links belonging to one machine. Mirrors the
+// paper's hardware: every machine has a client-facing 1GbE interface; the
+// Vertica machines additionally have a second interface dedicated to
+// intra-cluster traffic (Section 4.1), and CPU capacity is modeled as one
+// more shared "link" whose bytes are microseconds of work.
+struct Host {
+  std::string name;
+  LinkId ext_egress = -1;
+  LinkId ext_ingress = -1;
+  LinkId int_egress = -1;   // -1 when the host has no internal fabric NIC
+  LinkId int_ingress = -1;
+  LinkId cpu = -1;          // -1 when CPU is not modeled for this host
+  LinkId disk = -1;         // shared data-disk bandwidth (-1: unmodeled)
+
+  bool has_internal_nic() const { return int_egress >= 0; }
+  bool has_cpu() const { return cpu >= 0; }
+  bool has_disk() const { return disk >= 0; }
+};
+
+// Microseconds of CPU work per second delivered by one core.
+inline constexpr double kCpuUnitsPerCore = 1e6;
+
+// A single operation can use at most one core (sequential code).
+inline constexpr double kSingleCoreRate = kCpuUnitsPerCore;
+
+// Creates the links for one machine. `internal_bandwidth` <= 0 skips the
+// internal NIC; `cores` <= 0 skips the CPU link.
+Host AddHost(Network* network, const std::string& name,
+             double external_bandwidth, double internal_bandwidth,
+             int cores, double disk_bandwidth = 0);
+
+// Blocks `self` for `cpu_seconds` of work on the host's shared CPU,
+// competing fairly with other work on that host, at most one core's worth
+// of speed (the work is sequential).
+Status RunCpu(sim::Process& self, Network* network, const Host& host,
+              double cpu_seconds);
+
+}  // namespace fabric::net
+
+#endif  // FABRIC_NET_HOST_H_

@@ -1,0 +1,227 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fabric::net {
+
+LinkId Network::AddLink(std::string name, double capacity) {
+  FABRIC_CHECK(capacity > 0) << "link capacity must be positive";
+  links_.push_back(Link{std::move(name), capacity, 0});
+  return static_cast<LinkId>(links_.size() - 1);
+}
+
+double Network::LinkBytesCarried(LinkId id) {
+  Advance();
+  return links_[id].bytes_carried;
+}
+
+double Network::LinkCurrentRate(LinkId id) const {
+  double rate = 0;
+  for (const Flow& flow : flows_) {
+    for (LinkId link : flow.path) {
+      if (link == id) {
+        rate += flow.rate;
+        break;
+      }
+    }
+  }
+  return rate;
+}
+
+int Network::LinkActiveFlows(LinkId id) const {
+  int count = 0;
+  for (const Flow& flow : flows_) {
+    for (LinkId link : flow.path) {
+      if (link == id) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+Status Network::Transfer(sim::Process& self, const std::vector<LinkId>& path,
+                         double bytes, double rate_cap) {
+  FABRIC_RETURN_IF_ERROR(self.CheckAlive());
+  if (bytes <= 0) return Status::OK();
+  FABRIC_CHECK(rate_cap > 0) << "rate cap must be positive";
+  for (LinkId id : path) {
+    FABRIC_CHECK(id >= 0 && id < num_links()) << "bad link id " << id;
+  }
+
+  flows_.emplace_back();
+  auto it = std::prev(flows_.end());
+  it->path = path;
+  it->total = bytes;
+  it->remaining = bytes;
+  it->cap = rate_cap;
+  it->cond = std::make_unique<sim::Condition>(engine_);
+  Recompute();
+
+  Status status = it->cond->WaitUntil(self, [&] { return it->done; });
+  if (!status.ok()) {
+    // Killed mid-transfer: tear the flow down and re-rate the rest.
+    if (!it->done) {
+      flows_.erase(it);
+      Recompute();
+    } else {
+      flows_.erase(it);
+    }
+    return status;
+  }
+  flows_.erase(it);
+  return Status::OK();
+}
+
+std::string Network::DebugDumpFlows() const {
+  std::string out;
+  for (const Flow& flow : flows_) {
+    out += StrCat("flow rate=", flow.rate, " remaining=", flow.remaining,
+                  " cap=", flow.cap, " done=", flow.done, " path=");
+    for (LinkId id : flow.path) out += StrCat(links_[id].name, " ");
+    out += "\n";
+  }
+  return out;
+}
+
+void Network::CreditLink(LinkId id, double bytes) {
+  Advance();
+  links_[id].bytes_carried += bytes;
+}
+
+void Network::Advance() {
+  double now = engine_->now();
+  double dt = now - last_update_;
+  last_update_ = now;
+  if (dt <= 0) return;
+  for (Flow& flow : flows_) {
+    if (flow.done || flow.rate <= 0) continue;
+    double moved = std::min(flow.remaining, flow.rate * dt);
+    flow.remaining -= moved;
+    for (LinkId id : flow.path) links_[id].bytes_carried += moved;
+  }
+}
+
+void Network::Recompute() {
+  Advance();
+
+  // Max-min fair allocation with per-flow caps (progressive filling).
+  std::vector<double> avail(links_.size());
+  std::vector<int> active(links_.size(), 0);
+  for (size_t i = 0; i < links_.size(); ++i) avail[i] = links_[i].capacity;
+
+  std::vector<Flow*> unfrozen;
+  for (Flow& flow : flows_) {
+    if (flow.done) continue;
+    flow.rate = 0;
+    unfrozen.push_back(&flow);
+    for (LinkId id : flow.path) ++active[id];
+  }
+
+  while (!unfrozen.empty()) {
+    // The binding rate this round: the smallest of (a) any link's equal
+    // share among its unfrozen flows, (b) any unfrozen flow's cap.
+    double round_rate = kUnlimitedRate;
+    for (size_t i = 0; i < links_.size(); ++i) {
+      if (active[i] > 0) {
+        round_rate = std::min(round_rate, avail[i] / active[i]);
+      }
+    }
+    for (Flow* flow : unfrozen) {
+      round_rate = std::min(round_rate, flow->cap);
+    }
+    FABRIC_CHECK(round_rate > 0 && round_rate < kUnlimitedRate);
+
+    // Freeze every flow bound at round_rate: capped flows whose cap equals
+    // the round rate, plus all flows crossing a link saturated at it.
+    std::vector<bool> link_bottleneck(links_.size(), false);
+    for (size_t i = 0; i < links_.size(); ++i) {
+      if (active[i] > 0 && avail[i] / active[i] <= round_rate * (1 + 1e-12)) {
+        link_bottleneck[i] = true;
+      }
+    }
+    std::vector<Flow*> still_unfrozen;
+    bool froze_any = false;
+    for (Flow* flow : unfrozen) {
+      bool bound = flow->cap <= round_rate * (1 + 1e-12);
+      if (!bound) {
+        for (LinkId id : flow->path) {
+          if (link_bottleneck[id]) {
+            bound = true;
+            break;
+          }
+        }
+      }
+      if (bound) {
+        flow->rate = round_rate;
+        froze_any = true;
+        for (LinkId id : flow->path) {
+          avail[id] -= round_rate;
+          if (avail[id] < 0) avail[id] = 0;
+          --active[id];
+        }
+      } else {
+        still_unfrozen.push_back(flow);
+      }
+    }
+    FABRIC_CHECK(froze_any) << "water-filling failed to make progress";
+    unfrozen.swap(still_unfrozen);
+  }
+
+  // Schedule the next completion. The horizon is floored at the engine's
+  // effective time resolution so completions never stall on increments
+  // that round to zero at large timestamps.
+  double horizon = kUnlimitedRate;
+  double time_floor = std::max(1e-9, engine_->now() * 1e-12);
+  for (Flow& flow : flows_) {
+    if (flow.done) continue;
+    if (flow.remaining <= CompletionSlack(flow)) {
+      horizon = 0;
+      break;
+    }
+    if (flow.rate > 0) {
+      horizon = std::min(horizon,
+                         std::max(flow.remaining / flow.rate, time_floor));
+    }
+  }
+  ++timer_generation_;
+  if (horizon < kUnlimitedRate) {
+    uint64_t generation = timer_generation_;
+    engine_->ScheduleAt(engine_->now() + horizon,
+                        [this, generation] { OnTimer(generation); });
+  }
+}
+
+void Network::OnTimer(uint64_t generation) {
+  if (generation != timer_generation_) return;  // superseded by a re-rate
+  Advance();
+  double time_floor = std::max(1e-9, engine_->now() * 1e-12);
+  bool completed_any = false;
+  for (Flow& flow : flows_) {
+    if (flow.done) continue;
+    // Complete on byte slack, or when the residual transfer time is below
+    // the time resolution (so it could never elapse).
+    bool finished = flow.remaining <= CompletionSlack(flow) ||
+                    (flow.rate > 0 &&
+                     flow.remaining / flow.rate < time_floor);
+    if (finished) {
+      flow.done = true;
+      flow.rate = 0;
+      flow.remaining = 0;
+      completed_any = true;
+      flow.cond->NotifyAll();
+    }
+  }
+  // Always re-rate and re-arm: even without completions the timer must
+  // make forward progress rather than silently dropping the flow.
+  if (completed_any || num_active_flows() > 0) {
+    Recompute();
+  }
+}
+
+}  // namespace fabric::net

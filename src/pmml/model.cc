@@ -1,0 +1,216 @@
+#include "pmml/model.h"
+
+#include <cmath>
+#include <limits>
+
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "pmml/xml.h"
+
+namespace fabric::pmml {
+namespace {
+
+// Full-precision rendering: model coefficients must survive the XML
+// round trip bit-exactly (in-database scores are checked for parity with
+// in-Spark predictions).
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* PmmlKindName(PmmlModel::Kind kind) {
+  switch (kind) {
+    case PmmlModel::Kind::kLinearRegression:
+      return "linear_regression";
+    case PmmlModel::Kind::kLogisticRegression:
+      return "logistic_regression";
+    case PmmlModel::Kind::kKMeans:
+      return "kmeans";
+  }
+  return "?";
+}
+
+Result<double> PmmlModel::Evaluate(
+    const std::vector<double>& features) const {
+  if (features.size() != feature_names.size()) {
+    return InvalidArgumentError(
+        StrCat("model '", name, "' expects ", feature_names.size(),
+               " features, got ", features.size()));
+  }
+  switch (kind) {
+    case Kind::kLinearRegression:
+    case Kind::kLogisticRegression: {
+      double z = intercept;
+      for (size_t i = 0; i < features.size(); ++i) {
+        z += coefficients[i] * features[i];
+      }
+      if (kind == Kind::kLinearRegression) return z;
+      return 1.0 / (1.0 + std::exp(-z));
+    }
+    case Kind::kKMeans: {
+      int best = -1;
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < centers.size(); ++c) {
+        double distance = 0;
+        for (size_t i = 0; i < features.size(); ++i) {
+          double d = features[i] - centers[c][i];
+          distance += d * d;
+        }
+        if (distance < best_distance) {
+          best_distance = distance;
+          best = static_cast<int>(c);
+        }
+      }
+      return static_cast<double>(best);
+    }
+  }
+  return InternalError("corrupt model");
+}
+
+std::string PmmlModel::ToXml() const {
+  XmlElement root;
+  root.name = "PMML";
+  root.attributes["version"] = "4.1";
+  root.attributes["xmlns"] = "http://www.dmg.org/PMML-4_1";
+
+  auto header = std::make_unique<XmlElement>();
+  header->name = "Header";
+  header->attributes["description"] = PmmlKindName(kind);
+  auto application = std::make_unique<XmlElement>();
+  application->name = "Application";
+  application->attributes["name"] = "fabric-mllib";
+  header->children.push_back(std::move(application));
+  root.children.push_back(std::move(header));
+
+  auto dictionary = std::make_unique<XmlElement>();
+  dictionary->name = "DataDictionary";
+  dictionary->attributes["numberOfFields"] =
+      StrCat(feature_names.size());
+  for (const std::string& feature : feature_names) {
+    auto field = std::make_unique<XmlElement>();
+    field->name = "DataField";
+    field->attributes["name"] = feature;
+    field->attributes["optype"] = "continuous";
+    field->attributes["dataType"] = "double";
+    dictionary->children.push_back(std::move(field));
+  }
+  root.children.push_back(std::move(dictionary));
+
+  if (kind == Kind::kKMeans) {
+    auto model = std::make_unique<XmlElement>();
+    model->name = "ClusteringModel";
+    model->attributes["modelName"] = name;
+    model->attributes["functionName"] = "clustering";
+    model->attributes["numberOfClusters"] = StrCat(centers.size());
+    for (const auto& center : centers) {
+      auto cluster = std::make_unique<XmlElement>();
+      cluster->name = "Cluster";
+      auto array = std::make_unique<XmlElement>();
+      array->name = "Array";
+      array->attributes["type"] = "real";
+      array->attributes["n"] = StrCat(center.size());
+      std::vector<std::string> parts;
+      for (double v : center) parts.push_back(FormatDouble(v));
+      array->text = Join(parts, " ");
+      cluster->children.push_back(std::move(array));
+      model->children.push_back(std::move(cluster));
+    }
+    root.children.push_back(std::move(model));
+  } else {
+    auto model = std::make_unique<XmlElement>();
+    model->name = "RegressionModel";
+    model->attributes["modelName"] = name;
+    model->attributes["functionName"] =
+        kind == Kind::kLinearRegression ? "regression" : "classification";
+    if (kind == Kind::kLogisticRegression) {
+      model->attributes["normalizationMethod"] = "logit";
+    }
+    auto table = std::make_unique<XmlElement>();
+    table->name = "RegressionTable";
+    table->attributes["intercept"] = FormatDouble(intercept);
+    for (size_t i = 0; i < feature_names.size(); ++i) {
+      auto predictor = std::make_unique<XmlElement>();
+      predictor->name = "NumericPredictor";
+      predictor->attributes["name"] = feature_names[i];
+      predictor->attributes["coefficient"] = FormatDouble(coefficients[i]);
+      table->children.push_back(std::move(predictor));
+    }
+    model->children.push_back(std::move(table));
+    root.children.push_back(std::move(model));
+  }
+  return StrCat("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n",
+                root.ToString());
+}
+
+Result<PmmlModel> PmmlModel::FromXml(std::string_view xml) {
+  FABRIC_ASSIGN_OR_RETURN(std::unique_ptr<XmlElement> root, ParseXml(xml));
+  if (root->name != "PMML") {
+    return InvalidArgumentError("not a PMML document");
+  }
+  PmmlModel model;
+  const XmlElement* dictionary = root->Child("DataDictionary");
+  if (dictionary != nullptr) {
+    for (const XmlElement* field : dictionary->Children("DataField")) {
+      model.feature_names.push_back(field->Attr("name"));
+    }
+  }
+  if (const XmlElement* regression = root->Child("RegressionModel")) {
+    model.name = regression->Attr("modelName");
+    model.kind = regression->Attr("normalizationMethod") == "logit"
+                     ? Kind::kLogisticRegression
+                     : Kind::kLinearRegression;
+    const XmlElement* table = regression->Child("RegressionTable");
+    if (table == nullptr) {
+      return InvalidArgumentError("PMML: missing RegressionTable");
+    }
+    double intercept = 0;
+    if (!ParseDouble(table->Attr("intercept"), &intercept)) {
+      return InvalidArgumentError("PMML: bad intercept");
+    }
+    model.intercept = intercept;
+    for (const XmlElement* predictor :
+         table->Children("NumericPredictor")) {
+      double coefficient = 0;
+      if (!ParseDouble(predictor->Attr("coefficient"), &coefficient)) {
+        return InvalidArgumentError("PMML: bad coefficient");
+      }
+      model.coefficients.push_back(coefficient);
+    }
+    if (model.coefficients.size() != model.feature_names.size()) {
+      return InvalidArgumentError(
+          "PMML: coefficient / feature count mismatch");
+    }
+    return model;
+  }
+  if (const XmlElement* clustering = root->Child("ClusteringModel")) {
+    model.name = clustering->Attr("modelName");
+    model.kind = Kind::kKMeans;
+    for (const XmlElement* cluster : clustering->Children("Cluster")) {
+      const XmlElement* array = cluster->Child("Array");
+      if (array == nullptr) {
+        return InvalidArgumentError("PMML: Cluster missing Array");
+      }
+      std::vector<double> center;
+      for (const std::string& piece : Split(array->text, ' ')) {
+        if (piece.empty()) continue;
+        double v = 0;
+        if (!ParseDouble(piece, &v)) {
+          return InvalidArgumentError("PMML: bad cluster coordinate");
+        }
+        center.push_back(v);
+      }
+      if (center.size() != model.feature_names.size()) {
+        return InvalidArgumentError("PMML: center dimension mismatch");
+      }
+      model.centers.push_back(std::move(center));
+    }
+    return model;
+  }
+  return InvalidArgumentError("PMML: no supported model element");
+}
+
+}  // namespace fabric::pmml

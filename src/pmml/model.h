@@ -1,0 +1,44 @@
+#ifndef FABRIC_PMML_MODEL_H_
+#define FABRIC_PMML_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fabric::pmml {
+
+// A PMML 4.1-subset model document (Section 3.3): linear regression,
+// logistic regression (RegressionModel) and k-means (ClusteringModel) —
+// the generic numeric-vector-in, number-out family the paper's model
+// evaluator covers.
+struct PmmlModel {
+  enum class Kind { kLinearRegression, kLogisticRegression, kKMeans };
+
+  Kind kind = Kind::kLinearRegression;
+  std::string name;
+  std::vector<std::string> feature_names;
+
+  // Regression family.
+  std::vector<double> coefficients;
+  double intercept = 0;
+
+  // Clustering family.
+  std::vector<std::vector<double>> centers;
+
+  // Generic evaluator: numeric feature vector in, number out —
+  // regression value, class-1 probability, or nearest-cluster index.
+  Result<double> Evaluate(const std::vector<double>& features) const;
+
+  // Serializes to a PMML document (Header, DataDictionary, model).
+  std::string ToXml() const;
+
+  // Parses a document produced by ToXml (or equivalent external PMML).
+  static Result<PmmlModel> FromXml(std::string_view xml);
+};
+
+const char* PmmlKindName(PmmlModel::Kind kind);
+
+}  // namespace fabric::pmml
+
+#endif  // FABRIC_PMML_MODEL_H_

@@ -1,0 +1,41 @@
+#ifndef FABRIC_PMML_XML_H_
+#define FABRIC_PMML_XML_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fabric::pmml {
+
+// Minimal XML DOM for PMML documents: elements with attributes, children
+// and text. Good enough for machine-generated PMML (no CDATA, comments
+// are skipped, entities limited to the five standard ones).
+struct XmlElement {
+  std::string name;
+  std::map<std::string, std::string> attributes;
+  std::vector<std::unique_ptr<XmlElement>> children;
+  std::string text;
+
+  // First child with the given tag, or nullptr.
+  const XmlElement* Child(std::string_view tag) const;
+  // All children with the given tag.
+  std::vector<const XmlElement*> Children(std::string_view tag) const;
+  // Attribute value or empty string.
+  std::string Attr(std::string_view key) const;
+
+  // Serializes with 2-space indentation and escaped text/attributes.
+  std::string ToString(int indent = 0) const;
+};
+
+// Parses a single-rooted XML document.
+Result<std::unique_ptr<XmlElement>> ParseXml(std::string_view text);
+
+std::string XmlEscape(std::string_view text);
+
+}  // namespace fabric::pmml
+
+#endif  // FABRIC_PMML_XML_H_

@@ -1,0 +1,86 @@
+#include "sim/waitable.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fabric::sim {
+
+Status Condition::Wait(Process& self) {
+  std::unique_lock<std::mutex> lock(engine_->mu_);
+  if (self.killed_) {
+    return CancelledError(StrCat("process '", self.name(), "' killed"));
+  }
+  waiters_.push_back(&self);
+  self.state_ = Process::State::kBlocked;
+  self.SwitchToEngine(lock);
+  // A kill-wake resumes us while still registered; deregister.
+  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &self),
+                 waiters_.end());
+  if (self.killed_) {
+    return CancelledError(StrCat("process '", self.name(), "' killed"));
+  }
+  return Status::OK();
+}
+
+void Condition::NotifyAll() {
+  std::lock_guard<std::mutex> lock(engine_->mu_);
+  for (Process* waiter : waiters_) {
+    engine_->PostWakeLocked(waiter, engine_->now_);
+  }
+  waiters_.clear();
+}
+
+void Condition::NotifyOne() {
+  std::lock_guard<std::mutex> lock(engine_->mu_);
+  if (waiters_.empty()) return;
+  engine_->PostWakeLocked(waiters_.front(), engine_->now_);
+  waiters_.erase(waiters_.begin());
+}
+
+Status Mutex::Lock(Process& self) {
+  // NotifyAll (not NotifyOne) below keeps this livelock-free even when a
+  // woken waiter has been killed: everyone re-checks `locked_`.
+  while (locked_) {
+    FABRIC_RETURN_IF_ERROR(cond_.Wait(self));
+  }
+  locked_ = true;
+  return Status::OK();
+}
+
+void Mutex::Unlock() {
+  FABRIC_CHECK(locked_) << "Unlock of unlocked sim::Mutex";
+  locked_ = false;
+  cond_.NotifyAll();
+}
+
+Status Semaphore::Acquire(Process& self) {
+  while (permits_ == 0) {
+    FABRIC_RETURN_IF_ERROR(cond_.Wait(self));
+  }
+  --permits_;
+  return Status::OK();
+}
+
+bool Semaphore::TryAcquire() {
+  if (permits_ == 0) return false;
+  --permits_;
+  return true;
+}
+
+void Semaphore::Release() {
+  ++permits_;
+  cond_.NotifyAll();
+}
+
+void Latch::CountDown() {
+  FABRIC_CHECK(count_ > 0) << "Latch counted below zero";
+  if (--count_ == 0) cond_.NotifyAll();
+}
+
+Status Latch::Await(Process& self) {
+  return cond_.WaitUntil(self, [this] { return count_ == 0; });
+}
+
+}  // namespace fabric::sim

@@ -1,0 +1,235 @@
+#include "spark/cluster.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fabric::spark {
+
+const net::Host& TaskContext::worker_host() const {
+  return cluster->worker_host(worker);
+}
+
+Status TaskContext::Compute(double seconds) const {
+  return net::RunCpu(*process, cluster->network(), worker_host(), seconds);
+}
+
+std::optional<double> RandomFailureInjector::PlanKill(const std::string&,
+                                                      int, int) {
+  if (kills_planned_ >= max_kills_) return std::nullopt;
+  if (!rng_.NextBool(kill_probability_)) return std::nullopt;
+  ++kills_planned_;
+  // Kill anywhere within 1.5x the typical attempt duration, so kills land
+  // before, during and just after the attempt's useful work.
+  return rng_.NextDouble() * typical_duration_ * 1.5;
+}
+
+ScriptedFailureInjector& ScriptedFailureInjector::KillAttempt(
+    int task, int attempt, double after_seconds) {
+  entries_.push_back({task, attempt, after_seconds});
+  return *this;
+}
+
+std::optional<double> ScriptedFailureInjector::PlanKill(const std::string&,
+                                                        int task,
+                                                        int attempt) {
+  for (const Entry& entry : entries_) {
+    if (entry.task == task && entry.attempt == attempt) return entry.after;
+  }
+  return std::nullopt;
+}
+
+SparkCluster::SparkCluster(sim::Engine* engine, net::Network* network,
+                           Options options)
+    : engine_(engine), network_(network), options_(std::move(options)) {
+  FABRIC_CHECK(options_.num_workers > 0);
+  driver_ = net::AddHost(network_, "spark-driver",
+                         options_.cost.nic_bandwidth, 0,
+                         options_.cost.spark_cores_per_worker);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.push_back(net::AddHost(
+        network_, StrCat("spark-worker", i), options_.cost.nic_bandwidth, 0,
+        options_.cost.spark_cores_per_worker));
+  }
+  slots_ = std::make_unique<sim::Semaphore>(engine_, total_slots());
+}
+
+struct SparkCluster::JobState {
+  SparkCluster* cluster = nullptr;
+  std::string name;
+  std::function<Status(TaskContext&)> body;
+  int num_tasks = 0;
+  double started_at = 0;
+  std::vector<bool> done;
+  std::vector<int> failures;
+  std::vector<int> next_attempt;
+  std::vector<int> running;
+  std::vector<bool> speculated;
+  std::vector<double> earliest_start;  // of the active attempt(s)
+  std::vector<double> durations;       // completed task durations
+  int done_count = 0;
+  int active = 0;  // attempts queued or running
+  bool aborted = false;
+  Status abort_status;
+  bool finished = false;  // job settled (drives the speculation timer off)
+  JobStats stats;
+  std::unique_ptr<sim::Condition> progress;
+};
+
+Result<SparkCluster::JobStats> SparkCluster::RunJob(
+    sim::Process& driver, const std::string& name, int num_tasks,
+    std::function<Status(TaskContext&)> body) {
+  FABRIC_CHECK(num_tasks > 0);
+  auto job = std::make_shared<JobState>();
+  job->cluster = this;
+  job->name = StrCat(name, "#", job_counter_++);
+  job->body = std::move(body);
+  job->num_tasks = num_tasks;
+  job->started_at = engine_->now();
+  job->done.assign(num_tasks, false);
+  job->failures.assign(num_tasks, 0);
+  job->next_attempt.assign(num_tasks, 0);
+  job->running.assign(num_tasks, 0);
+  job->speculated.assign(num_tasks, false);
+  job->earliest_start.assign(num_tasks, 0);
+  job->stats.tasks = num_tasks;
+  job->progress = std::make_unique<sim::Condition>(engine_);
+
+  for (int task = 0; task < num_tasks; ++task) {
+    LaunchAttempt(job, task, /*speculative=*/false);
+  }
+
+  // Periodic speculation scan (Spark's speculation daemon).
+  if (options_.speculation) {
+    engine_->ScheduleAt(engine_->now() + 0.25,
+                        [this, job]() { RearmSpeculation(job); });
+  }
+
+  // Wait for completion or abort, then drain stragglers so the caller's
+  // captured state stays valid.
+  FABRIC_RETURN_IF_ERROR(job->progress->WaitUntil(driver, [&] {
+    return job->done_count == job->num_tasks || job->aborted;
+  }));
+  FABRIC_RETURN_IF_ERROR(
+      job->progress->WaitUntil(driver, [&] { return job->active == 0; }));
+  job->finished = true;
+  job->stats.makespan = engine_->now() - job->started_at;
+  if (job->aborted) return job->abort_status;
+  return job->stats;
+}
+
+void SparkCluster::RearmSpeculation(const std::shared_ptr<JobState>& job) {
+  // Self-terminate once the job has settled, even when the driver died
+  // before marking it finished (orphaned jobs must not keep the timer —
+  // and with it the simulation — alive forever).
+  if (job->finished ||
+      ((job->done_count == job->num_tasks || job->aborted) &&
+       job->active == 0)) {
+    job->finished = true;
+    return;
+  }
+  MaybeSpeculate(job);
+  engine_->ScheduleAt(engine_->now() + 0.25,
+                      [this, job]() { RearmSpeculation(job); });
+}
+
+void SparkCluster::MaybeSpeculate(const std::shared_ptr<JobState>& job) {
+  if (!options_.speculation || job->finished) return;
+  if (job->done_count <
+      static_cast<int>(options_.speculation_quantile * job->num_tasks)) {
+    return;
+  }
+  if (job->durations.empty()) return;
+  std::vector<double> sorted = job->durations;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  double median = sorted[sorted.size() / 2];
+  double threshold = std::max(median * options_.speculation_multiplier,
+                              median + 0.1);
+  for (int task = 0; task < job->num_tasks; ++task) {
+    if (job->done[task] || job->speculated[task]) continue;
+    if (job->running[task] != 1) continue;  // queued or already duplicated
+    if (engine_->now() - job->earliest_start[task] <= threshold) continue;
+    job->speculated[task] = true;
+    LaunchAttempt(job, task, /*speculative=*/true);
+  }
+}
+
+void SparkCluster::LaunchAttempt(std::shared_ptr<JobState> job, int task,
+                                 bool speculative) {
+  int attempt = job->next_attempt[task]++;
+  ++job->stats.attempts_launched;
+  if (speculative) ++job->stats.speculative_launched;
+  ++job->active;
+  ++total_attempts_;
+  engine_->Spawn(
+      StrCat(job->name, ":t", task, ".", attempt),
+      [this, job, task, attempt, speculative](sim::Process& self) {
+        Status status = [&]() -> Status {
+          FABRIC_RETURN_IF_ERROR(slots_->Acquire(self));
+          struct SlotGuard {
+            sim::Semaphore* slots;
+            ~SlotGuard() { slots->Release(); }
+          } slot_guard{slots_.get()};
+          if (job->aborted || job->done[task]) return Status::OK();
+
+          int worker = next_worker_;
+          next_worker_ = (next_worker_ + 1) % num_workers();
+          ++job->running[task];
+          struct RunGuard {
+            JobState* job;
+            int task;
+            ~RunGuard() { --job->running[task]; }
+          } run_guard{job.get(), task};
+          double started = engine_->now();
+          if (job->running[task] == 1) job->earliest_start[task] = started;
+
+          // Arm the failure adversary for this attempt.
+          if (injector_ != nullptr) {
+            if (auto delay = injector_->PlanKill(job->name, task, attempt)) {
+              sim::Process* victim = &self;
+              engine_->ScheduleAt(engine_->now() + *delay,
+                                  [this, victim] { engine_->Kill(*victim); });
+            }
+          }
+
+          FABRIC_RETURN_IF_ERROR(
+              self.Sleep(options_.cost.task_launch_overhead));
+          TaskContext context;
+          context.cluster = this;
+          context.task = task;
+          context.attempt = attempt;
+          context.worker = worker;
+          context.speculative = speculative;
+          context.process = &self;
+          FABRIC_RETURN_IF_ERROR(job->body(context));
+          // Report task result to the driver.
+          FABRIC_RETURN_IF_ERROR(
+              self.Sleep(options_.cost.task_result_overhead));
+          if (!job->done[task]) {
+            job->done[task] = true;
+            ++job->done_count;
+            job->durations.push_back(engine_->now() - started);
+          }
+          return Status::OK();
+        }();
+        if (!status.ok() && !job->aborted && !job->done[task]) {
+          ++job->failures[task];
+          ++job->stats.attempts_failed;
+          if (job->failures[task] >= options_.max_task_failures) {
+            job->aborted = true;
+            job->abort_status = AbortedError(
+                StrCat("job ", job->name, " aborted: task ", task,
+                       " failed ", job->failures[task],
+                       " times; last error: ", status.ToString()));
+          } else {
+            LaunchAttempt(job, task, /*speculative=*/false);
+          }
+        }
+        --job->active;
+        job->progress->NotifyAll();
+      });
+}
+
+}  // namespace fabric::spark

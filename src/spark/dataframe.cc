@@ -1,0 +1,448 @@
+#include "spark/dataframe.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/profile.h"
+
+namespace fabric::spark {
+
+using storage::Row;
+using storage::Schema;
+
+// ------------------------------------------------------------------ Plan
+
+int Plan::NumPartitions() const {
+  switch (kind) {
+    case Kind::kParallelize:
+      return static_cast<int>(data->size());
+    case Kind::kScan:
+      return relation->num_partitions();
+    case Kind::kUnion:
+      return child->NumPartitions() + other->NumPartitions();
+    case Kind::kCoalesce:
+      return target_partitions;
+    default:
+      return child->NumPartitions();
+  }
+}
+
+Result<std::vector<Row>> Plan::Compute(TaskContext& task,
+                                       int partition) const {
+  const CostModel& cost = task.cluster->cost();
+  switch (kind) {
+    case Kind::kParallelize:
+      return (*data)[partition];
+    case Kind::kScan: {
+      FABRIC_ASSIGN_OR_RETURN(ScanRelation::PartitionData part,
+                              relation->ReadPartition(task, partition,
+                                                      pushed));
+      return std::move(part.rows);
+    }
+    case Kind::kFilterPredicate: {
+      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              child->Compute(task, partition));
+      FABRIC_RETURN_IF_ERROR(task.Compute(rows.size() *
+                                          cost.spark_row_process_cpu *
+                                          cost.data_scale));
+      std::vector<Row> out;
+      for (Row& row : rows) {
+        FABRIC_ASSIGN_OR_RETURN(bool keep,
+                                predicate.Matches(child->schema, row));
+        if (keep) out.push_back(std::move(row));
+      }
+      return out;
+    }
+    case Kind::kFilterFn: {
+      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              child->Compute(task, partition));
+      FABRIC_RETURN_IF_ERROR(task.Compute(rows.size() *
+                                          cost.spark_row_process_cpu *
+                                          cost.data_scale));
+      std::vector<Row> out;
+      for (Row& row : rows) {
+        FABRIC_ASSIGN_OR_RETURN(bool keep, filter_fn(row));
+        if (keep) out.push_back(std::move(row));
+      }
+      return out;
+    }
+    case Kind::kMapFn: {
+      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              child->Compute(task, partition));
+      FABRIC_RETURN_IF_ERROR(task.Compute(rows.size() *
+                                          cost.spark_row_process_cpu *
+                                          cost.data_scale));
+      std::vector<Row> out;
+      out.reserve(rows.size());
+      for (const Row& row : rows) {
+        // Schema violations surface at the sink (as in Spark, where Row
+        // contents are not checked until an action consumes them).
+        FABRIC_ASSIGN_OR_RETURN(Row mapped, map_fn(row));
+        out.push_back(std::move(mapped));
+      }
+      return out;
+    }
+    case Kind::kSelect: {
+      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                              child->Compute(task, partition));
+      std::vector<Row> out;
+      out.reserve(rows.size());
+      for (const Row& row : rows) {
+        Row projected;
+        projected.reserve(select_indices.size());
+        for (int idx : select_indices) projected.push_back(row[idx]);
+        out.push_back(std::move(projected));
+      }
+      return out;
+    }
+    case Kind::kUnion: {
+      int left = child->NumPartitions();
+      if (partition < left) return child->Compute(task, partition);
+      return other->Compute(task, partition - left);
+    }
+    case Kind::kCoalesce: {
+      // Output partition p folds a contiguous run of child partitions.
+      int source = child->NumPartitions();
+      int per = source / target_partitions;
+      int extra = source % target_partitions;
+      int begin = partition * per + std::min(partition, extra);
+      int count = per + (partition < extra ? 1 : 0);
+      std::vector<Row> out;
+      for (int i = begin; i < begin + count; ++i) {
+        FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                child->Compute(task, i));
+        for (Row& row : rows) out.push_back(std::move(row));
+      }
+      return out;
+    }
+  }
+  return InternalError("corrupt plan");
+}
+
+// ------------------------------------------------------------- pushdown
+
+std::shared_ptr<const Plan> PushDownPass(std::shared_ptr<const Plan> plan) {
+  if (plan->kind == Plan::Kind::kFilterPredicate) {
+    auto child = PushDownPass(plan->child);
+    if (child->kind == Plan::Kind::kScan) {
+      auto fused = std::make_shared<Plan>(*child);
+      fused->pushed.filters.push_back(plan->predicate);
+      fused->schema = plan->schema;
+      return fused;
+    }
+    if (child != plan->child) {
+      auto copy = std::make_shared<Plan>(*plan);
+      copy->child = child;
+      return copy;
+    }
+    return plan;
+  }
+  if (plan->kind == Plan::Kind::kSelect) {
+    auto child = PushDownPass(plan->child);
+    if (child->kind == Plan::Kind::kScan &&
+        child->pushed.required_columns.empty()) {
+      auto fused = std::make_shared<Plan>(*child);
+      for (int idx : plan->select_indices) {
+        fused->pushed.required_columns.push_back(
+            child->schema.column(idx).name);
+      }
+      fused->schema = plan->schema;
+      return fused;
+    }
+    if (child != plan->child) {
+      auto copy = std::make_shared<Plan>(*plan);
+      copy->child = child;
+      return copy;
+    }
+    return plan;
+  }
+  return plan;
+}
+
+// ------------------------------------------------------------ DataFrame
+
+DataFrame DataFrame::Filter(ColumnPredicate predicate) const {
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kFilterPredicate;
+  node->schema = plan_->schema;
+  node->child = plan_;
+  node->predicate = std::move(predicate);
+  return DataFrame(session_, node);
+}
+
+DataFrame DataFrame::Filter(
+    std::function<Result<bool>(const Row&)> fn) const {
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kFilterFn;
+  node->schema = plan_->schema;
+  node->child = plan_;
+  node->filter_fn = std::move(fn);
+  return DataFrame(session_, node);
+}
+
+Result<DataFrame> DataFrame::Select(
+    const std::vector<std::string>& columns) const {
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kSelect;
+  node->child = plan_;
+  for (const std::string& name : columns) {
+    FABRIC_ASSIGN_OR_RETURN(int idx, plan_->schema.IndexOf(name));
+    node->select_indices.push_back(idx);
+  }
+  node->schema = plan_->schema.Project(node->select_indices);
+  return DataFrame(session_, node);
+}
+
+DataFrame DataFrame::Map(std::function<Result<Row>(const Row&)> fn,
+                         Schema out_schema) const {
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kMapFn;
+  node->schema = std::move(out_schema);
+  node->child = plan_;
+  node->map_fn = std::move(fn);
+  return DataFrame(session_, node);
+}
+
+Result<DataFrame> DataFrame::Union(const DataFrame& other) const {
+  if (!(plan_->schema == other.plan_->schema)) {
+    return InvalidArgumentError("UNION schemas differ");
+  }
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kUnion;
+  node->schema = plan_->schema;
+  node->child = plan_;
+  node->other = other.plan_;
+  return DataFrame(session_, node);
+}
+
+Result<DataFrame> DataFrame::Repartition(int num_partitions) const {
+  if (num_partitions <= 0) {
+    return InvalidArgumentError("partitions must be positive");
+  }
+  int current = NumPartitions();
+  if (num_partitions == current) return *this;
+  if (num_partitions < current) {
+    auto node = std::make_shared<Plan>();
+    node->kind = Plan::Kind::kCoalesce;
+    node->schema = plan_->schema;
+    node->child = plan_;
+    node->target_partitions = num_partitions;
+    return DataFrame(session_, node);
+  }
+  // Widening requires a shuffle; supported only for driver-local data.
+  if (plan_->kind != Plan::Kind::kParallelize) {
+    return UnimplementedError(
+        "increasing partitions of a non-local DataFrame requires a "
+        "shuffle, which this connector workload never needs");
+  }
+  std::vector<Row> all;
+  for (const auto& part : *plan_->data) {
+    for (const Row& row : part) all.push_back(row);
+  }
+  return session_->CreateDataFrame(plan_->schema, std::move(all),
+                                   num_partitions);
+}
+
+Result<std::vector<Row>> DataFrame::Collect(sim::Process& driver) const {
+  auto plan = PushDownPass(plan_);
+  int parts = plan->NumPartitions();
+  const CostModel& cost = session_->cluster()->cost();
+  auto results = std::make_shared<std::vector<std::vector<Row>>>(parts);
+  FABRIC_ASSIGN_OR_RETURN(
+      SparkCluster::JobStats stats,
+      session_->cluster()->RunJob(
+          driver, "collect", parts,
+          [plan, results, &cost](TaskContext& task) -> Status {
+            FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                    plan->Compute(task, task.task));
+            // Ship the partition to the driver.
+            storage::DataProfile profile = storage::ProfileRows(rows);
+            profile.ScaleBy(cost.data_scale);
+            FABRIC_RETURN_IF_ERROR(task.cluster->network()->Transfer(
+                *task.process,
+                {task.worker_host().ext_egress,
+                 task.cluster->driver_host().ext_ingress},
+                profile.raw_bytes));
+            (*results)[task.task] = std::move(rows);
+            return Status::OK();
+          }));
+  (void)stats;
+  std::vector<Row> all;
+  for (auto& part : *results) {
+    for (Row& row : part) all.push_back(std::move(row));
+  }
+  return all;
+}
+
+Result<int64_t> DataFrame::Count(sim::Process& driver) const {
+  auto plan = PushDownPass(plan_);
+  int parts = plan->NumPartitions();
+  auto counts = std::make_shared<std::vector<int64_t>>(parts, 0);
+  bool count_pushdown = plan->kind == Plan::Kind::kScan;
+  FABRIC_ASSIGN_OR_RETURN(
+      SparkCluster::JobStats stats,
+      session_->cluster()->RunJob(
+          driver, "count", parts,
+          [plan, counts, count_pushdown](TaskContext& task) -> Status {
+            if (count_pushdown) {
+              PushDown push = plan->pushed;
+              push.count_only = true;
+              FABRIC_ASSIGN_OR_RETURN(
+                  ScanRelation::PartitionData part,
+                  plan->relation->ReadPartition(task, task.task, push));
+              (*counts)[task.task] = part.count;
+              return Status::OK();
+            }
+            FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                    plan->Compute(task, task.task));
+            (*counts)[task.task] = static_cast<int64_t>(rows.size());
+            return Status::OK();
+          }));
+  (void)stats;
+  int64_t total = 0;
+  for (int64_t c : *counts) total += c;
+  return total;
+}
+
+Result<int64_t> DataFrame::Materialize(sim::Process& driver) const {
+  auto plan = PushDownPass(plan_);
+  int parts = plan->NumPartitions();
+  auto counts = std::make_shared<std::vector<int64_t>>(parts, 0);
+  FABRIC_ASSIGN_OR_RETURN(
+      SparkCluster::JobStats stats,
+      session_->cluster()->RunJob(
+          driver, "materialize", parts,
+          [plan, counts](TaskContext& task) -> Status {
+            FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                    plan->Compute(task, task.task));
+            (*counts)[task.task] = static_cast<int64_t>(rows.size());
+            return Status::OK();
+          }));
+  (void)stats;
+  int64_t total = 0;
+  for (int64_t c : *counts) total += c;
+  return total;
+}
+
+DataFrameWriter DataFrame::Write() const {
+  return DataFrameWriter(session_, *this);
+}
+
+// --------------------------------------------------------------- reader
+
+Result<DataFrame> DataFrameReader::Load(sim::Process& driver) {
+  FABRIC_ASSIGN_OR_RETURN(DataSourceProvider * provider,
+                          session_->FindFormat(format_));
+  FABRIC_ASSIGN_OR_RETURN(std::shared_ptr<ScanRelation> relation,
+                          provider->CreateScan(driver, options_));
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kScan;
+  node->schema = relation->schema();
+  node->relation = std::move(relation);
+  return DataFrame(session_, node);
+}
+
+// --------------------------------------------------------------- writer
+
+Status DataFrameWriter::Save(sim::Process& driver) {
+  FABRIC_ASSIGN_OR_RETURN(DataSourceProvider * provider,
+                          session_->FindFormat(format_));
+  DataFrame frame = frame_;
+  // The connector may repartition the DataFrame during setup to reach
+  // the requested parallelism (Section 3.2).
+  int64_t requested = options_.GetIntOr("numpartitions", 0);
+  if (requested > 0 && requested != frame.NumPartitions()) {
+    Result<DataFrame> repartitioned =
+        frame.Repartition(static_cast<int>(requested));
+    if (repartitioned.ok()) {
+      frame = std::move(*repartitioned);
+    } else if (repartitioned.status().code() !=
+               StatusCode::kUnimplemented) {
+      return repartitioned.status();
+    }
+    // Widening a non-local DataFrame needs a shuffle; keep the existing
+    // partitioning in that case.
+  }
+  FABRIC_ASSIGN_OR_RETURN(std::shared_ptr<WriteRelation> relation,
+                          provider->CreateWrite(driver, options_, mode_,
+                                                frame.schema()));
+  auto plan = PushDownPass(frame.plan());
+  int parts = plan->NumPartitions();
+  // Sink-directed pre-partitioning (S2V pre-hash): only driver-local
+  // data can be re-split without a shuffle.
+  if (auto partitioner = relation->Partitioner(parts);
+      partitioner != nullptr && plan->kind == Plan::Kind::kParallelize) {
+    auto data = std::make_shared<std::vector<std::vector<Row>>>(parts);
+    for (const auto& part : *plan->data) {
+      for (const Row& row : part) {
+        int target = partitioner(row);
+        FABRIC_CHECK(target >= 0 && target < parts);
+        (*data)[target].push_back(row);
+      }
+    }
+    auto node = std::make_shared<Plan>();
+    node->kind = Plan::Kind::kParallelize;
+    node->schema = plan->schema;
+    node->data = std::move(data);
+    plan = node;
+  }
+  FABRIC_RETURN_IF_ERROR(relation->Setup(driver, parts));
+  Result<SparkCluster::JobStats> job = session_->cluster()->RunJob(
+      driver, "save", parts,
+      [plan, relation](TaskContext& task) -> Status {
+        FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                                plan->Compute(task, task.task));
+        return relation->WriteTaskPartition(task, task.task, rows);
+      });
+  Status job_status = job.ok() ? Status::OK() : job.status();
+  return relation->Finalize(driver, job_status);
+}
+
+// -------------------------------------------------------------- session
+
+void SparkSession::RegisterFormat(
+    const std::string& name, std::shared_ptr<DataSourceProvider> provider) {
+  formats_[ToLower(name)] = std::move(provider);
+}
+
+Result<DataSourceProvider*> SparkSession::FindFormat(
+    const std::string& name) const {
+  auto it = formats_.find(ToLower(name));
+  if (it == formats_.end()) {
+    return NotFoundError(StrCat("no data source format '", name, "'"));
+  }
+  return it->second.get();
+}
+
+Result<DataFrame> SparkSession::CreateDataFrame(Schema schema,
+                                                std::vector<Row> rows,
+                                                int num_partitions) {
+  if (num_partitions <= 0) {
+    return InvalidArgumentError("partitions must be positive");
+  }
+  for (const Row& row : rows) {
+    FABRIC_RETURN_IF_ERROR(ValidateRow(schema, row));
+  }
+  auto data = std::make_shared<std::vector<std::vector<Row>>>(
+      num_partitions);
+  // Contiguous chunks (like parallelize's slicing).
+  size_t per = rows.size() / num_partitions;
+  size_t extra = rows.size() % num_partitions;
+  size_t cursor = 0;
+  for (int p = 0; p < num_partitions; ++p) {
+    size_t count = per + (static_cast<size_t>(p) < extra ? 1 : 0);
+    auto& part = (*data)[p];
+    part.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      part.push_back(std::move(rows[cursor++]));
+    }
+  }
+  auto node = std::make_shared<Plan>();
+  node->kind = Plan::Kind::kParallelize;
+  node->schema = std::move(schema);
+  node->data = std::move(data);
+  return DataFrame(this, node);
+}
+
+}  // namespace fabric::spark

@@ -1,0 +1,201 @@
+#ifndef FABRIC_SPARK_DATAFRAME_H_
+#define FABRIC_SPARK_DATAFRAME_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "spark/cluster.h"
+#include "spark/datasource.h"
+#include "spark/types.h"
+#include "storage/schema.h"
+
+namespace fabric::spark {
+
+class SparkSession;
+class DataFrameWriter;
+
+// Immutable logical plan node (the RDD lineage). DataFrames are cheap
+// handles onto shared plans; transformations build new plans, actions
+// (Collect/Count/Save) run jobs through the cluster scheduler.
+struct Plan {
+  enum class Kind {
+    kParallelize,      // in-memory partitions (driver-created data)
+    kScan,             // external source (with accumulated pushdowns)
+    kFilterPredicate,  // pushable column-vs-literal filter
+    kFilterFn,         // opaque row predicate (not pushable)
+    kMapFn,            // opaque row transform (not pushable)
+    kSelect,           // column pruning (pushable)
+    kUnion,
+    kCoalesce,         // merge partitions without shuffle
+  };
+
+  Kind kind;
+  storage::Schema schema;  // output schema of this node
+
+  // kParallelize
+  std::shared_ptr<std::vector<std::vector<storage::Row>>> data;
+  // kScan
+  std::shared_ptr<ScanRelation> relation;
+  PushDown pushed;
+  // transforms
+  std::shared_ptr<const Plan> child;
+  std::shared_ptr<const Plan> other;  // kUnion
+  ColumnPredicate predicate;          // kFilterPredicate
+  std::function<Result<bool>(const storage::Row&)> filter_fn;
+  std::function<Result<storage::Row>(const storage::Row&)> map_fn;
+  std::vector<int> select_indices;  // kSelect
+  int target_partitions = 0;        // kCoalesce
+
+  int NumPartitions() const;
+  // Computes one partition inside a task (lineage recomputation: safe to
+  // call repeatedly for the same index — that is what retries and
+  // speculative duplicates do).
+  Result<std::vector<storage::Row>> Compute(TaskContext& task,
+                                            int partition) const;
+};
+
+// Spark DataFrame: schema'd, immutable, lazily evaluated.
+class DataFrame {
+ public:
+  DataFrame() = default;
+  DataFrame(SparkSession* session, std::shared_ptr<const Plan> plan)
+      : session_(session), plan_(std::move(plan)) {}
+
+  const storage::Schema& schema() const { return plan_->schema; }
+  int NumPartitions() const { return plan_->NumPartitions(); }
+  SparkSession* session() const { return session_; }
+  const std::shared_ptr<const Plan>& plan() const { return plan_; }
+
+  // ------------------------------------------------- transformations
+  DataFrame Filter(ColumnPredicate predicate) const;
+  DataFrame Filter(std::function<Result<bool>(const storage::Row&)> fn) const;
+  Result<DataFrame> Select(const std::vector<std::string>& columns) const;
+  DataFrame Map(std::function<Result<storage::Row>(const storage::Row&)> fn,
+                storage::Schema out_schema) const;
+  Result<DataFrame> Union(const DataFrame& other) const;
+  // Coalesces to fewer partitions without shuffling; widening is only
+  // possible on driver-local data (kParallelize roots).
+  Result<DataFrame> Repartition(int num_partitions) const;
+
+  // --------------------------------------------------------- actions
+  Result<std::vector<storage::Row>> Collect(sim::Process& driver) const;
+  Result<int64_t> Count(sim::Process& driver) const;
+  // Computes every partition on the workers (full source read, nothing
+  // shipped to the driver) and returns the row count — the "load into
+  // Spark" measurement of Section 4 (Collect would bottleneck on the
+  // driver's NIC instead).
+  Result<int64_t> Materialize(sim::Process& driver) const;
+  DataFrameWriter Write() const;
+
+ private:
+  SparkSession* session_ = nullptr;
+  std::shared_ptr<const Plan> plan_;
+};
+
+// df.read()-style builder (Table 1's LOAD column).
+class DataFrameReader {
+ public:
+  explicit DataFrameReader(SparkSession* session) : session_(session) {}
+
+  DataFrameReader& Format(const std::string& format) {
+    format_ = format;
+    return *this;
+  }
+  DataFrameReader& Option(const std::string& key, const std::string& value) {
+    options_.Set(key, value);
+    return *this;
+  }
+  DataFrameReader& Option(const std::string& key, int64_t value) {
+    options_.Set(key, value);
+    return *this;
+  }
+  DataFrameReader& Options(const SourceOptions& options) {
+    for (const auto& [k, v] : options.entries()) options_.Set(k, v);
+    return *this;
+  }
+
+  Result<DataFrame> Load(sim::Process& driver);
+
+ private:
+  SparkSession* session_;
+  std::string format_;
+  SourceOptions options_;
+};
+
+// df.write()-style builder (Table 1's SAVE column).
+class DataFrameWriter {
+ public:
+  DataFrameWriter(SparkSession* session, DataFrame frame)
+      : session_(session), frame_(std::move(frame)) {}
+
+  DataFrameWriter& Format(const std::string& format) {
+    format_ = format;
+    return *this;
+  }
+  DataFrameWriter& Option(const std::string& key, const std::string& value) {
+    options_.Set(key, value);
+    return *this;
+  }
+  DataFrameWriter& Option(const std::string& key, int64_t value) {
+    options_.Set(key, value);
+    return *this;
+  }
+  DataFrameWriter& Options(const SourceOptions& options) {
+    for (const auto& [k, v] : options.entries()) options_.Set(k, v);
+    return *this;
+  }
+  DataFrameWriter& Mode(SaveMode mode) {
+    mode_ = mode;
+    return *this;
+  }
+
+  Status Save(sim::Process& driver);
+
+ private:
+  SparkSession* session_;
+  DataFrame frame_;
+  std::string format_;
+  SourceOptions options_;
+  SaveMode mode_ = SaveMode::kErrorIfExists;
+};
+
+// Entry point tying the cluster, the data source registry and DataFrame
+// construction together.
+class SparkSession {
+ public:
+  explicit SparkSession(SparkCluster* cluster) : cluster_(cluster) {}
+
+  SparkCluster* cluster() const { return cluster_; }
+
+  void RegisterFormat(const std::string& name,
+                      std::shared_ptr<DataSourceProvider> provider);
+  Result<DataSourceProvider*> FindFormat(const std::string& name) const;
+
+  DataFrameReader Read() { return DataFrameReader(this); }
+
+  // Driver-local data, split round-robin into `num_partitions`.
+  Result<DataFrame> CreateDataFrame(storage::Schema schema,
+                                    std::vector<storage::Row> rows,
+                                    int num_partitions);
+
+  DataFrame WrapPlan(std::shared_ptr<const Plan> plan) {
+    return DataFrame(this, std::move(plan));
+  }
+
+ private:
+  SparkCluster* cluster_;
+  std::map<std::string, std::shared_ptr<DataSourceProvider>> formats_;
+};
+
+// Collapses pushable Filter/Select chains into the underlying scan node
+// (the planner pass behind the External Data Source API's pushdown).
+// Returns the original plan when nothing can be pushed.
+std::shared_ptr<const Plan> PushDownPass(std::shared_ptr<const Plan> plan);
+
+}  // namespace fabric::spark
+
+#endif  // FABRIC_SPARK_DATAFRAME_H_

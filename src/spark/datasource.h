@@ -1,0 +1,94 @@
+#ifndef FABRIC_SPARK_DATASOURCE_H_
+#define FABRIC_SPARK_DATASOURCE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "spark/cluster.h"
+#include "spark/types.h"
+#include "storage/schema.h"
+
+namespace fabric::spark {
+
+// ---------------------------------------------------------------- reads
+
+// A relation produced by a data source's load() path. Implementations
+// (the Vertica connector's V2S, the JDBC DefaultSource, HDFS files)
+// receive the pushed-down projection/filters/count and serve individual
+// partitions from inside running tasks.
+class ScanRelation {
+ public:
+  virtual ~ScanRelation() = default;
+
+  // Schema of the relation (resolved on the driver at load time).
+  virtual const storage::Schema& schema() const = 0;
+
+  // How many partitions (hence tasks) a scan of this relation uses given
+  // the user options; called on the driver.
+  virtual int num_partitions() const = 0;
+
+  // Reads one partition from within a task. With `push.count_only`, rows
+  // stays empty and `count` carries the partition's row count.
+  struct PartitionData {
+    std::vector<storage::Row> rows;
+    int64_t count = 0;
+  };
+  virtual Result<PartitionData> ReadPartition(TaskContext& task,
+                                              int partition,
+                                              const PushDown& push) = 0;
+};
+
+// --------------------------------------------------------------- writes
+
+// A sink produced by a data source's save() path. The driver calls
+// Setup() once, then each task calls WriteTaskPartition() (possibly more
+// than once per partition index, under retries and speculation!), and
+// the driver calls Finalize() after the job ends.
+class WriteRelation {
+ public:
+  virtual ~WriteRelation() = default;
+
+  virtual Status Setup(sim::Process& driver, int num_partitions) = 0;
+
+  // Optional row -> task-index partitioner the sink wants applied before
+  // the save job (e.g. S2V's pre-hash optimization aligns each task's
+  // rows with one Vertica segment, Section 5). Returning nullptr (the
+  // default) keeps the DataFrame's own partitioning. Only applicable to
+  // driver-local data; the writer ignores it otherwise.
+  virtual std::function<int(const storage::Row&)> Partitioner(
+      int num_partitions) {
+    (void)num_partitions;
+    return nullptr;
+  }
+  virtual Status WriteTaskPartition(TaskContext& task, int partition,
+                                    const std::vector<storage::Row>& rows) = 0;
+  // `job_status` is the scheduler's verdict; Finalize returns the save's
+  // overall outcome.
+  virtual Status Finalize(sim::Process& driver, Status job_status) = 0;
+};
+
+// -------------------------------------------------------------- provider
+
+class DataFrame;
+
+// A data source implementation, registered under its format name (e.g.
+// "com.vertica.spark.datasource.DefaultSource"). Mirrors Spark's
+// RelationProvider / CreatableRelationProvider.
+class DataSourceProvider {
+ public:
+  virtual ~DataSourceProvider() = default;
+
+  virtual Result<std::shared_ptr<ScanRelation>> CreateScan(
+      sim::Process& driver, const SourceOptions& options) = 0;
+
+  virtual Result<std::shared_ptr<WriteRelation>> CreateWrite(
+      sim::Process& driver, const SourceOptions& options, SaveMode mode,
+      const storage::Schema& schema) = 0;
+};
+
+}  // namespace fabric::spark
+
+#endif  // FABRIC_SPARK_DATASOURCE_H_

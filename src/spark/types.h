@@ -1,0 +1,71 @@
+#ifndef FABRIC_SPARK_TYPES_H_
+#define FABRIC_SPARK_TYPES_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace fabric::spark {
+
+// Key=value options passed through the External Data Source API
+// (Table 1's `opts`: host, user, table, numpartitions, ...). Keys are
+// case-insensitive (stored lower).
+class SourceOptions {
+ public:
+  SourceOptions() = default;
+
+  SourceOptions& Set(const std::string& key, const std::string& value);
+  SourceOptions& Set(const std::string& key, int64_t value);
+
+  bool Has(const std::string& key) const;
+  Result<std::string> Get(const std::string& key) const;
+  std::string GetOr(const std::string& key,
+                    const std::string& fallback) const;
+  Result<int64_t> GetInt(const std::string& key) const;
+  int64_t GetIntOr(const std::string& key, int64_t fallback) const;
+  double GetDoubleOr(const std::string& key, double fallback) const;
+
+  const std::map<std::string, std::string>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::map<std::string, std::string> entries_;
+};
+
+// Simple column-vs-literal predicates, the shape Spark's External Data
+// Source API can push down to sources.
+struct ColumnPredicate {
+  enum class Op { kEq, kNe, kLt, kLe, kGt, kGe, kIsNull, kIsNotNull };
+  std::string column;
+  Op op = Op::kEq;
+  storage::Value literal;
+
+  // Evaluates against a row of `schema`. NULL comparisons are false
+  // (SQL semantics).
+  Result<bool> Matches(const storage::Schema& schema,
+                       const storage::Row& row) const;
+
+  // Renders as a SQL condition ("score >= 20") for sources that push
+  // down by query rewriting.
+  std::string ToSqlCondition() const;
+};
+
+// What an action pushed into a scan source: column pruning, filters, and
+// whether only the row count is needed.
+struct PushDown {
+  std::vector<std::string> required_columns;  // empty: all
+  std::vector<ColumnPredicate> filters;
+  bool count_only = false;
+};
+
+enum class SaveMode { kOverwrite, kAppend, kErrorIfExists };
+
+const char* SaveModeName(SaveMode mode);
+
+}  // namespace fabric::spark
+
+#endif  // FABRIC_SPARK_TYPES_H_

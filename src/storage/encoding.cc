@@ -1,0 +1,262 @@
+#include "storage/encoding.h"
+
+#include <map>
+
+#include "common/bytes.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fabric::storage {
+namespace {
+
+// Nulls are carried as a bitmap ahead of the payload in every encoding.
+void WriteNullBitmap(const std::vector<Value>& values, ByteWriter* writer) {
+  uint8_t current = 0;
+  int bit = 0;
+  for (const Value& v : values) {
+    if (v.is_null()) current |= static_cast<uint8_t>(1u << bit);
+    if (++bit == 8) {
+      writer->PutU8(current);
+      current = 0;
+      bit = 0;
+    }
+  }
+  if (bit != 0) writer->PutU8(current);
+}
+
+Result<std::vector<bool>> ReadNullBitmap(uint32_t num_rows,
+                                         ByteReader* reader) {
+  std::vector<bool> nulls(num_rows);
+  uint8_t current = 0;
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    if (i % 8 == 0) {
+      FABRIC_ASSIGN_OR_RETURN(current, reader->GetU8());
+    }
+    nulls[i] = (current >> (i % 8)) & 1;
+  }
+  return nulls;
+}
+
+void WriteScalar(DataType type, const Value& value, ByteWriter* writer) {
+  switch (type) {
+    case DataType::kBool:
+      writer->PutU8(value.bool_value() ? 1 : 0);
+      return;
+    case DataType::kInt64:
+      writer->PutI64(value.int64_value());
+      return;
+    case DataType::kFloat64:
+      writer->PutDouble(value.float64_value());
+      return;
+    case DataType::kVarchar:
+      writer->PutString(value.varchar_value());
+      return;
+  }
+  FABRIC_CHECK(false) << "corrupt type";
+}
+
+Result<Value> ReadScalar(DataType type, ByteReader* reader) {
+  switch (type) {
+    case DataType::kBool: {
+      FABRIC_ASSIGN_OR_RETURN(uint8_t v, reader->GetU8());
+      return Value::Bool(v != 0);
+    }
+    case DataType::kInt64: {
+      FABRIC_ASSIGN_OR_RETURN(int64_t v, reader->GetI64());
+      return Value::Int64(v);
+    }
+    case DataType::kFloat64: {
+      FABRIC_ASSIGN_OR_RETURN(double v, reader->GetDouble());
+      return Value::Float64(v);
+    }
+    case DataType::kVarchar: {
+      FABRIC_ASSIGN_OR_RETURN(std::string v, reader->GetString());
+      return Value::Varchar(std::move(v));
+    }
+  }
+  return InternalError("corrupt type");
+}
+
+Status CheckTypes(DataType type, const std::vector<Value>& values) {
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    if (v.type() != type) {
+      return InvalidArgumentError(
+          StrCat("value of type ", DataTypeName(v.type()),
+                 " in column of type ", DataTypeName(type)));
+    }
+  }
+  return Status::OK();
+}
+
+// Key used to group equal values for RLE/dictionary. Display string is
+// unambiguous per fixed type.
+std::string GroupKey(const Value& v) {
+  return v.is_null() ? std::string("\x01null") : v.ToDisplayString();
+}
+
+std::string EncodePlain(DataType type, const std::vector<Value>& values) {
+  ByteWriter writer;
+  WriteNullBitmap(values, &writer);
+  for (const Value& v : values) {
+    if (!v.is_null()) WriteScalar(type, v, &writer);
+  }
+  return writer.Take();
+}
+
+std::string EncodeRle(DataType type, const std::vector<Value>& values) {
+  ByteWriter writer;
+  WriteNullBitmap(values, &writer);
+  size_t i = 0;
+  uint32_t num_runs = 0;
+  ByteWriter runs;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j].Equals(values[i]) &&
+           values[j].is_null() == values[i].is_null()) {
+      ++j;
+    }
+    runs.PutU32(static_cast<uint32_t>(j - i));
+    if (!values[i].is_null()) {
+      WriteScalar(type, values[i], &runs);
+    }
+    ++num_runs;
+    i = j;
+  }
+  writer.PutU32(num_runs);
+  writer.PutRaw(runs.buffer().data(), runs.size());
+  return writer.Take();
+}
+
+std::string EncodeDictionary(DataType type,
+                             const std::vector<Value>& values) {
+  ByteWriter writer;
+  WriteNullBitmap(values, &writer);
+  std::map<std::string, uint32_t> ids;
+  std::vector<const Value*> dictionary;
+  std::vector<uint32_t> indices;
+  indices.reserve(values.size());
+  for (const Value& v : values) {
+    if (v.is_null()) continue;
+    auto [it, inserted] =
+        ids.emplace(GroupKey(v), static_cast<uint32_t>(dictionary.size()));
+    if (inserted) dictionary.push_back(&v);
+    indices.push_back(it->second);
+  }
+  writer.PutU32(static_cast<uint32_t>(dictionary.size()));
+  for (const Value* v : dictionary) WriteScalar(type, *v, &writer);
+  for (uint32_t idx : indices) writer.PutU32(idx);
+  return writer.Take();
+}
+
+}  // namespace
+
+const char* EncodingName(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return "PLAIN";
+    case Encoding::kRle:
+      return "RLE";
+    case Encoding::kDictionary:
+      return "DICTIONARY";
+  }
+  return "?";
+}
+
+Result<ColumnChunk> EncodeColumnAs(DataType type, Encoding encoding,
+                                   const std::vector<Value>& values) {
+  FABRIC_RETURN_IF_ERROR(CheckTypes(type, values));
+  ColumnChunk chunk;
+  chunk.type = type;
+  chunk.encoding = encoding;
+  chunk.num_rows = static_cast<uint32_t>(values.size());
+  switch (encoding) {
+    case Encoding::kPlain:
+      chunk.data = EncodePlain(type, values);
+      break;
+    case Encoding::kRle:
+      chunk.data = EncodeRle(type, values);
+      break;
+    case Encoding::kDictionary:
+      chunk.data = EncodeDictionary(type, values);
+      break;
+  }
+  return chunk;
+}
+
+Result<ColumnChunk> EncodeColumn(DataType type,
+                                 const std::vector<Value>& values) {
+  FABRIC_RETURN_IF_ERROR(CheckTypes(type, values));
+  Result<ColumnChunk> best = EncodeColumnAs(type, Encoding::kPlain, values);
+  for (Encoding candidate : {Encoding::kRle, Encoding::kDictionary}) {
+    auto chunk = EncodeColumnAs(type, candidate, values);
+    if (chunk.ok() && chunk->data.size() < best->data.size()) {
+      best = std::move(chunk);
+    }
+  }
+  return best;
+}
+
+Result<std::vector<Value>> DecodeColumn(const ColumnChunk& chunk) {
+  ByteReader reader(chunk.data);
+  FABRIC_ASSIGN_OR_RETURN(std::vector<bool> nulls,
+                          ReadNullBitmap(chunk.num_rows, &reader));
+  std::vector<Value> values;
+  values.reserve(chunk.num_rows);
+  switch (chunk.encoding) {
+    case Encoding::kPlain: {
+      for (uint32_t i = 0; i < chunk.num_rows; ++i) {
+        if (nulls[i]) {
+          values.push_back(Value::Null());
+        } else {
+          FABRIC_ASSIGN_OR_RETURN(Value v, ReadScalar(chunk.type, &reader));
+          values.push_back(std::move(v));
+        }
+      }
+      break;
+    }
+    case Encoding::kRle: {
+      FABRIC_ASSIGN_OR_RETURN(uint32_t num_runs, reader.GetU32());
+      for (uint32_t r = 0; r < num_runs; ++r) {
+        FABRIC_ASSIGN_OR_RETURN(uint32_t run, reader.GetU32());
+        if (values.size() + run > chunk.num_rows) {
+          return InvalidArgumentError("RLE runs exceed row count");
+        }
+        bool run_is_null = nulls[values.size()];
+        Value v = Value::Null();
+        if (!run_is_null) {
+          FABRIC_ASSIGN_OR_RETURN(v, ReadScalar(chunk.type, &reader));
+        }
+        for (uint32_t k = 0; k < run; ++k) values.push_back(v);
+      }
+      break;
+    }
+    case Encoding::kDictionary: {
+      FABRIC_ASSIGN_OR_RETURN(uint32_t dict_size, reader.GetU32());
+      std::vector<Value> dictionary;
+      dictionary.reserve(dict_size);
+      for (uint32_t i = 0; i < dict_size; ++i) {
+        FABRIC_ASSIGN_OR_RETURN(Value v, ReadScalar(chunk.type, &reader));
+        dictionary.push_back(std::move(v));
+      }
+      for (uint32_t i = 0; i < chunk.num_rows; ++i) {
+        if (nulls[i]) {
+          values.push_back(Value::Null());
+          continue;
+        }
+        FABRIC_ASSIGN_OR_RETURN(uint32_t idx, reader.GetU32());
+        if (idx >= dictionary.size()) {
+          return InvalidArgumentError("dictionary index out of range");
+        }
+        values.push_back(dictionary[idx]);
+      }
+      break;
+    }
+  }
+  if (values.size() != chunk.num_rows) {
+    return InvalidArgumentError("decoded row count mismatch");
+  }
+  return values;
+}
+
+}  // namespace fabric::storage

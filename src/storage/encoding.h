@@ -1,0 +1,47 @@
+#ifndef FABRIC_STORAGE_ENCODING_H_
+#define FABRIC_STORAGE_ENCODING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/value.h"
+
+namespace fabric::storage {
+
+// Column encodings used inside ROS containers (Vertica's Read Optimized
+// Storage keeps columns compressed; we implement the three classic
+// schemes and let the encoder pick the smallest).
+enum class Encoding : uint8_t {
+  kPlain = 0,       // values back to back
+  kRle = 1,         // (run length, value) pairs
+  kDictionary = 2,  // distinct values + per-row indices
+};
+
+const char* EncodingName(Encoding encoding);
+
+// An encoded column of `num_rows` values of `type` (with a null bitmap).
+struct ColumnChunk {
+  DataType type;
+  Encoding encoding;
+  uint32_t num_rows = 0;
+  std::string data;
+
+  double encoded_bytes() const { return static_cast<double>(data.size()); }
+};
+
+// Encodes `values` (all of `type` or null) choosing the smallest of the
+// three encodings.
+Result<ColumnChunk> EncodeColumn(DataType type,
+                                 const std::vector<Value>& values);
+
+// Encodes with a forced encoding (tests / benchmarks).
+Result<ColumnChunk> EncodeColumnAs(DataType type, Encoding encoding,
+                                   const std::vector<Value>& values);
+
+// Decodes a chunk back to values.
+Result<std::vector<Value>> DecodeColumn(const ColumnChunk& chunk);
+
+}  // namespace fabric::storage
+
+#endif  // FABRIC_STORAGE_ENCODING_H_

@@ -1,0 +1,297 @@
+#include "storage/segment_store.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fabric::storage {
+
+Result<RosContainer> RosContainer::Create(const Schema& schema,
+                                          const std::vector<Row>& rows,
+                                          TxnId pending_txn) {
+  RosContainer container;
+  container.num_rows_ = static_cast<uint32_t>(rows.size());
+  container.pending_txn_ = pending_txn;
+  container.delete_marks_.resize(rows.size());
+  container.min_values_.resize(schema.num_columns());
+  container.max_values_.resize(schema.num_columns());
+
+  for (const Row& row : rows) {
+    FABRIC_RETURN_IF_ERROR(ValidateRow(schema, row));
+    container.raw_bytes_ += RowRawSize(row);
+  }
+
+  std::vector<Value> column_values;
+  column_values.reserve(rows.size());
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    column_values.clear();
+    Value min = Value::Null();
+    Value max = Value::Null();
+    for (const Row& row : rows) {
+      const Value& v = row[c];
+      column_values.push_back(v);
+      if (v.is_null()) continue;
+      if (min.is_null() || v.Compare(min).value() < 0) min = v;
+      if (max.is_null() || v.Compare(max).value() > 0) max = v;
+    }
+    FABRIC_ASSIGN_OR_RETURN(
+        ColumnChunk chunk,
+        EncodeColumn(schema.column(c).type, column_values));
+    container.columns_.push_back(std::move(chunk));
+    container.min_values_[c] = std::move(min);
+    container.max_values_[c] = std::move(max);
+  }
+  return container;
+}
+
+double RosContainer::encoded_bytes() const {
+  double total = 0;
+  for (const ColumnChunk& chunk : columns_) total += chunk.encoded_bytes();
+  return total;
+}
+
+Result<std::vector<Row>> RosContainer::DecodeRows() const {
+  std::vector<Row> rows(num_rows_);
+  for (auto& row : rows) row.reserve(columns_.size());
+  for (const ColumnChunk& chunk : columns_) {
+    FABRIC_ASSIGN_OR_RETURN(std::vector<Value> values, DecodeColumn(chunk));
+    FABRIC_CHECK(values.size() == num_rows_);
+    for (uint32_t i = 0; i < num_rows_; ++i) {
+      rows[i].push_back(std::move(values[i]));
+    }
+  }
+  return rows;
+}
+
+bool VersionVisible(TxnId owner_txn, Epoch commit_epoch,
+                    const DeleteMark& mark, Epoch as_of, TxnId txn) {
+  // Insert visibility.
+  if (owner_txn != 0) {
+    if (owner_txn != txn) return false;  // someone else's pending insert
+  } else if (commit_epoch > as_of) {
+    return false;  // committed after the snapshot
+  }
+  // Delete visibility.
+  switch (mark.state) {
+    case DeleteMark::State::kNone:
+      return true;
+    case DeleteMark::State::kPending:
+      return mark.txn != txn;  // own pending delete hides the row
+    case DeleteMark::State::kCommitted:
+      return mark.epoch > as_of;  // deleted after the snapshot => visible
+  }
+  return true;
+}
+
+Status SegmentStore::InsertPending(TxnId txn, std::vector<Row> rows) {
+  FABRIC_CHECK(txn != 0) << "InsertPending requires a transaction";
+  for (const Row& row : rows) {
+    FABRIC_RETURN_IF_ERROR(ValidateRow(schema_, row));
+  }
+  for (Row& row : rows) CoerceRow(schema_, &row);
+  WosBatch batch;
+  batch.pending_txn = txn;
+  batch.delete_marks.resize(rows.size());
+  batch.rows = std::move(rows);
+  wos_.push_back(std::move(batch));
+  return Status::OK();
+}
+
+Status SegmentStore::InsertPendingDirect(TxnId txn,
+                                         const std::vector<Row>& rows) {
+  FABRIC_CHECK(txn != 0) << "InsertPendingDirect requires a transaction";
+  std::vector<Row> coerced = rows;
+  for (Row& row : coerced) CoerceRow(schema_, &row);
+  FABRIC_ASSIGN_OR_RETURN(RosContainer container,
+                          RosContainer::Create(schema_, coerced, txn));
+  ros_.push_back(std::move(container));
+  return Status::OK();
+}
+
+Result<int64_t> SegmentStore::DeletePending(
+    TxnId txn, Epoch as_of, const std::function<bool(const Row&)>& pred) {
+  FABRIC_CHECK(txn != 0) << "DeletePending requires a transaction";
+  int64_t marked = 0;
+  for (RosContainer& container : ros_) {
+    if (!container.committed() && container.pending_txn() != txn) continue;
+    FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows, container.DecodeRows());
+    auto& marks = container.mutable_delete_marks();
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      if (!VersionVisible(container.committed() ? 0 : container.pending_txn(),
+                          container.commit_epoch(), marks[i], as_of, txn)) {
+        continue;
+      }
+      if (!pred(rows[i])) continue;
+      marks[i] = DeleteMark{DeleteMark::State::kPending, 0, txn};
+      ++marked;
+    }
+  }
+  for (WosBatch& batch : wos_) {
+    if (!batch.committed() && batch.pending_txn != txn) continue;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      if (!VersionVisible(batch.committed() ? 0 : batch.pending_txn,
+                          batch.commit_epoch, batch.delete_marks[i], as_of,
+                          txn)) {
+        continue;
+      }
+      if (!pred(batch.rows[i])) continue;
+      batch.delete_marks[i] = DeleteMark{DeleteMark::State::kPending, 0, txn};
+      ++marked;
+    }
+  }
+  return marked;
+}
+
+void SegmentStore::CommitTxn(TxnId txn, Epoch epoch) {
+  for (RosContainer& container : ros_) {
+    if (!container.committed() && container.pending_txn() == txn) {
+      container.MarkCommitted(epoch);
+    }
+    for (DeleteMark& mark : container.mutable_delete_marks()) {
+      if (mark.state == DeleteMark::State::kPending && mark.txn == txn) {
+        mark = DeleteMark{DeleteMark::State::kCommitted, epoch, 0};
+      }
+    }
+  }
+  for (WosBatch& batch : wos_) {
+    if (!batch.committed() && batch.pending_txn == txn) {
+      batch.pending_txn = 0;
+      batch.commit_epoch = epoch;
+    }
+    for (DeleteMark& mark : batch.delete_marks) {
+      if (mark.state == DeleteMark::State::kPending && mark.txn == txn) {
+        mark = DeleteMark{DeleteMark::State::kCommitted, epoch, 0};
+      }
+    }
+  }
+}
+
+void SegmentStore::AbortTxn(TxnId txn) {
+  ros_.erase(std::remove_if(ros_.begin(), ros_.end(),
+                            [txn](const RosContainer& c) {
+                              return !c.committed() && c.pending_txn() == txn;
+                            }),
+             ros_.end());
+  wos_.erase(std::remove_if(wos_.begin(), wos_.end(),
+                            [txn](const WosBatch& b) {
+                              return !b.committed() && b.pending_txn == txn;
+                            }),
+             wos_.end());
+  auto clear_marks = [txn](std::vector<DeleteMark>& marks) {
+    for (DeleteMark& mark : marks) {
+      if (mark.state == DeleteMark::State::kPending && mark.txn == txn) {
+        mark = DeleteMark{};
+      }
+    }
+  };
+  for (RosContainer& container : ros_) {
+    clear_marks(container.mutable_delete_marks());
+  }
+  for (WosBatch& batch : wos_) clear_marks(batch.delete_marks);
+}
+
+Status SegmentStore::ScanVisible(
+    Epoch as_of, TxnId txn,
+    const std::function<Status(const Row&)>& fn) const {
+  for (const RosContainer& container : ros_) {
+    // Skip containers wholly invisible to the snapshot.
+    if (!container.committed() && container.pending_txn() != txn) continue;
+    if (container.committed() && container.commit_epoch() > as_of) continue;
+    FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows, container.DecodeRows());
+    const auto& marks = container.delete_marks();
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      if (!VersionVisible(container.committed() ? 0 : container.pending_txn(),
+                          container.commit_epoch(), marks[i], as_of, txn)) {
+        continue;
+      }
+      FABRIC_RETURN_IF_ERROR(fn(rows[i]));
+    }
+  }
+  for (const WosBatch& batch : wos_) {
+    if (!batch.committed() && batch.pending_txn != txn) continue;
+    if (batch.committed() && batch.commit_epoch > as_of) continue;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      if (!VersionVisible(batch.committed() ? 0 : batch.pending_txn,
+                          batch.commit_epoch, batch.delete_marks[i], as_of,
+                          txn)) {
+        continue;
+      }
+      FABRIC_RETURN_IF_ERROR(fn(batch.rows[i]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> SegmentStore::SnapshotRows(Epoch as_of,
+                                                    TxnId txn) const {
+  std::vector<Row> rows;
+  FABRIC_RETURN_IF_ERROR(ScanVisible(as_of, txn, [&](const Row& row) {
+    rows.push_back(row);
+    return Status::OK();
+  }));
+  return rows;
+}
+
+Result<int64_t> SegmentStore::CountVisible(Epoch as_of, TxnId txn) const {
+  int64_t count = 0;
+  FABRIC_RETURN_IF_ERROR(ScanVisible(as_of, txn, [&](const Row&) {
+    ++count;
+    return Status::OK();
+  }));
+  return count;
+}
+
+Status SegmentStore::Moveout() {
+  // Merging batches with distinct commit epochs into one container would
+  // corrupt AT EPOCH reads, so moveout builds one ROS container per
+  // distinct commit epoch present in the WOS. Delete marks move with
+  // their rows.
+  std::vector<WosBatch> kept;
+  std::map<Epoch, std::pair<std::vector<Row>, std::vector<DeleteMark>>>
+      by_epoch;
+  for (WosBatch& batch : wos_) {
+    if (!batch.committed()) {
+      kept.push_back(std::move(batch));
+      continue;
+    }
+    auto& [rows, marks] = by_epoch[batch.commit_epoch];
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      rows.push_back(std::move(batch.rows[i]));
+      marks.push_back(batch.delete_marks[i]);
+    }
+  }
+  wos_.swap(kept);
+  for (auto& [epoch, group] : by_epoch) {
+    auto& [rows, marks] = group;
+    // Temporary txn id 1 satisfies Create's pending contract; the
+    // container is committed immediately at the original epoch.
+    FABRIC_ASSIGN_OR_RETURN(RosContainer container,
+                            RosContainer::Create(schema_, rows, /*txn=*/1));
+    container.MarkCommitted(epoch);
+    container.mutable_delete_marks() = std::move(marks);
+    ros_.push_back(std::move(container));
+  }
+  return Status::OK();
+}
+
+double SegmentStore::TotalRawBytes() const {
+  double total = 0;
+  for (const RosContainer& c : ros_) total += c.raw_bytes();
+  for (const WosBatch& b : wos_) {
+    for (const Row& row : b.rows) total += RowRawSize(row);
+  }
+  return total;
+}
+
+double SegmentStore::TotalEncodedBytes() const {
+  double total = 0;
+  for (const RosContainer& c : ros_) total += c.encoded_bytes();
+  for (const WosBatch& b : wos_) {
+    for (const Row& row : b.rows) total += RowRawSize(row);
+  }
+  return total;
+}
+
+}  // namespace fabric::storage

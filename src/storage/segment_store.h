@@ -1,0 +1,151 @@
+#ifndef FABRIC_STORAGE_SEGMENT_STORE_H_
+#define FABRIC_STORAGE_SEGMENT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/encoding.h"
+#include "storage/schema.h"
+
+namespace fabric::storage {
+
+// Transaction ids and epochs. Epochs advance on every commit; a query can
+// read "AS OF" any past epoch (Vertica's epoch feature, which V2S uses to
+// give all its parallel partition queries one consistent snapshot).
+using Epoch = uint64_t;
+using TxnId = uint64_t;
+
+// Deletion mark on a stored row: absent, pending under a transaction, or
+// committed at an epoch.
+struct DeleteMark {
+  enum class State : uint8_t { kNone, kPending, kCommitted };
+  State state = State::kNone;
+  Epoch epoch = 0;  // commit epoch when kCommitted
+  TxnId txn = 0;    // owner when kPending
+};
+
+// Read Optimized Storage container: one sorted(ish), encoded, epoch-
+// stamped batch of rows on one node. Immutable after creation except for
+// delete marks.
+class RosContainer {
+ public:
+  // Encodes `rows` column by column. `pending_txn` != 0 marks the
+  // container uncommitted (a DIRECT bulk load inside a transaction).
+  static Result<RosContainer> Create(const Schema& schema,
+                                     const std::vector<Row>& rows,
+                                     TxnId pending_txn);
+
+  uint32_t num_rows() const { return num_rows_; }
+  bool committed() const { return pending_txn_ == 0; }
+  TxnId pending_txn() const { return pending_txn_; }
+  Epoch commit_epoch() const { return commit_epoch_; }
+  double raw_bytes() const { return raw_bytes_; }
+  double encoded_bytes() const;
+
+  // Per-column min/max (null Values when the column had no non-null
+  // rows) — used for scan pruning.
+  const Value& min_value(int col) const { return min_values_[col]; }
+  const Value& max_value(int col) const { return max_values_[col]; }
+
+  // Decodes all rows (visibility is applied by the caller via marks).
+  Result<std::vector<Row>> DecodeRows() const;
+
+  const std::vector<DeleteMark>& delete_marks() const {
+    return delete_marks_;
+  }
+  std::vector<DeleteMark>& mutable_delete_marks() { return delete_marks_; }
+
+  void MarkCommitted(Epoch epoch) {
+    pending_txn_ = 0;
+    commit_epoch_ = epoch;
+  }
+
+ private:
+  RosContainer() = default;
+
+  uint32_t num_rows_ = 0;
+  TxnId pending_txn_ = 0;
+  Epoch commit_epoch_ = 0;
+  double raw_bytes_ = 0;
+  std::vector<ColumnChunk> columns_;
+  std::vector<Value> min_values_;
+  std::vector<Value> max_values_;
+  std::vector<DeleteMark> delete_marks_;
+};
+
+// Write Optimized Storage batch: uncompressed row store for small commits
+// (INSERT/UPDATE paths); moveout folds committed batches into ROS.
+struct WosBatch {
+  TxnId pending_txn = 0;  // 0 once committed
+  Epoch commit_epoch = 0;
+  std::vector<Row> rows;
+  std::vector<DeleteMark> delete_marks;
+
+  bool committed() const { return pending_txn == 0; }
+};
+
+// All stored data for one table segment on one node: a set of ROS
+// containers plus the WOS, with MVCC visibility by (epoch, transaction).
+//
+// Not thread-safe in the host sense; always accessed from simulation
+// context.
+class SegmentStore {
+ public:
+  explicit SegmentStore(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+
+  // Appends rows as a pending WOS batch owned by `txn`.
+  Status InsertPending(TxnId txn, std::vector<Row> rows);
+
+  // Appends rows as a pending ROS container owned by `txn` (bulk/DIRECT
+  // load path used by COPY).
+  Status InsertPendingDirect(TxnId txn, const std::vector<Row>& rows);
+
+  // Marks visible rows matching `predicate` as deleted, pending under
+  // `txn`. Rows already pending-deleted by other transactions are skipped
+  // (the table lock prevents that situation anyway). Returns the number of
+  // rows marked. `as_of` controls visibility (usually the latest epoch).
+  Result<int64_t> DeletePending(TxnId txn, Epoch as_of,
+                                const std::function<bool(const Row&)>& pred);
+
+  // Commit/abort every pending change of `txn` in this store.
+  void CommitTxn(TxnId txn, Epoch epoch);
+  void AbortTxn(TxnId txn);
+
+  // Invokes `fn` for every row visible at `as_of` (plus `txn`'s own
+  // pending rows when txn != 0), in storage order.
+  Status ScanVisible(Epoch as_of, TxnId txn,
+                     const std::function<Status(const Row&)>& fn) const;
+
+  // Convenience: materializes the visible rows.
+  Result<std::vector<Row>> SnapshotRows(Epoch as_of, TxnId txn = 0) const;
+
+  Result<int64_t> CountVisible(Epoch as_of, TxnId txn = 0) const;
+
+  // Folds committed WOS batches into a single new ROS container (Vertica's
+  // moveout / Tuple Mover). Pending batches stay in the WOS.
+  Status Moveout();
+
+  // Storage statistics (cost model / tests).
+  double TotalRawBytes() const;
+  double TotalEncodedBytes() const;
+  int num_ros_containers() const { return static_cast<int>(ros_.size()); }
+  int num_wos_batches() const { return static_cast<int>(wos_.size()); }
+
+ private:
+  Schema schema_;
+  std::vector<RosContainer> ros_;
+  std::vector<WosBatch> wos_;
+};
+
+// True when the row version is visible at `as_of` for reader txn `txn`.
+bool VersionVisible(TxnId owner_txn, Epoch commit_epoch,
+                    const DeleteMark& mark, Epoch as_of, TxnId txn);
+
+}  // namespace fabric::storage
+
+#endif  // FABRIC_STORAGE_SEGMENT_STORE_H_

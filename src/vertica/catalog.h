@@ -1,0 +1,95 @@
+#ifndef FABRIC_VERTICA_CATALOG_H_
+#define FABRIC_VERTICA_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace fabric::vertica {
+
+// Segmentation of a table across the hash ring. Vertica assigns each node
+// one contiguous range of the 2^64 ring (Section 3.1.2); the boundaries
+// live in the system catalog where the connector reads them.
+struct Segmentation {
+  // Column indices of SEGMENTED BY HASH(...); empty means UNSEGMENTED
+  // (replicated to every node, served locally).
+  std::vector<int> columns;
+  bool unsegmented() const { return columns.empty(); }
+};
+
+// Half-open range [lower, upper) on the hash ring; upper == 0 means 2^64
+// (wrap-to-end sentinel).
+struct HashRange {
+  uint64_t lower = 0;
+  uint64_t upper = 0;
+
+  bool Contains(uint64_t h) const {
+    if (upper == 0) return h >= lower;
+    return h >= lower && h < upper;
+  }
+  // Width as a double (for skew diagnostics only).
+  double Width() const {
+    if (upper == 0) return static_cast<double>(UINT64_MAX) - lower + 1;
+    return static_cast<double>(upper - lower);
+  }
+
+  friend bool operator==(const HashRange& a, const HashRange& b) {
+    return a.lower == b.lower && a.upper == b.upper;
+  }
+};
+
+// Evenly divides the ring into `num_segments` contiguous ranges; segment i
+// belongs to node i. This is also what V2S uses to build "synthetic" hash
+// ranges for views and unsegmented tables.
+std::vector<HashRange> EvenRingPartition(int num_segments);
+
+// Returns which segment of an EvenRingPartition(num_segments) contains h.
+int RingSegmentOf(uint64_t h, int num_segments);
+
+struct TableDef {
+  std::string name;
+  storage::Schema schema;
+  Segmentation segmentation;
+};
+
+struct ViewDef {
+  std::string name;
+  std::string query_sql;  // the SELECT this view stands for
+};
+
+// Named metadata for every table and view in the database. Storage lives
+// with the cluster (per node); the catalog is pure metadata, shared by all
+// nodes (as Vertica's global catalog is).
+class Catalog {
+ public:
+  Status CreateTable(TableDef def);
+  Status DropTable(const std::string& name);
+  Result<const TableDef*> GetTable(const std::string& name) const;
+  bool HasTable(const std::string& name) const;
+
+  // ALTER TABLE ... RENAME TO ... — the S2V overwrite commit path. Fails
+  // if `to` exists.
+  Status RenameTable(const std::string& from, const std::string& to);
+
+  Status CreateView(ViewDef def);
+  Status DropView(const std::string& name);
+  Result<const ViewDef*> GetView(const std::string& name) const;
+  bool HasView(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+  std::vector<std::string> ViewNames() const;
+
+ private:
+  // Keys are lower-cased (SQL identifiers are case-insensitive).
+  std::map<std::string, TableDef> tables_;
+  std::map<std::string, ViewDef> views_;
+};
+
+}  // namespace fabric::vertica
+
+#endif  // FABRIC_VERTICA_CATALOG_H_

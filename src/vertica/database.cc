@@ -1,0 +1,274 @@
+#include "vertica/database.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "vertica/session.h"
+
+namespace fabric::vertica {
+
+Database::Database(sim::Engine* engine, net::Network* network,
+                   Options options)
+    : engine_(engine), network_(network), options_(std::move(options)) {
+  FABRIC_CHECK(options_.num_nodes > 0);
+  hosts_.reserve(options_.num_nodes);
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    hosts_.push_back(net::AddHost(network_, node_name(i),
+                                  options_.cost.nic_bandwidth,
+                                  options_.cost.nic_bandwidth,
+                                  options_.cost.vertica_cores,
+                                  options_.cost.disk_read_bandwidth));
+  }
+  node_ranges_ = EvenRingPartition(options_.num_nodes);
+  active_sessions_.assign(options_.num_nodes, 0);
+  if (options_.pool_concurrency > 0) {
+    for (int i = 0; i < options_.num_nodes; ++i) {
+      pool_slots_.push_back(std::make_unique<sim::Semaphore>(
+          engine_, options_.pool_concurrency));
+    }
+  }
+  udx_resolver_ = [this](const std::string& fn,
+                         const std::vector<storage::Value>& args,
+                         const std::map<std::string, storage::Value>&
+                             parameters) -> Result<storage::Value> {
+    auto it = functions_.find(ToUpper(fn));
+    if (it == functions_.end()) {
+      return NotFoundError(StrCat("unknown function '", fn, "'"));
+    }
+    return it->second(args, parameters);
+  };
+}
+
+Database::~Database() = default;
+
+std::string Database::node_name(int node) const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "v_fabric_node%04d", node + 1);
+  return buf;
+}
+
+std::string Database::node_address(int node) const {
+  return StrCat("10.20.0.", node + 1);
+}
+
+Result<int> Database::ResolveNode(std::string_view name_or_address) const {
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (EqualsIgnoreCase(node_name(i), name_or_address) ||
+        node_address(i) == name_or_address) {
+      return i;
+    }
+  }
+  return NotFoundError(
+      StrCat("no Vertica node '", name_or_address, "'"));
+}
+
+void Database::RegisterScalarFunction(const std::string& name,
+                                      ScalarFn fn) {
+  functions_[ToUpper(name)] = std::move(fn);
+}
+
+bool Database::HasScalarFunction(const std::string& name) const {
+  return functions_.count(ToUpper(name)) > 0;
+}
+
+Result<std::unique_ptr<Session>> Database::Connect(sim::Process& self,
+                                                   int node,
+                                                   const net::Host* client) {
+  if (node < 0 || node >= num_nodes()) {
+    return InvalidArgumentError(StrCat("no node ", node));
+  }
+  if (active_sessions_[node] >= options_.max_client_sessions) {
+    return ResourceExhaustedError(
+        StrCat("MaxClientSessions (", options_.max_client_sessions,
+               ") reached on ", node_name(node)));
+  }
+  ++active_sessions_[node];
+  // Connection setup: handshake round trip plus session create CPU.
+  Status status = self.Sleep(options_.cost.connection_setup);
+  if (status.ok()) {
+    status = net::RunCpu(self, network_, hosts_[node],
+                         options_.cost.statement_overhead_cpu);
+  }
+  if (!status.ok()) {
+    --active_sessions_[node];
+    return status;
+  }
+  return std::unique_ptr<Session>(new Session(this, node, client));
+}
+
+double Database::NodeCpuUtilization(int node) const {
+  const net::Host& host = hosts_[node];
+  if (!host.has_cpu()) return 0;
+  double rate = network_->LinkCurrentRate(host.cpu);
+  return rate / network_->link_capacity(host.cpu);
+}
+
+double Database::NodeExtEgressRate(int node) const {
+  return network_->LinkCurrentRate(hosts_[node].ext_egress);
+}
+
+Result<Database::TableStorage*> Database::GetStorage(
+    const std::string& table) {
+  auto it = storage_.find(ToLower(table));
+  if (it == storage_.end()) {
+    return NotFoundError(StrCat("no storage for table '", table, "'"));
+  }
+  return &it->second;
+}
+
+Status Database::CreateTableWithStorage(TableDef def) {
+  std::string key = ToLower(def.name);
+  storage::Schema schema = def.schema;
+  FABRIC_RETURN_IF_ERROR(catalog_.CreateTable(std::move(def)));
+  TableStorage table_storage;
+  for (int i = 0; i < num_nodes(); ++i) {
+    table_storage.per_node.push_back(
+        std::make_unique<storage::SegmentStore>(schema));
+  }
+  storage_.emplace(key, std::move(table_storage));
+  return Status::OK();
+}
+
+Status Database::DropTableWithStorage(const std::string& name) {
+  FABRIC_RETURN_IF_ERROR(catalog_.DropTable(name));
+  storage_.erase(ToLower(name));
+  return Status::OK();
+}
+
+Status Database::RenameTableWithStorage(const std::string& from,
+                                        const std::string& to,
+                                        bool replace) {
+  // The whole swap happens in one engine step, so it is atomic with
+  // respect to every other simulated actor (Vertica's global catalog
+  // commit).
+  if (replace && catalog_.HasTable(to)) {
+    FABRIC_RETURN_IF_ERROR(catalog_.GetTable(from).status());
+    FABRIC_RETURN_IF_ERROR(DropTableWithStorage(to));
+  }
+  FABRIC_RETURN_IF_ERROR(catalog_.RenameTable(from, to));
+  auto it = storage_.find(ToLower(from));
+  FABRIC_CHECK(it != storage_.end()) << "storage missing for " << from;
+  TableStorage moved = std::move(it->second);
+  storage_.erase(it);
+  storage_.emplace(ToLower(to), std::move(moved));
+  return Status::OK();
+}
+
+int Database::OwnerNode(const TableDef& def,
+                        const storage::Row& row) const {
+  if (def.segmentation.unsegmented()) return -1;
+  uint64_t h =
+      storage::RowSegmentationHash(row, def.segmentation.columns);
+  return RingSegmentOf(h, num_nodes());
+}
+
+storage::TxnId Database::BeginTxnInternal() {
+  storage::TxnId txn = next_txn_++;
+  txns_.emplace(txn, TxnState{});
+  return txn;
+}
+
+Status Database::LockTableX(sim::Process& self, storage::TxnId txn,
+                            const std::string& table) {
+  std::string key = ToLower(table);
+  TableLock& lock = locks_[key];
+  if (lock.released == nullptr) {
+    lock.released = std::make_unique<sim::Condition>(engine_);
+  }
+  if (lock.x_owner == txn) return Status::OK();
+  // X is granted once no other txn holds any lock on the table (an
+  // insert lock held by this txn upgrades).
+  FABRIC_RETURN_IF_ERROR(lock.released->WaitUntil(self, [&lock, txn] {
+    if (lock.x_owner != 0 && lock.x_owner != txn) return false;
+    for (storage::TxnId holder : lock.insert_owners) {
+      if (holder != txn) return false;
+    }
+    return true;
+  }));
+  lock.x_owner = txn;
+  auto it = txns_.find(txn);
+  FABRIC_CHECK(it != txns_.end()) << "lock by unknown txn";
+  it->second.locked_tables.insert(key);
+  return Status::OK();
+}
+
+Status Database::LockTableI(sim::Process& self, storage::TxnId txn,
+                            const std::string& table) {
+  std::string key = ToLower(table);
+  TableLock& lock = locks_[key];
+  if (lock.released == nullptr) {
+    lock.released = std::make_unique<sim::Condition>(engine_);
+  }
+  if (lock.x_owner == txn || lock.insert_owners.count(txn) > 0) {
+    return Status::OK();
+  }
+  FABRIC_RETURN_IF_ERROR(lock.released->WaitUntil(
+      self, [&lock] { return lock.x_owner == 0; }));
+  lock.insert_owners.insert(txn);
+  auto it = txns_.find(txn);
+  FABRIC_CHECK(it != txns_.end()) << "lock by unknown txn";
+  it->second.locked_tables.insert(key);
+  return Status::OK();
+}
+
+void Database::TouchTable(storage::TxnId txn, const std::string& table) {
+  auto it = txns_.find(txn);
+  FABRIC_CHECK(it != txns_.end()) << "touch by unknown txn";
+  it->second.touched_tables.insert(ToLower(table));
+}
+
+Status Database::CommitTxnInternal(sim::Process& self,
+                                   storage::TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return FailedPreconditionError("commit of unknown txn");
+  }
+  // Commit latency: group-commit style fixed cost.
+  FABRIC_RETURN_IF_ERROR(self.Sleep(options_.cost.commit_overhead));
+  storage::Epoch commit_epoch = ++epoch_;
+  for (const std::string& table : it->second.touched_tables) {
+    auto storage_it = storage_.find(table);
+    if (storage_it == storage_.end()) continue;  // dropped mid-txn
+    for (auto& store : storage_it->second.per_node) {
+      store->CommitTxn(txn, commit_epoch);
+    }
+  }
+  for (const std::string& table : it->second.locked_tables) {
+    TableLock& lock = locks_[table];
+    if (lock.x_owner == txn) lock.x_owner = 0;
+    lock.insert_owners.erase(txn);
+    lock.released->NotifyAll();
+  }
+  txns_.erase(it);
+  return Status::OK();
+}
+
+void Database::AbortTxnInternal(storage::TxnId txn) {
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) return;
+  for (const std::string& table : it->second.touched_tables) {
+    auto storage_it = storage_.find(table);
+    if (storage_it == storage_.end()) continue;
+    for (auto& store : storage_it->second.per_node) {
+      store->AbortTxn(txn);
+    }
+  }
+  for (const std::string& table : it->second.locked_tables) {
+    TableLock& lock = locks_[table];
+    if (lock.x_owner == txn) lock.x_owner = 0;
+    lock.insert_owners.erase(txn);
+    lock.released->NotifyAll();
+  }
+  txns_.erase(it);
+}
+
+Status Database::PoolAdmit(sim::Process& self, int node) {
+  if (pool_slots_.empty()) return self.CheckAlive();
+  return pool_slots_[node]->Acquire(self);
+}
+
+void Database::PoolRelease(int node) {
+  if (pool_slots_.empty()) return;
+  pool_slots_[node]->Release();
+}
+
+}  // namespace fabric::vertica

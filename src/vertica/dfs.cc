@@ -1,0 +1,41 @@
+#include "vertica/dfs.h"
+
+#include "common/string_util.h"
+
+namespace fabric::vertica {
+
+Status Dfs::Put(const std::string& path, std::string contents) {
+  files_[path] = std::move(contents);
+  return Status::OK();
+}
+
+Result<std::string> Dfs::Get(const std::string& path) const {
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    return NotFoundError(StrCat("no DFS file '", path, "'"));
+  }
+  return it->second;
+}
+
+Status Dfs::Delete(const std::string& path) {
+  if (files_.erase(path) == 0) {
+    return NotFoundError(StrCat("no DFS file '", path, "'"));
+  }
+  return Status::OK();
+}
+
+bool Dfs::Exists(const std::string& path) const {
+  return files_.count(path) > 0;
+}
+
+std::vector<Dfs::FileInfo> Dfs::List(const std::string& prefix) const {
+  std::vector<FileInfo> out;
+  for (const auto& [path, contents] : files_) {
+    if (StartsWith(path, prefix)) {
+      out.push_back({path, static_cast<double>(contents.size())});
+    }
+  }
+  return out;
+}
+
+}  // namespace fabric::vertica

@@ -1,0 +1,36 @@
+#ifndef FABRIC_VERTICA_DFS_H_
+#define FABRIC_VERTICA_DFS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fabric::vertica {
+
+// Vertica's internal distributed file system, the storage target for
+// deployed PMML models (Section 3.3: models are stored in a DFS rather
+// than a table because model shapes vary). Blobs are replicated across
+// the cluster conceptually; the simulation keeps one logical copy and
+// charges network cost at the deployment layer.
+class Dfs {
+ public:
+  struct FileInfo {
+    std::string path;
+    double size = 0;
+  };
+
+  Status Put(const std::string& path, std::string contents);
+  Result<std::string> Get(const std::string& path) const;
+  Status Delete(const std::string& path);
+  bool Exists(const std::string& path) const;
+  std::vector<FileInfo> List(const std::string& prefix) const;
+
+ private:
+  std::map<std::string, std::string> files_;
+};
+
+}  // namespace fabric::vertica
+
+#endif  // FABRIC_VERTICA_DFS_H_

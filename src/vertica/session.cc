@@ -1,0 +1,1433 @@
+#include "vertica/session.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "storage/profile.h"
+#include "vertica/sql_analyzer.h"
+#include "vertica/sql_eval.h"
+#include "vertica/sql_parser.h"
+
+namespace fabric::vertica {
+namespace {
+
+using storage::DataProfile;
+using storage::DataType;
+using storage::Epoch;
+using storage::Row;
+using storage::Schema;
+using storage::TxnId;
+using storage::Value;
+
+// Ack latency after a commit becomes durable: a kill landing inside this
+// window produces the paper's "task fails immediately after the commit"
+// hazard (Section 2.2.2) — the change is durable but the client never
+// learns it.
+constexpr double kCommitAckLatency = 0.002;
+
+// ------------------------------------------------------------ aggregates
+
+struct AggSpec {
+  enum class Kind { kCount, kSum, kAvg, kMin, kMax };
+  Kind kind;
+  const sql::Expr* arg = nullptr;  // null for COUNT(*)
+  std::string out_name;
+};
+
+struct AggPartial {
+  int64_t count = 0;
+  double sum = 0;
+  bool any = false;
+  Value min;
+  Value max;
+};
+
+Status UpdatePartial(const AggSpec& spec, const Value& v, AggPartial* p) {
+  if (v.is_null()) return Status::OK();  // SQL aggregates skip NULLs
+  p->any = true;
+  ++p->count;
+  switch (spec.kind) {
+    case AggSpec::Kind::kCount:
+      break;
+    case AggSpec::Kind::kSum:
+    case AggSpec::Kind::kAvg: {
+      FABRIC_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      p->sum += d;
+      break;
+    }
+    case AggSpec::Kind::kMin: {
+      if (p->min.is_null() || v.Compare(p->min).value() < 0) p->min = v;
+      break;
+    }
+    case AggSpec::Kind::kMax: {
+      if (p->max.is_null() || v.Compare(p->max).value() > 0) p->max = v;
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+void MergePartial(const AggSpec& spec, const AggPartial& in,
+                  AggPartial* out) {
+  out->count += in.count;
+  out->sum += in.sum;
+  if (in.any) {
+    out->any = true;
+    if (!in.min.is_null() &&
+        (out->min.is_null() || in.min.Compare(out->min).value() < 0)) {
+      out->min = in.min;
+    }
+    if (!in.max.is_null() &&
+        (out->max.is_null() || in.max.Compare(out->max).value() > 0)) {
+      out->max = in.max;
+    }
+  }
+  (void)spec;
+}
+
+Value FinalizePartial(const AggSpec& spec, const AggPartial& p) {
+  switch (spec.kind) {
+    case AggSpec::Kind::kCount:
+      return Value::Int64(p.count);
+    case AggSpec::Kind::kSum:
+      return p.any ? Value::Float64(p.sum) : Value::Null();
+    case AggSpec::Kind::kAvg:
+      return p.any ? Value::Float64(p.sum / p.count) : Value::Null();
+    case AggSpec::Kind::kMin:
+      return p.min;
+    case AggSpec::Kind::kMax:
+      return p.max;
+  }
+  return Value::Null();
+}
+
+Result<AggSpec::Kind> AggKindOf(const std::string& name) {
+  if (name == "COUNT") return AggSpec::Kind::kCount;
+  if (name == "SUM") return AggSpec::Kind::kSum;
+  if (name == "AVG") return AggSpec::Kind::kAvg;
+  if (name == "MIN") return AggSpec::Kind::kMin;
+  if (name == "MAX") return AggSpec::Kind::kMax;
+  return InvalidArgumentError(StrCat("not an aggregate: ", name));
+}
+
+// ------------------------------------------------------- plan structures
+
+// Which table columns a query touches (column-store projection pruning:
+// only these columns are scanned and costed).
+Status CollectColumns(const sql::Expr& expr, const Schema& schema,
+                      std::set<int>* out) {
+  if (expr.kind == sql::Expr::Kind::kColumnRef) {
+    FABRIC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(expr.column));
+    out->insert(idx);
+    return Status::OK();
+  }
+  for (const sql::ExprPtr& arg : expr.args) {
+    FABRIC_RETURN_IF_ERROR(CollectColumns(*arg, schema, out));
+  }
+  return Status::OK();
+}
+
+DataProfile ProfileColumns(const Row& row, const std::set<int>& columns) {
+  DataProfile p;
+  p.rows = 1;
+  for (int c : columns) {
+    const Value& v = row[c];
+    p.fields += 1;
+    double size = v.RawSize();
+    p.raw_bytes += size;
+    if (!v.is_null() && v.type() == DataType::kVarchar) {
+      p.string_bytes += size;
+    } else {
+      p.numeric_bytes += size;
+    }
+  }
+  return p;
+}
+
+// Output-type inference for result schemas (used when zero rows return).
+DataType InferType(const sql::Expr& expr, const Schema& schema) {
+  switch (expr.kind) {
+    case sql::Expr::Kind::kLiteral:
+      return expr.literal.is_null() ? DataType::kVarchar
+                                    : expr.literal.type();
+    case sql::Expr::Kind::kColumnRef: {
+      auto idx = schema.IndexOf(expr.column);
+      return idx.ok() ? schema.column(*idx).type : DataType::kVarchar;
+    }
+    case sql::Expr::Kind::kUnary:
+      return expr.op == "NOT" ? DataType::kBool
+                              : InferType(*expr.args[0], schema);
+    case sql::Expr::Kind::kBinary: {
+      const std::string& op = expr.op;
+      if (op == "AND" || op == "OR" || op == "=" || op == "<>" ||
+          op == "<" || op == "<=" || op == ">" || op == ">=") {
+        return DataType::kBool;
+      }
+      if (op == "||") return DataType::kVarchar;
+      if (op == "/") return DataType::kFloat64;
+      DataType lhs = InferType(*expr.args[0], schema);
+      DataType rhs = InferType(*expr.args[1], schema);
+      if (lhs == DataType::kFloat64 || rhs == DataType::kFloat64) {
+        return DataType::kFloat64;
+      }
+      return DataType::kInt64;
+    }
+    case sql::Expr::Kind::kIsNull:
+      return DataType::kBool;
+    case sql::Expr::Kind::kCall: {
+      if (expr.function == "COUNT") return DataType::kInt64;
+      if (expr.function == "SUM" || expr.function == "AVG") {
+        return DataType::kFloat64;
+      }
+      if (expr.function == "MIN" || expr.function == "MAX") {
+        return expr.args.empty() ? DataType::kFloat64
+                                 : InferType(*expr.args[0], schema);
+      }
+      if (expr.function == "HASH" || expr.function == "LENGTH") {
+        return DataType::kInt64;
+      }
+      if (expr.function == "UPPER" || expr.function == "LOWER") {
+        return DataType::kVarchar;
+      }
+      return DataType::kFloat64;  // UDx default: numeric score
+    }
+  }
+  return DataType::kVarchar;
+}
+
+std::string ItemName(const sql::SelectItem& item, int position) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr &&
+      item.expr->kind == sql::Expr::Kind::kColumnRef) {
+    return item.expr->column;
+  }
+  return StrCat("col", position);
+}
+
+// Applies ORDER BY / LIMIT to a materialized result (by output column
+// names).
+Status ApplyOrderAndLimit(const sql::SelectStmt& select,
+                          QueryResult* result) {
+  if (!select.order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    for (const sql::OrderItem& item : select.order_by) {
+      FABRIC_ASSIGN_OR_RETURN(int idx,
+                              result->schema.IndexOf(item.column));
+      keys.emplace_back(idx, item.descending);
+    }
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [&keys](const Row& a, const Row& b) {
+                       for (const auto& [idx, desc] : keys) {
+                         auto c = a[idx].Compare(b[idx]);
+                         int cc = c.ok() ? *c : 0;
+                         if (cc != 0) return desc ? cc > 0 : cc < 0;
+                       }
+                       return false;
+                     });
+  }
+  if (select.limit >= 0 &&
+      static_cast<int64_t>(result->rows.size()) > select.limit) {
+    result->rows.resize(select.limit);
+  }
+  return Status::OK();
+}
+
+std::string GroupKeyOf(const Row& row, const std::vector<int>& cols) {
+  std::string key;
+  for (int c : cols) {
+    key += row[c].is_null() ? std::string("\x01") : row[c].ToDisplayString();
+    key.push_back('\x02');
+  }
+  return key;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- lifecycle
+
+Session::Session(Database* db, int node, const net::Host* client)
+    : db_(db), node_(node), client_(client) {}
+
+Session::~Session() { Abandon(); }
+
+void Session::Abandon() {
+  if (closed_) return;
+  closed_ = true;
+  if (txn_ != 0) {
+    db_->AbortTxnInternal(txn_);
+    txn_ = 0;
+  }
+  db_->ReleaseSession(node_);
+}
+
+Status Session::Close(sim::Process& self) {
+  if (closed_) return Status::OK();
+  Status status = self.Sleep(db_->cost().session_teardown);
+  Abandon();
+  return status;
+}
+
+// ------------------------------------------------------------- dispatch
+
+Result<QueryResult> Session::Execute(sim::Process& self,
+                                     std::string_view sql_text) {
+  if (closed_) return FailedPreconditionError("session closed");
+  FABRIC_RETURN_IF_ERROR(self.CheckAlive());
+  FABRIC_ASSIGN_OR_RETURN(sql::Statement statement, sql::Parse(sql_text));
+  // Parse/plan cost on the initiator node.
+  FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                     db_->node_host(node_),
+                                     db_->cost().statement_overhead_cpu));
+  return std::visit(
+      [&](auto&& stmt) -> Result<QueryResult> {
+        using T = std::decay_t<decltype(stmt)>;
+        if constexpr (std::is_same_v<T, sql::SelectStmt>) {
+          return ExecSelect(self, stmt, /*to_client=*/true, 0);
+        } else if constexpr (std::is_same_v<T, sql::CreateTableStmt>) {
+          return ExecCreateTable(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::CreateViewStmt>) {
+          return ExecCreateView(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::DropStmt>) {
+          return ExecDrop(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::RenameTableStmt>) {
+          return ExecRename(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::TruncateStmt>) {
+          return ExecTruncate(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::InsertStmt>) {
+          return ExecInsert(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::UpdateStmt>) {
+          return ExecUpdate(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::DeleteStmt>) {
+          return ExecDelete(self, stmt);
+        } else {
+          return ExecTxn(self, stmt);
+        }
+      },
+      statement);
+}
+
+Result<QueryResult> Session::ExecuteSelectInternal(
+    sim::Process& self, const sql::SelectStmt& select, int view_depth) {
+  return ExecSelect(self, select, /*to_client=*/false, view_depth);
+}
+
+// ------------------------------------------------------------ txn basics
+
+Session::WriteTxn Session::EnsureWriteTxn() {
+  if (txn_ != 0) return WriteTxn{txn_, false};
+  return WriteTxn{db_->BeginTxnInternal(), true};
+}
+
+Status Session::FinishWriteTxn(sim::Process& self, const WriteTxn& wt,
+                               Status status) {
+  if (!wt.autocommit) {
+    // Explicit transaction: statement failure aborts the whole txn (the
+    // Vertica behaviour connector code relies on for conditional
+    // updates).
+    if (!status.ok()) {
+      db_->AbortTxnInternal(wt.txn);
+      txn_ = 0;
+    }
+    return status;
+  }
+  if (!status.ok()) {
+    db_->AbortTxnInternal(wt.txn);
+    return status;
+  }
+  Status commit = db_->CommitTxnInternal(self, wt.txn);
+  if (!commit.ok()) {
+    db_->AbortTxnInternal(wt.txn);
+    return commit;
+  }
+  return self.Sleep(kCommitAckLatency);
+}
+
+Result<QueryResult> Session::ExecTxn(sim::Process& self,
+                                     const sql::TxnStmt& stmt) {
+  QueryResult result;
+  switch (stmt.kind) {
+    case sql::TxnStmt::Kind::kBegin:
+      if (txn_ == 0) txn_ = db_->BeginTxnInternal();
+      return result;
+    case sql::TxnStmt::Kind::kCommit: {
+      if (txn_ == 0) return result;
+      TxnId txn = txn_;
+      Status commit = db_->CommitTxnInternal(self, txn);
+      if (!commit.ok()) {
+        // Commit did not reach durability; roll back.
+        db_->AbortTxnInternal(txn);
+        txn_ = 0;
+        return commit;
+      }
+      txn_ = 0;
+      // The commit is durable; a kill during the ack still loses the
+      // client's confirmation (exactly the hazard S2V must survive).
+      FABRIC_RETURN_IF_ERROR(self.Sleep(kCommitAckLatency));
+      return result;
+    }
+    case sql::TxnStmt::Kind::kRollback:
+      if (txn_ != 0) {
+        db_->AbortTxnInternal(txn_);
+        txn_ = 0;
+      }
+      return result;
+  }
+  return InternalError("corrupt txn statement");
+}
+
+// ------------------------------------------------------------------ DDL
+
+Result<QueryResult> Session::ExecCreateTable(
+    sim::Process& self, const sql::CreateTableStmt& stmt) {
+  FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  if (stmt.if_not_exists && db_->catalog().HasTable(stmt.name)) {
+    return QueryResult{};
+  }
+  TableDef def;
+  def.name = stmt.name;
+  std::vector<storage::ColumnDef> columns;
+  for (const auto& [name, type] : stmt.columns) {
+    columns.push_back({name, type});
+  }
+  def.schema = Schema(std::move(columns));
+  if (stmt.unsegmented) {
+    // Replicated table: empty segmentation.
+  } else if (!stmt.segmentation_columns.empty()) {
+    for (const std::string& col : stmt.segmentation_columns) {
+      FABRIC_ASSIGN_OR_RETURN(int idx, def.schema.IndexOf(col));
+      def.segmentation.columns.push_back(idx);
+    }
+  } else {
+    // Default segmentation: Vertica derives a compact expression from the
+    // table definition; we use the first column(s), capped at two.
+    for (int i = 0; i < std::min(2, def.schema.num_columns()); ++i) {
+      def.segmentation.columns.push_back(i);
+    }
+  }
+  FABRIC_RETURN_IF_ERROR(db_->CreateTableWithStorage(std::move(def)));
+  return QueryResult{};
+}
+
+Result<QueryResult> Session::ExecCreateView(sim::Process& self,
+                                            const sql::CreateViewStmt& stmt) {
+  FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  ViewDef def;
+  def.name = stmt.name;
+  def.query_sql = stmt.select->ToSql();
+  FABRIC_RETURN_IF_ERROR(db_->catalog().CreateView(std::move(def)));
+  return QueryResult{};
+}
+
+Result<QueryResult> Session::ExecDrop(sim::Process& self,
+                                      const sql::DropStmt& stmt) {
+  FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  if (stmt.is_view) {
+    Status status = db_->catalog().DropView(stmt.name);
+    if (!status.ok() && stmt.if_exists &&
+        status.code() == StatusCode::kNotFound) {
+      return QueryResult{};
+    }
+    FABRIC_RETURN_IF_ERROR(status);
+    return QueryResult{};
+  }
+  Status status = db_->DropTableWithStorage(stmt.name);
+  if (!status.ok() && stmt.if_exists &&
+      status.code() == StatusCode::kNotFound) {
+    return QueryResult{};
+  }
+  FABRIC_RETURN_IF_ERROR(status);
+  return QueryResult{};
+}
+
+Result<QueryResult> Session::ExecRename(sim::Process& self,
+                                        const sql::RenameTableStmt& stmt) {
+  FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  FABRIC_RETURN_IF_ERROR(
+      db_->RenameTableWithStorage(stmt.from, stmt.to, stmt.replace));
+  return QueryResult{};
+}
+
+Result<QueryResult> Session::ExecTruncate(sim::Process& self,
+                                          const sql::TruncateStmt& stmt) {
+  if (txn_ != 0) {
+    return FailedPreconditionError(
+        "TRUNCATE inside an explicit transaction is not supported");
+  }
+  FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(stmt.table));
+  FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
+                          db_->GetStorage(stmt.table));
+  for (auto& store : storage->per_node) {
+    store = std::make_unique<storage::SegmentStore>(def->schema);
+  }
+  return QueryResult{};
+}
+
+// ------------------------------------------------------------------ DML
+
+Result<QueryResult> Session::ExecInsert(sim::Process& self,
+                                        const sql::InsertStmt& stmt) {
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(stmt.table));
+  const Schema& schema = def->schema;
+
+  // Materialize the rows to insert.
+  std::vector<Row> rows;
+  if (stmt.select != nullptr) {
+    FABRIC_ASSIGN_OR_RETURN(QueryResult sub,
+                            ExecuteSelectInternal(self, *stmt.select, 0));
+    if (sub.schema.num_columns() !=
+        (stmt.columns.empty() ? schema.num_columns()
+                              : static_cast<int>(stmt.columns.size()))) {
+      return InvalidArgumentError("INSERT ... SELECT arity mismatch");
+    }
+    rows = std::move(sub.rows);
+  } else {
+    sql::EvalContext const_context;
+    const_context.udx = &db_->udx_resolver();
+    for (const auto& exprs : stmt.rows) {
+      Row row;
+      for (const sql::ExprPtr& e : exprs) {
+        FABRIC_ASSIGN_OR_RETURN(Value v, sql::Eval(*e, const_context));
+        row.push_back(std::move(v));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+
+  // Map explicit column lists onto full-width rows.
+  if (!stmt.columns.empty()) {
+    std::vector<int> target_indices;
+    for (const std::string& col : stmt.columns) {
+      FABRIC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(col));
+      target_indices.push_back(idx);
+    }
+    for (Row& row : rows) {
+      if (row.size() != target_indices.size()) {
+        return InvalidArgumentError("INSERT arity mismatch");
+      }
+      Row full(schema.num_columns(), Value::Null());
+      for (size_t i = 0; i < target_indices.size(); ++i) {
+        full[target_indices[i]] = std::move(row[i]);
+      }
+      row = std::move(full);
+    }
+  }
+  for (const Row& row : rows) {
+    FABRIC_RETURN_IF_ERROR(ValidateRow(schema, row));
+  }
+
+  WriteTxn wt = EnsureWriteTxn();
+  Status status = [&]() -> Status {
+    FABRIC_RETURN_IF_ERROR(db_->LockTableI(self, wt.txn, def->name));
+    db_->TouchTable(wt.txn, def->name);
+    FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
+                            db_->GetStorage(def->name));
+
+    const CostModel& cost = db_->cost();
+    const double scale = db_->EffectiveScale(def->name);
+    DataProfile profile = ProfileRows(rows);
+    profile.ScaleBy(scale);
+
+    // Client -> initiator wire (VALUES travel with the statement).
+    if (stmt.select == nullptr) {
+      FABRIC_RETURN_IF_ERROR(StreamToClientReverse(self,
+                                                   profile.JdbcWireBytes(cost)));
+    }
+
+    // Route rows to their owner nodes.
+    std::vector<std::vector<Row>> per_node(db_->num_nodes());
+    for (const Row& row : rows) {
+      int owner = db_->OwnerNode(*def, row);
+      if (owner < 0) {
+        for (int n = 0; n < db_->num_nodes(); ++n) {
+          per_node[n].push_back(row);
+        }
+      } else {
+        per_node[owner].push_back(row);
+      }
+    }
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      if (per_node[n].empty()) continue;
+      DataProfile node_profile = ProfileRows(per_node[n]);
+      node_profile.ScaleBy(scale);
+      if (n != node_) {
+        FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
+            self,
+            {db_->node_host(node_).int_egress,
+             db_->node_host(n).int_ingress},
+            node_profile.raw_bytes));
+      }
+      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                         db_->node_host(n),
+                                         node_profile.CopyParseCpu(cost)));
+      if (stmt.direct) {
+        FABRIC_RETURN_IF_ERROR(storage->per_node[n]->InsertPendingDirect(
+            wt.txn, per_node[n]));
+      } else {
+        FABRIC_RETURN_IF_ERROR(
+            storage->per_node[n]->InsertPending(wt.txn,
+                                                std::move(per_node[n])));
+      }
+    }
+    return Status::OK();
+  }();
+  FABRIC_RETURN_IF_ERROR(FinishWriteTxn(self, wt, status));
+  QueryResult result;
+  result.affected = static_cast<int64_t>(rows.size());
+  return result;
+}
+
+Result<QueryResult> Session::ExecUpdate(sim::Process& self,
+                                        const sql::UpdateStmt& stmt) {
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(stmt.table));
+  const Schema& schema = def->schema;
+  std::vector<std::pair<int, const sql::Expr*>> assignments;
+  for (const auto& [col, expr] : stmt.assignments) {
+    FABRIC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(col));
+    assignments.emplace_back(idx, expr.get());
+  }
+
+  WriteTxn wt = EnsureWriteTxn();
+  int64_t affected = 0;
+  Status status = [&]() -> Status {
+    FABRIC_RETURN_IF_ERROR(db_->LockTableX(self, wt.txn, def->name));
+    db_->TouchTable(wt.txn, def->name);
+    FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
+                            db_->GetStorage(def->name));
+    Epoch snapshot = db_->current_epoch();
+    const CostModel& cost = db_->cost();
+    bool replicated = def->segmentation.unsegmented();
+
+    auto matches = [&](const Row& row) -> bool {
+      if (stmt.where == nullptr) return true;
+      sql::EvalContext context;
+      context.schema = &schema;
+      context.row = &row;
+      context.udx = &db_->udx_resolver();
+      auto ok = sql::EvalPredicate(*stmt.where, context);
+      return ok.ok() && *ok;
+    };
+
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      storage::SegmentStore* store = storage->per_node[n].get();
+      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> visible,
+                              store->SnapshotRows(snapshot, wt.txn));
+      // Scan cost over the node's visible rows.
+      DataProfile scanned = ProfileRows(visible);
+      scanned.ScaleBy(db_->EffectiveScale(def->name));
+      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                         db_->node_host(n),
+                                         scanned.ScanCpu(cost)));
+      std::vector<Row> replacements;
+      for (const Row& row : visible) {
+        if (!matches(row)) continue;
+        Row updated = row;
+        sql::EvalContext context;
+        context.schema = &schema;
+        context.row = &row;
+        context.udx = &db_->udx_resolver();
+        for (const auto& [idx, expr] : assignments) {
+          FABRIC_ASSIGN_OR_RETURN(Value v, sql::Eval(*expr, context));
+          updated[idx] = std::move(v);
+        }
+        FABRIC_RETURN_IF_ERROR(ValidateRow(schema, updated));
+        replacements.push_back(std::move(updated));
+      }
+      FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
+                              store->DeletePending(wt.txn, snapshot,
+                                                   matches));
+      FABRIC_CHECK(deleted == static_cast<int64_t>(replacements.size()));
+      if (!replicated || n == 0) affected += deleted;
+      // Reinsert new versions. Replicated tables keep replicas aligned by
+      // updating in place on each node; segmented tables re-route by the
+      // (possibly changed) segmentation hash.
+      if (replicated) {
+        if (!replacements.empty()) {
+          FABRIC_RETURN_IF_ERROR(
+              store->InsertPending(wt.txn, std::move(replacements)));
+        }
+      } else {
+        for (Row& row : replacements) {
+          int owner = db_->OwnerNode(*def, row);
+          if (owner != n) {
+            FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
+                self,
+                {db_->node_host(n).int_egress,
+                 db_->node_host(owner).int_ingress},
+                ProfileRow(row).raw_bytes *
+                    db_->EffectiveScale(def->name)));
+          }
+          FABRIC_RETURN_IF_ERROR(storage->per_node[owner]->InsertPending(
+              wt.txn, {std::move(row)}));
+        }
+      }
+    }
+    return Status::OK();
+  }();
+  FABRIC_RETURN_IF_ERROR(FinishWriteTxn(self, wt, status));
+  QueryResult result;
+  result.affected = affected;
+  return result;
+}
+
+Result<QueryResult> Session::ExecDelete(sim::Process& self,
+                                        const sql::DeleteStmt& stmt) {
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(stmt.table));
+  const Schema& schema = def->schema;
+  WriteTxn wt = EnsureWriteTxn();
+  int64_t affected = 0;
+  Status status = [&]() -> Status {
+    FABRIC_RETURN_IF_ERROR(db_->LockTableX(self, wt.txn, def->name));
+    db_->TouchTable(wt.txn, def->name);
+    FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
+                            db_->GetStorage(def->name));
+    Epoch snapshot = db_->current_epoch();
+    const CostModel& cost = db_->cost();
+    bool replicated = def->segmentation.unsegmented();
+
+    auto matches = [&](const Row& row) -> bool {
+      if (stmt.where == nullptr) return true;
+      sql::EvalContext context;
+      context.schema = &schema;
+      context.row = &row;
+      context.udx = &db_->udx_resolver();
+      auto ok = sql::EvalPredicate(*stmt.where, context);
+      return ok.ok() && *ok;
+    };
+
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      storage::SegmentStore* store = storage->per_node[n].get();
+      FABRIC_ASSIGN_OR_RETURN(int64_t visible_count,
+                              store->CountVisible(snapshot, wt.txn));
+      DataProfile scanned;
+      scanned.rows = static_cast<double>(visible_count);
+      scanned.ScaleBy(db_->EffectiveScale(def->name));
+      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                         db_->node_host(n),
+                                         scanned.ScanCpu(cost)));
+      FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
+                              store->DeletePending(wt.txn, snapshot,
+                                                   matches));
+      if (!replicated || n == 0) affected += deleted;
+    }
+    return Status::OK();
+  }();
+  FABRIC_RETURN_IF_ERROR(FinishWriteTxn(self, wt, status));
+  QueryResult result;
+  result.affected = affected;
+  return result;
+}
+
+// --------------------------------------------------------------- SELECT
+
+namespace {
+
+// Applies a SELECT's WHERE / aggregation / projection / ORDER / LIMIT to
+// an in-memory rowset (the initiator-local part of query execution,
+// shared by base tables, views and system tables).
+Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
+                                const Schema& schema,
+                                const sql::SelectStmt& select,
+                                const sql::UdxResolver* udx) {
+  // Filter.
+  std::vector<const Row*> filtered;
+  filtered.reserve(rows.size());
+  for (const Row& row : rows) {
+    if (select.where != nullptr) {
+      sql::EvalContext context;
+      context.schema = &schema;
+      context.row = &row;
+      context.udx = udx;
+      FABRIC_ASSIGN_OR_RETURN(bool keep,
+                              sql::EvalPredicate(*select.where, context));
+      if (!keep) continue;
+    }
+    filtered.push_back(&row);
+  }
+
+  bool aggregate = !select.group_by.empty();
+  for (const sql::SelectItem& item : select.items) {
+    if (!item.star && sql::ContainsAggregate(*item.expr)) aggregate = true;
+  }
+
+  QueryResult result;
+  if (!aggregate) {
+    // Output schema.
+    std::vector<storage::ColumnDef> out_columns;
+    std::vector<const sql::Expr*> exprs;
+    for (size_t i = 0; i < select.items.size(); ++i) {
+      const sql::SelectItem& item = select.items[i];
+      if (item.star) {
+        for (int c = 0; c < schema.num_columns(); ++c) {
+          out_columns.push_back(schema.column(c));
+          exprs.push_back(nullptr);  // placeholder: positional copy
+        }
+        continue;
+      }
+      out_columns.push_back({ItemName(item, static_cast<int>(i)),
+                             InferType(*item.expr, schema)});
+      exprs.push_back(item.expr.get());
+    }
+    result.schema = Schema(std::move(out_columns));
+    for (const Row* row : filtered) {
+      Row out;
+      out.reserve(exprs.size());
+      int star_cursor = 0;
+      for (const sql::Expr* e : exprs) {
+        if (e == nullptr) {
+          out.push_back((*row)[star_cursor++]);
+          continue;
+        }
+        sql::EvalContext context;
+        context.schema = &schema;
+        context.row = row;
+        context.udx = udx;
+        FABRIC_ASSIGN_OR_RETURN(Value v, sql::Eval(*e, context));
+        out.push_back(std::move(v));
+      }
+      result.rows.push_back(std::move(out));
+    }
+    FABRIC_RETURN_IF_ERROR(ApplyOrderAndLimit(select, &result));
+    return result;
+  }
+
+  // Aggregate path: items must be group-by columns or aggregate calls.
+  std::vector<int> group_cols;
+  for (const std::string& name : select.group_by) {
+    FABRIC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(name));
+    group_cols.push_back(idx);
+  }
+  struct OutItem {
+    bool is_group = false;
+    int group_pos = 0;           // index into group_cols
+    AggSpec agg;                 // when !is_group
+  };
+  std::vector<OutItem> out_items;
+  std::vector<storage::ColumnDef> out_columns;
+  for (size_t i = 0; i < select.items.size(); ++i) {
+    const sql::SelectItem& item = select.items[i];
+    if (item.star) {
+      return InvalidArgumentError("SELECT * with aggregation");
+    }
+    const sql::Expr& e = *item.expr;
+    OutItem out;
+    if (e.kind == sql::Expr::Kind::kColumnRef) {
+      FABRIC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(e.column));
+      auto it = std::find(group_cols.begin(), group_cols.end(), idx);
+      if (it == group_cols.end()) {
+        return InvalidArgumentError(
+            StrCat("column '", e.column, "' not in GROUP BY"));
+      }
+      out.is_group = true;
+      out.group_pos = static_cast<int>(it - group_cols.begin());
+      out_columns.push_back({ItemName(item, static_cast<int>(i)),
+                             schema.column(idx).type});
+    } else if (e.kind == sql::Expr::Kind::kCall &&
+               sql::IsAggregateFunction(e.function)) {
+      FABRIC_ASSIGN_OR_RETURN(out.agg.kind, AggKindOf(e.function));
+      out.agg.arg = e.args.empty() ? nullptr : e.args[0].get();
+      out_columns.push_back({ItemName(item, static_cast<int>(i)),
+                             InferType(e, schema)});
+    } else {
+      return InvalidArgumentError(
+          "aggregate queries support only group columns and simple "
+          "aggregate calls");
+    }
+    out_items.push_back(std::move(out));
+  }
+  result.schema = Schema(std::move(out_columns));
+
+  std::map<std::string, std::pair<Row, std::vector<AggPartial>>> groups;
+  for (const Row* row : filtered) {
+    Row key_values;
+    for (int c : group_cols) key_values.push_back((*row)[c]);
+    std::string key = GroupKeyOf(*row, group_cols);
+    auto [it, inserted] = groups.try_emplace(
+        key, std::make_pair(std::move(key_values),
+                            std::vector<AggPartial>(out_items.size())));
+    auto& partials = it->second.second;
+    for (size_t i = 0; i < out_items.size(); ++i) {
+      if (out_items[i].is_group) continue;
+      Value v = Value::Int64(1);  // COUNT(*) counts rows
+      if (out_items[i].agg.arg != nullptr) {
+        sql::EvalContext context;
+        context.schema = &schema;
+        context.row = row;
+        context.udx = udx;
+        FABRIC_ASSIGN_OR_RETURN(v, sql::Eval(*out_items[i].agg.arg,
+                                             context));
+      }
+      FABRIC_RETURN_IF_ERROR(UpdatePartial(out_items[i].agg, v,
+                                           &partials[i]));
+    }
+  }
+  // Aggregate queries with no groups still return one row.
+  if (groups.empty() && group_cols.empty()) {
+    groups.try_emplace("", std::make_pair(
+                               Row{},
+                               std::vector<AggPartial>(out_items.size())));
+  }
+  for (auto& [key, group] : groups) {
+    Row out;
+    for (size_t i = 0; i < out_items.size(); ++i) {
+      if (out_items[i].is_group) {
+        out.push_back(group.first[out_items[i].group_pos]);
+      } else {
+        out.push_back(FinalizePartial(out_items[i].agg,
+                                      group.second[i]));
+      }
+    }
+    result.rows.push_back(std::move(out));
+  }
+  FABRIC_RETURN_IF_ERROR(ApplyOrderAndLimit(select, &result));
+  return result;
+}
+
+}  // namespace
+
+Result<QueryResult> Session::SystemTable(
+    const std::string& lower_name) const {
+  QueryResult result;
+  if (lower_name == "v_catalog.nodes") {
+    result.schema = Schema({{"node_id", DataType::kInt64},
+                            {"node_name", DataType::kVarchar},
+                            {"node_address", DataType::kVarchar}});
+    for (int i = 0; i < db_->num_nodes(); ++i) {
+      result.rows.push_back({Value::Int64(i),
+                             Value::Varchar(db_->node_name(i)),
+                             Value::Varchar(db_->node_address(i))});
+    }
+    return result;
+  }
+  if (lower_name == "v_catalog.segments") {
+    // Signed ring bounds; the wrap segment's upper bound is NULL (+inf).
+    result.schema = Schema({{"table_name", DataType::kVarchar},
+                            {"node_id", DataType::kInt64},
+                            {"node_name", DataType::kVarchar},
+                            {"segment_lower", DataType::kInt64},
+                            {"segment_upper", DataType::kInt64}});
+    for (const std::string& table : db_->catalog().TableNames()) {
+      auto def = db_->catalog().GetTable(table);
+      if (!def.ok() || (*def)->segmentation.unsegmented()) continue;
+      const auto& ranges = db_->node_ranges();
+      for (int n = 0; n < db_->num_nodes(); ++n) {
+        Value upper = ranges[n].upper == 0
+                          ? Value::Null()
+                          : Value::Int64(sql::RingHashToSigned(
+                                ranges[n].upper));
+        result.rows.push_back(
+            {Value::Varchar(table), Value::Int64(n),
+             Value::Varchar(db_->node_name(n)),
+             Value::Int64(sql::RingHashToSigned(ranges[n].lower)),
+             upper});
+      }
+    }
+    return result;
+  }
+  if (lower_name == "v_catalog.epochs") {
+    result.schema = Schema({{"current_epoch", DataType::kInt64},
+                            {"last_good_epoch", DataType::kInt64}});
+    result.rows.push_back(
+        {Value::Int64(static_cast<int64_t>(db_->current_epoch())),
+         Value::Int64(static_cast<int64_t>(db_->current_epoch()))});
+    return result;
+  }
+  if (lower_name == "v_catalog.tables") {
+    result.schema = Schema({{"table_name", DataType::kVarchar},
+                            {"is_view", DataType::kBool},
+                            {"segmented", DataType::kBool}});
+    for (const std::string& table : db_->catalog().TableNames()) {
+      auto def = db_->catalog().GetTable(table);
+      result.rows.push_back(
+          {Value::Varchar(table), Value::Bool(false),
+           Value::Bool(def.ok() &&
+                       !(*def)->segmentation.unsegmented())});
+    }
+    for (const std::string& view : db_->catalog().ViewNames()) {
+      result.rows.push_back({Value::Varchar(view), Value::Bool(true),
+                             Value::Bool(false)});
+    }
+    return result;
+  }
+  return NotFoundError(
+      StrCat("unknown system table '", lower_name, "'"));
+}
+
+Result<QueryResult> Session::ExecSelect(sim::Process& self,
+                                        const sql::SelectStmt& select,
+                                        bool to_client, int view_depth) {
+  if (view_depth > 8) {
+    return InvalidArgumentError("view nesting too deep");
+  }
+  const CostModel& cost = db_->cost();
+  const sql::UdxResolver* udx = &db_->udx_resolver();
+
+  // FROM-less SELECT (constant expressions).
+  if (select.from.empty()) {
+    std::vector<Row> one_row = {Row{}};
+    Schema empty_schema;
+    FABRIC_ASSIGN_OR_RETURN(QueryResult result,
+                            LocalSelect(one_row, empty_schema, select,
+                                        udx));
+    if (to_client) {
+      FABRIC_RETURN_IF_ERROR(StreamToClient(self, 64, net::kUnlimitedRate));
+    }
+    return result;
+  }
+
+  std::string from = ToLower(select.from);
+
+  // INNER JOIN: execute both sides as internal distributed scans, join
+  // at the initiator (hash join on simple column equality, nested-loop
+  // otherwise), then run the outer pipeline over the combined rows. Views
+  // over joins are what let V2S push join processing into Vertica
+  // (Section 3.1.1).
+  if (!select.join.empty()) {
+    auto scan_side = [&](const std::string& table)
+        -> Result<QueryResult> {
+      sql::SelectStmt sub;
+      sql::SelectItem star;
+      star.star = true;
+      sub.items.push_back(std::move(star));
+      sub.from = table;
+      sub.at_epoch = select.at_epoch;
+      return ExecSelect(self, sub, /*to_client=*/false, view_depth + 1);
+    };
+    FABRIC_ASSIGN_OR_RETURN(QueryResult left, scan_side(select.from));
+    FABRIC_ASSIGN_OR_RETURN(QueryResult right, scan_side(select.join));
+
+    // Combined schema: left columns, then right columns; a right column
+    // whose name collides is exposed as <join>_<name>.
+    std::vector<storage::ColumnDef> combined_columns =
+        left.schema.columns();
+    for (const storage::ColumnDef& column : right.schema.columns()) {
+      storage::ColumnDef renamed = column;
+      if (left.schema.Contains(column.name)) {
+        renamed.name = StrCat(select.join, "_", column.name);
+      }
+      combined_columns.push_back(renamed);
+    }
+    Schema combined(std::move(combined_columns));
+
+    // Join CPU on the initiator: hash-join-shaped cost.
+    DataProfile join_cost;
+    join_cost.rows = static_cast<double>(left.rows.size()) +
+                     static_cast<double>(right.rows.size());
+    join_cost.ScaleBy(cost.data_scale);
+    FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                       db_->node_host(node_),
+                                       join_cost.rows *
+                                           cost.scan_cpu_per_row * 2));
+
+    // Hash join when ON is `leftcol = rightcol`; nested loop otherwise.
+    std::vector<Row> joined;
+    const sql::Expr& on = *select.join_on;
+    int left_key = -1, right_key = -1;
+    if (on.kind == sql::Expr::Kind::kBinary && on.op == "=" &&
+        on.args[0]->kind == sql::Expr::Kind::kColumnRef &&
+        on.args[1]->kind == sql::Expr::Kind::kColumnRef) {
+      auto l = left.schema.IndexOf(on.args[0]->column);
+      auto r = right.schema.IndexOf(on.args[1]->column);
+      if (!l.ok() || !r.ok()) {
+        // Reversed spelling: right.col = left.col.
+        l = left.schema.IndexOf(on.args[1]->column);
+        r = right.schema.IndexOf(on.args[0]->column);
+      }
+      if (l.ok() && r.ok()) {
+        left_key = *l;
+        right_key = *r;
+      }
+    }
+    if (left_key >= 0) {
+      std::multimap<std::string, const Row*> build;
+      for (const Row& row : right.rows) {
+        if (row[right_key].is_null()) continue;  // NULL never joins
+        build.emplace(row[right_key].ToDisplayString(), &row);
+      }
+      for (const Row& lrow : left.rows) {
+        if (lrow[left_key].is_null()) continue;
+        auto [begin, end] =
+            build.equal_range(lrow[left_key].ToDisplayString());
+        for (auto it = begin; it != end; ++it) {
+          Row out = lrow;
+          out.insert(out.end(), it->second->begin(), it->second->end());
+          joined.push_back(std::move(out));
+        }
+      }
+    } else {
+      for (const Row& lrow : left.rows) {
+        for (const Row& rrow : right.rows) {
+          Row out = lrow;
+          out.insert(out.end(), rrow.begin(), rrow.end());
+          sql::EvalContext context;
+          context.schema = &combined;
+          context.row = &out;
+          context.udx = udx;
+          FABRIC_ASSIGN_OR_RETURN(bool match,
+                                  sql::EvalPredicate(on, context));
+          if (match) joined.push_back(std::move(out));
+        }
+      }
+    }
+
+    FABRIC_ASSIGN_OR_RETURN(QueryResult result,
+                            LocalSelect(joined, combined, select, udx));
+    if (to_client) {
+      DataProfile profile = ProfileRows(result.rows);
+      profile.ScaleBy(cost.data_scale);
+      double wire = profile.JdbcWireBytes(cost);
+      double cap = profile.StreamRateCap(cost.result_stream_bytes_per_sec,
+                                         cost.result_row_overhead, wire);
+      FABRIC_RETURN_IF_ERROR(StreamToClient(self, wire, cap));
+    }
+    return result;
+  }
+
+  // System tables.
+  if (StartsWith(from, "v_catalog.") || StartsWith(from, "v_monitor.")) {
+    FABRIC_ASSIGN_OR_RETURN(QueryResult base, SystemTable(from));
+    FABRIC_ASSIGN_OR_RETURN(QueryResult result,
+                            LocalSelect(base.rows, base.schema, select,
+                                        udx));
+    if (to_client) {
+      DataProfile profile = ProfileRows(result.rows);
+      FABRIC_RETURN_IF_ERROR(StreamToClient(
+          self, profile.JdbcWireBytes(cost), net::kUnlimitedRate));
+    }
+    return result;
+  }
+
+  // Views: execute the stored SELECT inside the database (this is how a
+  // pre-defined view lets V2S push joins/aggregations down, Sec. 3.1.1),
+  // then run the outer query over its result on the initiator.
+  if (db_->catalog().HasView(select.from)) {
+    FABRIC_ASSIGN_OR_RETURN(const ViewDef* view,
+                            db_->catalog().GetView(select.from));
+    FABRIC_ASSIGN_OR_RETURN(sql::Statement view_statement,
+                            sql::Parse(view->query_sql));
+    auto* view_select = std::get_if<sql::SelectStmt>(&view_statement);
+    if (view_select == nullptr) {
+      return InternalError("view body is not a SELECT");
+    }
+    // Propagate the outer epoch so all V2S partition queries of a view
+    // read one snapshot.
+    if (select.at_epoch >= 0 && view_select->at_epoch < 0) {
+      view_select->at_epoch = select.at_epoch;
+    }
+    FABRIC_ASSIGN_OR_RETURN(
+        QueryResult sub,
+        ExecSelect(self, *view_select, /*to_client=*/false,
+                   view_depth + 1));
+    FABRIC_ASSIGN_OR_RETURN(QueryResult result,
+                            LocalSelect(sub.rows, sub.schema, select,
+                                        udx));
+    if (to_client) {
+      DataProfile profile = ProfileRows(result.rows);
+      profile.ScaleBy(cost.data_scale);
+      double wire = profile.JdbcWireBytes(cost);
+      double cap = profile.StreamRateCap(cost.result_stream_bytes_per_sec,
+                                         cost.result_row_overhead, wire);
+      FABRIC_RETURN_IF_ERROR(StreamToClient(self, wire, cap));
+    }
+    return result;
+  }
+
+  // Base table: distributed scan.
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(select.from));
+  FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * table_storage,
+                          db_->GetStorage(select.from));
+  const Schema schema = def->schema;
+
+  Epoch snapshot;
+  if (select.at_epoch >= 0) {
+    if (static_cast<Epoch>(select.at_epoch) > db_->current_epoch()) {
+      return OutOfRangeError(
+          StrCat("epoch ", select.at_epoch, " is in the future"));
+    }
+    snapshot = static_cast<Epoch>(select.at_epoch);
+  } else {
+    snapshot = db_->current_epoch();
+  }
+
+  // Columns this query touches (column-store pruning).
+  std::set<int> referenced;
+  bool any_star = false;
+  for (const sql::SelectItem& item : select.items) {
+    if (item.star) {
+      any_star = true;
+    } else {
+      FABRIC_RETURN_IF_ERROR(CollectColumns(*item.expr, schema,
+                                            &referenced));
+    }
+  }
+  if (select.where != nullptr) {
+    FABRIC_RETURN_IF_ERROR(CollectColumns(*select.where, schema,
+                                          &referenced));
+  }
+  for (const std::string& g : select.group_by) {
+    FABRIC_ASSIGN_OR_RETURN(int idx, schema.IndexOf(g));
+    referenced.insert(idx);
+  }
+  if (any_star) {
+    for (int c = 0; c < schema.num_columns(); ++c) referenced.insert(c);
+  }
+
+  bool aggregate = !select.group_by.empty();
+  for (const sql::SelectItem& item : select.items) {
+    if (!item.star && sql::ContainsAggregate(*item.expr)) aggregate = true;
+  }
+
+  // Participating nodes: unsegmented tables are served locally; segmented
+  // tables are pruned by the hash ranges the predicate constrains.
+  std::vector<int> nodes;
+  if (def->segmentation.unsegmented()) {
+    nodes.push_back(node_);
+  } else {
+    sql::RingRangeSet constrained = sql::RingRangeSet::Full();
+    if (select.where != nullptr) {
+      std::vector<std::string> seg_names;
+      for (int c : def->segmentation.columns) {
+        seg_names.push_back(schema.column(c).name);
+      }
+      constrained = sql::ExtractHashRanges(*select.where, seg_names);
+    }
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      if (constrained.Intersects(db_->node_ranges()[n])) nodes.push_back(n);
+    }
+  }
+
+  // Resource-pool admission on the initiator.
+  FABRIC_RETURN_IF_ERROR(db_->PoolAdmit(self, node_));
+  struct PoolGuard {
+    Database* db;
+    int node;
+    ~PoolGuard() { db->PoolRelease(node); }
+  } pool_guard{db_, node_};
+
+  // Shared state between the per-node scan processes and the streaming
+  // loop below. Heap-allocated and self-contained so the scans stay valid
+  // even if this process is killed mid-query.
+  struct ScanState {
+    Schema schema;
+    sql::ExprPtr where;  // cloned
+    std::set<int> referenced;
+    std::set<int> where_columns;
+    Epoch snapshot;
+    TxnId txn;
+    bool aggregate;
+    std::vector<int> group_cols;
+    const sql::UdxResolver* udx;
+    Database* db;
+    int initiator;
+    double chunk_bytes;
+    double data_scale;
+    CostModel cost;
+    std::vector<std::vector<Row>> node_rows;
+    std::vector<Status> node_status;
+    double available_wire = 0;
+    double produced_wire = 0;
+    double produced_rows = 0;
+    int producers_left = 0;
+    std::unique_ptr<sim::Condition> progress;
+  };
+  auto state = std::make_shared<ScanState>();
+  state->schema = schema;
+  state->where = select.where == nullptr ? nullptr : select.where->Clone();
+  state->referenced = referenced;
+  if (select.where != nullptr) {
+    FABRIC_RETURN_IF_ERROR(
+        CollectColumns(*select.where, schema, &state->where_columns));
+  }
+  state->snapshot = snapshot;
+  state->txn = txn_;
+  state->aggregate = aggregate;
+  for (const std::string& g : select.group_by) {
+    state->group_cols.push_back(*schema.IndexOf(g));
+  }
+  state->udx = udx;
+  state->db = db_;
+  state->initiator = node_;
+  state->chunk_bytes = cost.chunk_bytes;
+  state->data_scale = db_->EffectiveScale(select.from);
+  state->cost = cost;
+  state->node_rows.resize(db_->num_nodes());
+  state->node_status.assign(db_->num_nodes(), Status::OK());
+  state->producers_left = static_cast<int>(nodes.size());
+  state->progress = std::make_unique<sim::Condition>(db_->engine());
+
+  for (int n : nodes) {
+    storage::SegmentStore* store = table_storage->per_node[n].get();
+    db_->engine()->Spawn(
+        StrCat("vscan:", select.from, ":n", n),
+        [state, store, n](sim::Process& scan) {
+          Status status = [&]() -> Status {
+            Database* db = state->db;
+            // Materialize visible rows and filter (host work).
+            FABRIC_ASSIGN_OR_RETURN(
+                std::vector<Row> visible,
+                store->SnapshotRows(state->snapshot, state->txn));
+            // Column-store scan cost (late materialization): predicate
+            // columns are touched for every visible row (this is where
+            // V2S pays its per-row HASH evaluation, Section 4.7.2), but
+            // the output columns are materialized only for passing rows.
+            DataProfile scanned;
+            std::vector<Row> passed;
+            for (Row& row : visible) {
+              DataProfile row_cost = ProfileColumns(row, state->where_columns);
+              row_cost.rows = 1;
+              scanned.Add(row_cost);
+              if (state->where != nullptr) {
+                sql::EvalContext context;
+                context.schema = &state->schema;
+                context.row = &row;
+                context.udx = state->udx;
+                FABRIC_ASSIGN_OR_RETURN(
+                    bool keep,
+                    sql::EvalPredicate(*state->where, context));
+                if (!keep) continue;
+              }
+              DataProfile out_cost = ProfileColumns(row, state->referenced);
+              out_cost.rows = 0;  // the row itself was already counted
+              scanned.Add(out_cost);
+              passed.push_back(std::move(row));
+            }
+            scanned.ScaleBy(state->data_scale);
+
+            // Result volume leaving this node: for aggregates only the
+            // merged partials travel (#groups x output width); otherwise
+            // the referenced columns of the passing rows.
+            DataProfile produced;
+            if (state->aggregate) {
+              std::set<std::string> group_keys;
+              for (const Row& row : passed) {
+                group_keys.insert(GroupKeyOf(row, state->group_cols));
+              }
+              produced.rows = static_cast<double>(
+                  std::max<size_t>(group_keys.size(), 1));
+              produced.fields = produced.rows *
+                                (state->group_cols.size() + 1);
+              produced.numeric_bytes = produced.fields * 8;
+              produced.raw_bytes = produced.numeric_bytes;
+            } else {
+              for (const Row& row : passed) {
+                produced.Add(ProfileColumns(row, state->referenced));
+              }
+              produced.ScaleBy(state->data_scale);
+            }
+
+            // Chunked pipeline: scan CPU, intra-cluster shuffle when the
+            // segment is remote from the initiator, then publish to the
+            // client stream.
+            double scan_cpu = scanned.ScanCpu(state->cost);
+            double wire = produced.JdbcWireBytes(state->cost);
+            double internal = produced.raw_bytes;
+            int chunks = static_cast<int>(std::ceil(
+                std::max(scanned.raw_bytes, 1.0) / state->chunk_bytes));
+            chunks = std::clamp(chunks, 1, 512);
+            const net::Host& host = db->node_host(n);
+            const net::Host& initiator = db->node_host(state->initiator);
+            for (int c = 0; c < chunks; ++c) {
+              FABRIC_RETURN_IF_ERROR(net::RunCpu(scan, db->network(),
+                                                 host, scan_cpu / chunks));
+              if (n != state->initiator && internal > 0) {
+                FABRIC_RETURN_IF_ERROR(db->network()->Transfer(
+                    scan, {host.int_egress, initiator.int_ingress},
+                    internal / chunks));
+              }
+              state->available_wire += wire / chunks;
+              state->produced_wire += wire / chunks;
+              state->produced_rows += produced.rows / chunks;
+              state->progress->NotifyAll();
+            }
+            state->node_rows[n] = std::move(passed);
+            return Status::OK();
+          }();
+          state->node_status[n] = status;
+          --state->producers_left;
+          state->progress->NotifyAll();
+        });
+  }
+
+  // Stream produced chunks to the client as they appear (scan/stream
+  // pipelining); internal executions (views) skip the external wire.
+  while (state->producers_left > 0 || state->available_wire > 0) {
+    FABRIC_RETURN_IF_ERROR(state->progress->WaitUntil(self, [&] {
+      return state->available_wire > 0 || state->producers_left == 0;
+    }));
+    double wire = state->available_wire;
+    state->available_wire = 0;
+    if (wire <= 0) continue;
+    if (to_client) {
+      DataProfile so_far;
+      so_far.rows = std::max(state->produced_rows, 1.0);
+      double cap = so_far.StreamRateCap(
+          cost.result_stream_bytes_per_sec, cost.result_row_overhead,
+          std::max(state->produced_wire, 1.0));
+      FABRIC_RETURN_IF_ERROR(StreamToClient(self, wire, cap));
+      // The per-connection cap is serialization CPU on this node; credit
+      // it so resource telemetry (Table 2) sees the load.
+      const net::Host& host = db_->node_host(node_);
+      if (host.has_cpu()) {
+        db_->network()->CreditLink(
+            host.cpu, wire * cost.result_serialize_cpu_per_byte *
+                          net::kCpuUnitsPerCore);
+      }
+    }
+  }
+  for (int n : nodes) {
+    FABRIC_RETURN_IF_ERROR(state->node_status[n]);
+  }
+
+  // Final pipeline at the initiator over the gathered rows.
+  std::vector<Row> gathered;
+  for (int n : nodes) {
+    for (Row& row : state->node_rows[n]) {
+      gathered.push_back(std::move(row));
+    }
+  }
+  // WHERE already applied during the scan; strip it for the local pass.
+  sql::SelectStmt local = [&select] {
+    sql::SelectStmt copy;
+    for (const sql::SelectItem& item : select.items) {
+      sql::SelectItem ci;
+      ci.star = item.star;
+      ci.alias = item.alias;
+      if (item.expr != nullptr) ci.expr = item.expr->Clone();
+      copy.items.push_back(std::move(ci));
+    }
+    copy.group_by = select.group_by;
+    copy.order_by = select.order_by;
+    copy.limit = select.limit;
+    return copy;
+  }();
+  return LocalSelect(gathered, schema, local, udx);
+}
+
+Status Session::StreamToClient(sim::Process& self, double wire_bytes,
+                               double rate_cap) {
+  if (client_ == nullptr || wire_bytes <= 0) return self.CheckAlive();
+  return db_->network()->Transfer(
+      self,
+      {db_->node_host(node_).ext_egress, client_->ext_ingress},
+      wire_bytes, rate_cap);
+}
+
+Status Session::StreamToClientReverse(sim::Process& self,
+                                      double wire_bytes) {
+  if (client_ == nullptr || wire_bytes <= 0) return self.CheckAlive();
+  return db_->network()->Transfer(
+      self,
+      {client_->ext_egress, db_->node_host(node_).ext_ingress},
+      wire_bytes);
+}
+
+}  // namespace fabric::vertica

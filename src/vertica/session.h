@@ -1,0 +1,111 @@
+#ifndef FABRIC_VERTICA_SESSION_H_
+#define FABRIC_VERTICA_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "vertica/database.h"
+#include "vertica/sql_ast.h"
+
+namespace fabric::vertica {
+
+// One client connection to a Vertica node (the JDBC-connection analogue
+// the connector tasks hold). Sessions execute SQL with full cost
+// accounting and carry transaction state. Sessions are not shared across
+// processes.
+//
+// Error handling mirrors a real driver: a killed process sees CANCELLED
+// from Execute; the session's open transaction is rolled back when the
+// session is destroyed (the server noticing the dropped connection).
+class Session {
+ public:
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  // Executes one SQL statement. SELECT streams its result back to the
+  // client with per-connection serialization costs; DML returns the
+  // affected-row count; DDL auto-commits.
+  Result<QueryResult> Execute(sim::Process& self, std::string_view sql);
+
+  // Graceful close: rolls back any open transaction, frees the session
+  // slot, charges teardown latency.
+  Status Close(sim::Process& self);
+
+  // Instant host-side cleanup (rollback + slot release) used on abandoned
+  // sessions — what the server does when the TCP connection drops. Safe
+  // to call from killed processes and destructors.
+  void Abandon();
+
+  int node() const { return node_; }
+  Database* database() const { return db_; }
+  bool in_transaction() const { return txn_ != 0; }
+
+  // Internal: executes a parsed SELECT without streaming to the client
+  // (used for views and INSERT ... SELECT).
+  Result<QueryResult> ExecuteSelectInternal(sim::Process& self,
+                                            const sql::SelectStmt& select,
+                                            int view_depth);
+
+ private:
+  friend class Database;
+  friend class CopyStream;
+
+  Session(Database* db, int node, const net::Host* client);
+
+  // Statement dispatchers.
+  Result<QueryResult> ExecSelect(sim::Process& self,
+                                 const sql::SelectStmt& select,
+                                 bool to_client, int view_depth);
+  Result<QueryResult> ExecCreateTable(sim::Process& self,
+                                      const sql::CreateTableStmt& stmt);
+  Result<QueryResult> ExecCreateView(sim::Process& self,
+                                     const sql::CreateViewStmt& stmt);
+  Result<QueryResult> ExecDrop(sim::Process& self, const sql::DropStmt& s);
+  Result<QueryResult> ExecRename(sim::Process& self,
+                                 const sql::RenameTableStmt& stmt);
+  Result<QueryResult> ExecTruncate(sim::Process& self,
+                                   const sql::TruncateStmt& stmt);
+  Result<QueryResult> ExecInsert(sim::Process& self,
+                                 const sql::InsertStmt& stmt);
+  Result<QueryResult> ExecUpdate(sim::Process& self,
+                                 const sql::UpdateStmt& stmt);
+  Result<QueryResult> ExecDelete(sim::Process& self,
+                                 const sql::DeleteStmt& stmt);
+  Result<QueryResult> ExecTxn(sim::Process& self, const sql::TxnStmt& stmt);
+
+  // Ensures a write transaction exists; returns (txn, autocommit?).
+  struct WriteTxn {
+    storage::TxnId txn;
+    bool autocommit;
+  };
+  WriteTxn EnsureWriteTxn();
+  // Finishes an autocommit txn (commit on OK, abort on error).
+  Status FinishWriteTxn(sim::Process& self, const WriteTxn& wt,
+                        Status status);
+
+  // Streams `wire_bytes` of result data (already produced at the
+  // initiator) to the client with the per-connection rate cap.
+  Status StreamToClient(sim::Process& self, double wire_bytes,
+                        double rate_cap);
+
+  // The reverse direction: statement payload travelling client -> node
+  // (INSERT VALUES data).
+  Status StreamToClientReverse(sim::Process& self, double wire_bytes);
+
+  // Materializes a system table (v_catalog.*).
+  Result<QueryResult> SystemTable(const std::string& lower_name) const;
+
+  Database* db_;
+  int node_;
+  const net::Host* client_;  // may be null (console)
+  storage::TxnId txn_ = 0;   // open explicit transaction
+  bool closed_ = false;
+};
+
+}  // namespace fabric::vertica
+
+#endif  // FABRIC_VERTICA_SESSION_H_

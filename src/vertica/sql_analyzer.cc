@@ -1,0 +1,188 @@
+#include "vertica/sql_analyzer.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "vertica/sql_eval.h"
+
+namespace fabric::vertica::sql {
+namespace {
+
+constexpr unsigned __int128 kRingEnd = (static_cast<unsigned __int128>(1))
+                                       << 64;
+
+}  // namespace
+
+RingRangeSet RingRangeSet::Full() { return Of(0, kRingEnd); }
+
+RingRangeSet RingRangeSet::Empty() { return RingRangeSet(); }
+
+RingRangeSet RingRangeSet::Of(unsigned __int128 lower,
+                              unsigned __int128 upper) {
+  RingRangeSet set;
+  if (upper > kRingEnd) upper = kRingEnd;
+  if (lower < upper) set.ranges_.emplace_back(lower, upper);
+  return set;
+}
+
+RingRangeSet RingRangeSet::OfHashRange(const HashRange& range) {
+  unsigned __int128 upper =
+      range.upper == 0 ? kRingEnd
+                       : static_cast<unsigned __int128>(range.upper);
+  return Of(range.lower, upper);
+}
+
+void RingRangeSet::Normalize() {
+  std::sort(ranges_.begin(), ranges_.end());
+  std::vector<std::pair<unsigned __int128, unsigned __int128>> merged;
+  for (const auto& [lo, hi] : ranges_) {
+    if (lo >= hi) continue;
+    if (!merged.empty() && lo <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, hi);
+    } else {
+      merged.emplace_back(lo, hi);
+    }
+  }
+  ranges_ = std::move(merged);
+}
+
+RingRangeSet RingRangeSet::Union(const RingRangeSet& other) const {
+  RingRangeSet out;
+  out.ranges_ = ranges_;
+  out.ranges_.insert(out.ranges_.end(), other.ranges_.begin(),
+                     other.ranges_.end());
+  out.Normalize();
+  return out;
+}
+
+RingRangeSet RingRangeSet::Intersect(const RingRangeSet& other) const {
+  RingRangeSet out;
+  for (const auto& [alo, ahi] : ranges_) {
+    for (const auto& [blo, bhi] : other.ranges_) {
+      unsigned __int128 lo = std::max(alo, blo);
+      unsigned __int128 hi = std::min(ahi, bhi);
+      if (lo < hi) out.ranges_.emplace_back(lo, hi);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+bool RingRangeSet::IsFull() const {
+  return ranges_.size() == 1 && ranges_[0].first == 0 &&
+         ranges_[0].second == kRingEnd;
+}
+
+bool RingRangeSet::Contains(uint64_t hash) const {
+  unsigned __int128 h = hash;
+  for (const auto& [lo, hi] : ranges_) {
+    if (h >= lo && h < hi) return true;
+  }
+  return false;
+}
+
+bool RingRangeSet::Intersects(const HashRange& range) const {
+  return !Intersect(OfHashRange(range)).IsEmpty();
+}
+
+unsigned __int128 RingRangeSet::TotalWidth() const {
+  unsigned __int128 width = 0;
+  for (const auto& [lo, hi] : ranges_) width += hi - lo;
+  return width;
+}
+
+namespace {
+
+// True when `call` is HASH(c1,...,ck) matching the segmentation columns
+// in order.
+bool IsSegmentationHashCall(const Expr& call,
+                            const std::vector<std::string>& seg_columns) {
+  if (call.kind != Expr::Kind::kCall || call.function != "HASH") {
+    return false;
+  }
+  if (call.args.size() != seg_columns.size()) return false;
+  for (size_t i = 0; i < call.args.size(); ++i) {
+    if (call.args[i]->kind != Expr::Kind::kColumnRef) return false;
+    if (!EqualsIgnoreCase(call.args[i]->column, seg_columns[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Attempts HASH(...) <op> <integer literal>. The literal is in the signed
+// SQL domain; convert back to the unsigned ring.
+std::optional<RingRangeSet> RangeOfComparison(
+    const Expr& expr, const std::vector<std::string>& seg_columns) {
+  if (expr.kind != Expr::Kind::kBinary) return std::nullopt;
+  const std::string& op = expr.op;
+  if (op != "=" && op != "<" && op != "<=" && op != ">" && op != ">=") {
+    return std::nullopt;
+  }
+  const Expr* call = expr.args[0].get();
+  const Expr* literal = expr.args[1].get();
+  std::string effective_op = op;
+  if (!IsSegmentationHashCall(*call, seg_columns)) {
+    // Allow the reversed form  <literal> <op> HASH(...).
+    std::swap(call, literal);
+    if (!IsSegmentationHashCall(*call, seg_columns)) return std::nullopt;
+    if (effective_op == "<") effective_op = ">";
+    else if (effective_op == "<=") effective_op = ">=";
+    else if (effective_op == ">") effective_op = "<";
+    else if (effective_op == ">=") effective_op = "<=";
+  }
+  // Literal may be a plain integer or a negated one.
+  int64_t signed_bound = 0;
+  if (literal->kind == Expr::Kind::kLiteral && !literal->literal.is_null() &&
+      literal->literal.type() == storage::DataType::kInt64) {
+    signed_bound = literal->literal.int64_value();
+  } else if (literal->kind == Expr::Kind::kUnary && literal->op == "-" &&
+             literal->args[0]->kind == Expr::Kind::kLiteral &&
+             literal->args[0]->literal.type() ==
+                 storage::DataType::kInt64) {
+    signed_bound = -literal->args[0]->literal.int64_value();
+  } else {
+    return std::nullopt;
+  }
+  unsigned __int128 ring = SignedToRingHash(signed_bound);
+  if (effective_op == "=") return RingRangeSet::Of(ring, ring + 1);
+  if (effective_op == "<") return RingRangeSet::Of(0, ring);
+  if (effective_op == "<=") return RingRangeSet::Of(0, ring + 1);
+  if (effective_op == ">") {
+    return RingRangeSet::Of(ring + 1,
+                            (static_cast<unsigned __int128>(1)) << 64);
+  }
+  // ">="
+  return RingRangeSet::Of(ring, (static_cast<unsigned __int128>(1)) << 64);
+}
+
+}  // namespace
+
+RingRangeSet ExtractHashRanges(
+    const Expr& where,
+    const std::vector<std::string>& segmentation_column_names) {
+  if (segmentation_column_names.empty()) return RingRangeSet::Full();
+  if (where.kind == Expr::Kind::kBinary) {
+    if (where.op == "AND") {
+      return ExtractHashRanges(*where.args[0], segmentation_column_names)
+          .Intersect(
+              ExtractHashRanges(*where.args[1], segmentation_column_names));
+    }
+    if (where.op == "OR") {
+      RingRangeSet lhs =
+          ExtractHashRanges(*where.args[0], segmentation_column_names);
+      RingRangeSet rhs =
+          ExtractHashRanges(*where.args[1], segmentation_column_names);
+      // OR weakens: if either side is unconstrained the whole is.
+      if (lhs.IsFull() || rhs.IsFull()) return RingRangeSet::Full();
+      return lhs.Union(rhs);
+    }
+    if (auto range = RangeOfComparison(where, segmentation_column_names)) {
+      return *range;
+    }
+    return RingRangeSet::Full();
+  }
+  return RingRangeSet::Full();
+}
+
+}  // namespace fabric::vertica::sql

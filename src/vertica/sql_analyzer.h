@@ -1,0 +1,58 @@
+#ifndef FABRIC_VERTICA_SQL_ANALYZER_H_
+#define FABRIC_VERTICA_SQL_ANALYZER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "vertica/catalog.h"
+#include "vertica/sql_ast.h"
+
+namespace fabric::vertica::sql {
+
+// A normalized set of half-open ranges on the unsigned 2^64 hash ring.
+// Bounds use unsigned __int128 so the exclusive upper bound 2^64 is
+// representable without a wrap sentinel.
+class RingRangeSet {
+ public:
+  static RingRangeSet Full();
+  static RingRangeSet Empty();
+  // [lower, upper) with upper as a 2^64-capable bound.
+  static RingRangeSet Of(unsigned __int128 lower, unsigned __int128 upper);
+  static RingRangeSet OfHashRange(const HashRange& range);
+
+  RingRangeSet Union(const RingRangeSet& other) const;
+  RingRangeSet Intersect(const RingRangeSet& other) const;
+
+  bool IsEmpty() const { return ranges_.empty(); }
+  bool IsFull() const;
+  bool Contains(uint64_t hash) const;
+  bool Intersects(const HashRange& range) const;
+
+  // Total covered width (for skew/coverage property tests).
+  unsigned __int128 TotalWidth() const;
+
+  int num_ranges() const { return static_cast<int>(ranges_.size()); }
+
+ private:
+  void Normalize();
+
+  // Sorted, disjoint, non-adjacent [lower, upper) pairs.
+  std::vector<std::pair<unsigned __int128, unsigned __int128>> ranges_;
+};
+
+// Derives the ring ranges a WHERE clause constrains HASH(segmentation
+// columns) to, for segment/node pruning. This is the analysis that makes
+// the V2S locality-aware queries touch exactly one node. Returns Full()
+// when the predicate does not constrain the ring (scan everything).
+//
+// Recognized forms (combined through AND/OR):
+//   HASH(c1, ..., ck) >= n / > n / < n / <= n / = n
+// where (c1..ck) matches `segmentation_column_names` in order.
+RingRangeSet ExtractHashRanges(
+    const Expr& where,
+    const std::vector<std::string>& segmentation_column_names);
+
+}  // namespace fabric::vertica::sql
+
+#endif  // FABRIC_VERTICA_SQL_ANALYZER_H_

@@ -1,0 +1,138 @@
+#include "vertica/sql_ast.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace fabric::vertica::sql {
+
+ExprPtr Expr::Literal(storage::Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::ColumnRef(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kColumnRef;
+  e->column = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Unary(std::string op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kUnary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Binary(std::string op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kBinary;
+  e->op = std::move(op);
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr operand, bool negated) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kIsNull;
+  e->negated = negated;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::Call(std::string function, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::kCall;
+  e->function = ToUpper(function);
+  e->args = std::move(args);
+  return e;
+}
+
+std::string Expr::ToSql() const {
+  switch (kind) {
+    case Kind::kLiteral:
+      return literal.ToSqlLiteral();
+    case Kind::kColumnRef:
+      return column;
+    case Kind::kUnary:
+      if (op == "NOT") return StrCat("(NOT ", args[0]->ToSql(), ")");
+      return StrCat("(", op, args[0]->ToSql(), ")");
+    case Kind::kBinary:
+      return StrCat("(", args[0]->ToSql(), " ", op, " ", args[1]->ToSql(),
+                    ")");
+    case Kind::kIsNull:
+      return StrCat("(", args[0]->ToSql(),
+                    negated ? " IS NOT NULL)" : " IS NULL)");
+    case Kind::kCall: {
+      std::string out = function;
+      out += "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i]->ToSql();
+      }
+      if (!parameters.empty()) {
+        out += " USING PARAMETERS ";
+        bool first = true;
+        for (const auto& [name, value] : parameters) {
+          if (!first) out += ", ";
+          first = false;
+          out += name;
+          out += "=";
+          out += value.ToSqlLiteral();
+        }
+      }
+      out += ")";
+      return out;
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->column = column;
+  e->op = op;
+  e->function = function;
+  e->negated = negated;
+  e->parameters = parameters;
+  for (const ExprPtr& arg : args) e->args.push_back(arg->Clone());
+  return e;
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (items[i].star) {
+      out += "*";
+    } else {
+      out += items[i].expr->ToSql();
+      if (!items[i].alias.empty()) out += StrCat(" AS ", items[i].alias);
+    }
+  }
+  if (!from.empty()) out += StrCat(" FROM ", from);
+  if (!join.empty()) {
+    out += StrCat(" JOIN ", join, " ON ", join_on->ToSql());
+  }
+  if (where != nullptr) out += StrCat(" WHERE ", where->ToSql());
+  if (!group_by.empty()) out += StrCat(" GROUP BY ", Join(group_by, ", "));
+  if (!order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += order_by[i].column;
+      if (order_by[i].descending) out += " DESC";
+    }
+  }
+  if (limit >= 0) out += StrCat(" LIMIT ", limit);
+  if (at_epoch >= 0) out += StrCat(" AT EPOCH ", at_epoch);
+  return out;
+}
+
+}  // namespace fabric::vertica::sql

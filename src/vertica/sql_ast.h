@@ -1,0 +1,144 @@
+#ifndef FABRIC_VERTICA_SQL_AST_H_
+#define FABRIC_VERTICA_SQL_AST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace fabric::vertica::sql {
+
+// ---------------------------------------------------------- expressions
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// One SQL scalar expression node. A single struct (rather than a class
+// hierarchy) keeps the parser and evaluator compact; `kind` selects which
+// fields are meaningful.
+struct Expr {
+  enum class Kind {
+    kLiteral,    // value
+    kColumnRef,  // column
+    kUnary,      // op in {"-", "NOT"}, args[0]
+    kBinary,     // op in {OR,AND,=,<>,<,<=,>,>=,+,-,*,/,%,||}, args[0..1]
+    kIsNull,     // args[0] IS [NOT] NULL (negated)
+    kCall,       // function(args...) [USING PARAMETERS name=literal,...]
+  };
+
+  Kind kind = Kind::kLiteral;
+  storage::Value literal;
+  std::string column;
+  std::string op;
+  std::string function;  // upper-cased
+  bool negated = false;  // IS NOT NULL
+  std::vector<ExprPtr> args;
+  std::map<std::string, storage::Value> parameters;  // USING PARAMETERS
+
+  static ExprPtr Literal(storage::Value v);
+  static ExprPtr ColumnRef(std::string name);
+  static ExprPtr Unary(std::string op, ExprPtr operand);
+  static ExprPtr Binary(std::string op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr IsNull(ExprPtr operand, bool negated);
+  static ExprPtr Call(std::string function, std::vector<ExprPtr> args);
+
+  // Re-renders the expression as SQL (used to ship predicates between
+  // layers and for diagnostics). Deterministic and re-parsable.
+  std::string ToSql() const;
+
+  ExprPtr Clone() const;
+};
+
+// ----------------------------------------------------------- statements
+
+struct SelectItem {
+  bool star = false;  // SELECT *
+  ExprPtr expr;       // null when star
+  std::string alias;  // optional
+};
+
+struct OrderItem {
+  std::string column;
+  bool descending = false;
+};
+
+struct SelectStmt {
+  std::vector<SelectItem> items;
+  std::string from;        // table/view/system-table; empty: FROM-less
+  std::string join;        // INNER JOIN partner (empty: none)
+  ExprPtr join_on;         // the ON condition (set iff join is set)
+  ExprPtr where;           // may be null
+  std::vector<std::string> group_by;
+  std::vector<OrderItem> order_by;
+  int64_t limit = -1;      // -1: none
+  int64_t at_epoch = -1;   // -1: latest committed epoch
+
+  std::string ToSql() const;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  bool if_not_exists = false;
+  std::vector<std::pair<std::string, storage::DataType>> columns;
+  std::vector<std::string> segmentation_columns;  // SEGMENTED BY HASH(...)
+  bool unsegmented = false;                       // UNSEGMENTED ALL NODES
+};
+
+struct CreateViewStmt {
+  std::string name;
+  std::unique_ptr<SelectStmt> select;
+};
+
+struct DropStmt {
+  bool is_view = false;
+  bool if_exists = false;
+  std::string name;
+};
+
+struct RenameTableStmt {
+  std::string from;
+  std::string to;
+  // ALTER TABLE a RENAME TO b REPLACE: atomically drops any existing b
+  // first (the S2V overwrite-commit swap).
+  bool replace = false;
+};
+
+struct TruncateStmt {
+  std::string table;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;        // optional explicit column list
+  std::vector<std::vector<ExprPtr>> rows;  // VALUES (...), (...)
+  std::unique_ptr<SelectStmt> select;      // INSERT ... SELECT
+  bool direct = false;  // /*+ DIRECT */ hint: straight to ROS
+};
+
+struct UpdateStmt {
+  std::string table;
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+struct TxnStmt {
+  enum class Kind { kBegin, kCommit, kRollback };
+  Kind kind;
+};
+
+using Statement =
+    std::variant<SelectStmt, CreateTableStmt, CreateViewStmt, DropStmt,
+                 RenameTableStmt, TruncateStmt, InsertStmt, UpdateStmt,
+                 DeleteStmt, TxnStmt>;
+
+}  // namespace fabric::vertica::sql
+
+#endif  // FABRIC_VERTICA_SQL_AST_H_

@@ -1,0 +1,51 @@
+#ifndef FABRIC_VERTICA_SQL_EVAL_H_
+#define FABRIC_VERTICA_SQL_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+#include "vertica/sql_ast.h"
+
+namespace fabric::vertica::sql {
+
+// Resolver for non-builtin scalar functions (the UDx hook): receives the
+// upper-cased function name, evaluated arguments and USING PARAMETERS.
+using UdxResolver = std::function<Result<storage::Value>(
+    const std::string& function, const std::vector<storage::Value>& args,
+    const std::map<std::string, storage::Value>& parameters)>;
+
+struct EvalContext {
+  const storage::Schema* schema = nullptr;  // null for constant expressions
+  const storage::Row* row = nullptr;
+  const UdxResolver* udx = nullptr;
+};
+
+// The ring hash exposed to SQL is signed: HASH(...) returns the raw 64-bit
+// ring position with its top bit flipped, which maps the unsigned ring
+// order onto the signed int64 order so range predicates compare correctly.
+int64_t RingHashToSigned(uint64_t ring_hash);
+uint64_t SignedToRingHash(int64_t signed_hash);
+
+// Evaluates a scalar expression under SQL three-valued logic (NULL
+// propagates; AND/OR follow Kleene logic). Aggregate function names
+// (COUNT/SUM/AVG/MIN/MAX) are rejected here — the executor intercepts
+// them before row-level evaluation.
+Result<storage::Value> Eval(const Expr& expr, const EvalContext& context);
+
+// WHERE semantics: row qualifies only when the expression is TRUE (a NULL
+// result filters the row out).
+Result<bool> EvalPredicate(const Expr& expr, const EvalContext& context);
+
+// True for COUNT/SUM/AVG/MIN/MAX.
+bool IsAggregateFunction(const std::string& upper_name);
+
+// True when the expression tree contains an aggregate call.
+bool ContainsAggregate(const Expr& expr);
+
+}  // namespace fabric::vertica::sql
+
+#endif  // FABRIC_VERTICA_SQL_EVAL_H_

@@ -1,0 +1,160 @@
+#include "vertica/sql_lexer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace fabric::vertica::sql {
+
+bool Token::Is(std::string_view keyword_or_op) const {
+  if (kind == Kind::kOperator) return text == keyword_or_op;
+  if (kind == Kind::kKeywordOrIdent) return upper == keyword_or_op;
+  return false;
+}
+
+Result<std::vector<Token>> Lex(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto push = [&](Token::Kind kind, std::string text, int pos) {
+    Token token;
+    token.kind = kind;
+    token.upper = ToUpper(text);
+    token.text = std::move(text);
+    token.position = pos;
+    tokens.push_back(std::move(token));
+  };
+
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < sql.size() && sql[i + 1] == '-') {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment; the /*+ DIRECT */ hint becomes a token.
+    if (c == '/' && i + 1 < sql.size() && sql[i + 1] == '*') {
+      size_t end = sql.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        return InvalidArgumentError("unterminated /* comment");
+      }
+      std::string body(Trim(sql.substr(i + 2, end - i - 2)));
+      if (!body.empty() && body[0] == '+' &&
+          EqualsIgnoreCase(Trim(std::string_view(body).substr(1)), "direct")) {
+        push(Token::Kind::kKeywordOrIdent, "DIRECT_HINT",
+             static_cast<int>(i));
+      }
+      i = end + 2;
+      continue;
+    }
+    // String literal with '' escaping.
+    if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < sql.size()) {
+        if (sql[j] == '\'') {
+          if (j + 1 < sql.size() && sql[j + 1] == '\'') {
+            value.push_back('\'');
+            j += 2;
+            continue;
+          }
+          closed = true;
+          ++j;
+          break;
+        }
+        value.push_back(sql[j]);
+        ++j;
+      }
+      if (!closed) {
+        return InvalidArgumentError(
+            StrCat("unterminated string literal at ", i));
+      }
+      push(Token::Kind::kString, std::move(value), static_cast<int>(i));
+      i = j;
+      continue;
+    }
+    // Number (integer or decimal; leading sign handled by the parser).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < sql.size() &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (j < sql.size()) {
+        char d = sql[j];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !seen_exp && j > i) {
+          seen_exp = true;
+          ++j;
+          if (j < sql.size() && (sql[j] == '+' || sql[j] == '-')) ++j;
+        } else {
+          break;
+        }
+      }
+      push(Token::Kind::kNumber, std::string(sql.substr(i, j - i)),
+           static_cast<int>(i));
+      i = j;
+      continue;
+    }
+    // Identifier / keyword (letters, digits, _, and . for qualified names
+    // like v_catalog.nodes are lexed as IDENT '.' IDENT).
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+        c == '"') {
+      if (c == '"') {  // quoted identifier
+        size_t end = sql.find('"', i + 1);
+        if (end == std::string_view::npos) {
+          return InvalidArgumentError("unterminated quoted identifier");
+        }
+        push(Token::Kind::kKeywordOrIdent,
+             std::string(sql.substr(i + 1, end - i - 1)),
+             static_cast<int>(i));
+        i = end + 1;
+        continue;
+      }
+      size_t j = i;
+      while (j < sql.size() &&
+             (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+              sql[j] == '_')) {
+        ++j;
+      }
+      push(Token::Kind::kKeywordOrIdent, std::string(sql.substr(i, j - i)),
+           static_cast<int>(i));
+      i = j;
+      continue;
+    }
+    // Multi-char operators first.
+    auto two = sql.substr(i, 2);
+    if (two == "<>" || two == "!=" || two == "<=" || two == ">=" ||
+        two == "||") {
+      push(Token::Kind::kOperator, std::string(two), static_cast<int>(i));
+      i += 2;
+      continue;
+    }
+    if (std::string_view("=<>+-*/%(),.;").find(c) != std::string_view::npos) {
+      if (c == ';') {  // statement terminator: stop
+        ++i;
+        continue;
+      }
+      push(Token::Kind::kOperator, std::string(1, c), static_cast<int>(i));
+      ++i;
+      continue;
+    }
+    return InvalidArgumentError(
+        StrCat("unexpected character '", std::string(1, c), "' at ", i));
+  }
+  Token end;
+  end.kind = Token::Kind::kEnd;
+  end.position = static_cast<int>(sql.size());
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace fabric::vertica::sql

@@ -1,0 +1,35 @@
+#ifndef FABRIC_VERTICA_SQL_LEXER_H_
+#define FABRIC_VERTICA_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace fabric::vertica::sql {
+
+struct Token {
+  enum class Kind {
+    kKeywordOrIdent,  // bare word; text upper-cased in `upper`
+    kNumber,          // integer or decimal literal text
+    kString,          // contents with '' unescaped
+    kOperator,        // = <> != < <= > >= + - * / % || ( ) , .
+    kEnd,
+  };
+
+  Kind kind;
+  std::string text;   // original spelling (identifier case preserved)
+  std::string upper;  // upper-cased (keyword matching)
+  int position = 0;   // offset in the input, for error messages
+
+  bool Is(std::string_view keyword_or_op) const;
+};
+
+// Tokenizes one SQL statement. Comments (-- and /* */) are skipped except
+// that the /*+ DIRECT */ hint is surfaced as a keyword token "DIRECT_HINT".
+Result<std::vector<Token>> Lex(std::string_view sql);
+
+}  // namespace fabric::vertica::sql
+
+#endif  // FABRIC_VERTICA_SQL_LEXER_H_

@@ -1,0 +1,36 @@
+#ifndef FABRIC_VERTICA_SQL_PARSER_H_
+#define FABRIC_VERTICA_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "vertica/sql_ast.h"
+
+namespace fabric::vertica::sql {
+
+// Parses one SQL statement of the supported subset:
+//
+//   SELECT items FROM t [WHERE e] [GROUP BY c,...] [ORDER BY c [DESC],...]
+//     [LIMIT n] [AT EPOCH n]
+//   CREATE TABLE [IF NOT EXISTS] t (col TYPE, ...)
+//     [SEGMENTED BY HASH(c, ...) ALL NODES | UNSEGMENTED ALL NODES]
+//   CREATE VIEW v AS SELECT ...
+//   DROP TABLE|VIEW [IF EXISTS] name
+//   ALTER TABLE t RENAME TO u
+//   TRUNCATE TABLE t
+//   INSERT [/*+ DIRECT */] INTO t [(c, ...)] VALUES (...), ... | SELECT ...
+//   UPDATE t SET c = e, ... [WHERE e]
+//   DELETE FROM t [WHERE e]
+//   BEGIN | COMMIT | ROLLBACK
+//
+// Aggregates COUNT/SUM/AVG/MIN/MAX, the segmentation function HASH(...),
+// and UDx calls with USING PARAMETERS are ordinary function calls in the
+// expression grammar.
+Result<Statement> Parse(std::string_view sql);
+
+// Parses a standalone scalar expression (tests, stored predicates).
+Result<ExprPtr> ParseExpression(std::string_view sql);
+
+}  // namespace fabric::vertica::sql
+
+#endif  // FABRIC_VERTICA_SQL_PARSER_H_

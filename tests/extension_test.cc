@@ -1,0 +1,303 @@
+// Tests for the extension / future-work features (paper Section 5) and
+// for the harsher failure scenarios: S2V pre-hashing, the V2S locality
+// ablation switch, the two-stage (Redshift-style) save, and total-Spark-
+// failure semantics around the permanent job-status table.
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/two_stage.h"
+#include "common/string_util.h"
+#include "connector/default_source.h"
+#include "connector/s2v.h"
+#include "hdfs/hdfs.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "spark/dataframe.h"
+#include "vertica/database.h"
+#include "vertica/session.h"
+
+namespace fabric::connector {
+namespace {
+
+using spark::SaveMode;
+using storage::DataType;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+
+Schema TestSchema() {
+  return Schema({{"id", DataType::kInt64}, {"score", DataType::kFloat64}});
+}
+
+std::vector<Row> MakeRows(int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i), Value::Float64(i * 1.5)});
+  }
+  return rows;
+}
+
+std::multiset<int64_t> IdsOf(const std::vector<Row>& rows) {
+  std::multiset<int64_t> ids;
+  for (const Row& row : rows) ids.insert(row[0].int64_value());
+  return ids;
+}
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  ExtensionTest() : network_(&engine_) {
+    vertica::Database::Options vopts;
+    vopts.num_nodes = 4;
+    db_ = std::make_unique<vertica::Database>(&engine_, &network_, vopts);
+    spark::SparkCluster::Options sopts;
+    sopts.num_workers = 4;
+    sopts.cost.spark_slots_per_worker = 8;
+    cluster_ = std::make_unique<spark::SparkCluster>(&engine_, &network_,
+                                                     sopts);
+    session_ = std::make_unique<spark::SparkSession>(cluster_.get());
+    RegisterVerticaSource(session_.get(), db_.get());
+    hdfs_ = std::make_unique<hdfs::HdfsCluster>(
+        &engine_, &network_,
+        hdfs::HdfsCluster::Options{4, cluster_->cost()});
+    hdfs::RegisterHdfsSource(session_.get(), hdfs_.get());
+  }
+
+  void RunDriver(std::function<void(sim::Process&)> body) {
+    engine_.Spawn("driver", std::move(body));
+    Status status = engine_.Run();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+
+  double InternalBytes() {
+    double total = 0;
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      total += network_.LinkBytesCarried(db_->node_host(n).int_egress);
+    }
+    return total;
+  }
+
+  std::vector<Row> TableRows(sim::Process& driver,
+                             const std::string& table) {
+    auto session = db_->Connect(driver, 0, &cluster_->driver_host());
+    EXPECT_TRUE(session.ok());
+    auto result =
+        (*session)->Execute(driver, StrCat("SELECT * FROM ", table));
+    EXPECT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE((*session)->Close(driver).ok());
+    return result.ok() ? std::move(result->rows) : std::vector<Row>{};
+  }
+
+  sim::Engine engine_;
+  net::Network network_;
+  std::unique_ptr<vertica::Database> db_;
+  std::unique_ptr<spark::SparkCluster> cluster_;
+  std::unique_ptr<spark::SparkSession> session_;
+  std::unique_ptr<hdfs::HdfsCluster> hdfs_;
+};
+
+TEST_F(ExtensionTest, PrehashEliminatesInternalRoutingAndStaysExact) {
+  RunDriver([&](sim::Process& driver) {
+    std::vector<Row> rows = MakeRows(400);
+    double before = InternalBytes();
+    auto df = session_->CreateDataFrame(TestSchema(), rows, 16);
+    ASSERT_TRUE(df.ok());
+    ASSERT_TRUE(df->Write()
+                    .Format(kVerticaSourceName)
+                    .Option("table", "t")
+                    .Option("numpartitions", 16)
+                    .Option("prehash", "true")
+                    .Mode(SaveMode::kOverwrite)
+                    .Save(driver)
+                    .ok());
+    // Bulk data (400 rows x 16 B, ~3/4 of which would normally hop
+    // between nodes) never crossed the internal fabric; the residue is
+    // replication of the tiny unsegmented bookkeeping tables.
+    double moved = InternalBytes() - before;
+    EXPECT_LT(moved, 2500);
+    EXPECT_EQ(IdsOf(TableRows(driver, "t")), IdsOf(rows));
+  });
+}
+
+TEST_F(ExtensionTest, PrehashExactlyOnceUnderKills) {
+  spark::ScriptedFailureInjector injector;
+  injector.KillAttempt(0, 0, 0.5).KillAttempt(3, 0, 2.0).KillAttempt(
+      3, 1, 0.5);
+  cluster_->set_failure_injector(&injector);
+  RunDriver([&](sim::Process& driver) {
+    std::vector<Row> rows = MakeRows(300);
+    auto df = session_->CreateDataFrame(TestSchema(), rows, 8);
+    ASSERT_TRUE(df.ok());
+    ASSERT_TRUE(df->Write()
+                    .Format(kVerticaSourceName)
+                    .Option("table", "t")
+                    .Option("numpartitions", 8)
+                    .Option("prehash", "true")
+                    .Mode(SaveMode::kOverwrite)
+                    .Save(driver)
+                    .ok());
+    EXPECT_EQ(IdsOf(TableRows(driver, "t")), IdsOf(rows));
+  });
+}
+
+TEST_F(ExtensionTest, LocalityAblationShufflesButStaysCorrect) {
+  RunDriver([&](sim::Process& driver) {
+    std::vector<Row> rows = MakeRows(300);
+    auto df = session_->CreateDataFrame(TestSchema(), rows, 8);
+    ASSERT_TRUE(df.ok());
+    ASSERT_TRUE(df->Write()
+                    .Format(kVerticaSourceName)
+                    .Option("table", "t")
+                    .Option("numpartitions", 8)
+                    .Mode(SaveMode::kOverwrite)
+                    .Save(driver)
+                    .ok());
+    double before = InternalBytes();
+    auto loaded = session_->Read()
+                      .Format(kVerticaSourceName)
+                      .Option("table", "t")
+                      .Option("numpartitions", 8)
+                      .Option("locality", "false")
+                      .Load(driver);
+    ASSERT_TRUE(loaded.ok());
+    auto collected = loaded->Collect(driver);
+    ASSERT_TRUE(collected.ok());
+    // Same rows, but the misaligned targeting forced internal shuffle.
+    EXPECT_EQ(IdsOf(*collected), IdsOf(rows));
+    EXPECT_GT(InternalBytes(), before);
+  });
+}
+
+TEST_F(ExtensionTest, TwoStageSaveDeliversExactlyOnce) {
+  RunDriver([&](sim::Process& driver) {
+    std::vector<Row> rows = MakeRows(250);
+    auto df = session_->CreateDataFrame(TestSchema(), rows, 8);
+    ASSERT_TRUE(df.ok());
+    auto timing = baselines::TwoStageSave(driver, session_.get(),
+                                          hdfs_.get(), db_.get(), *df,
+                                          "/landing", "t");
+    ASSERT_TRUE(timing.ok()) << timing.status();
+    EXPECT_GT(timing->stage1_write, 0);
+    EXPECT_GT(timing->stage2_load, 0);
+    EXPECT_EQ(IdsOf(TableRows(driver, "t")), IdsOf(rows));
+  });
+}
+
+TEST_F(ExtensionTest, AppendModeExactlyOnceUnderKills) {
+  // Append is the harder commit path (INSERT...SELECT + conditional
+  // finished-flag in one transaction); hammer it with kills.
+  spark::ScriptedFailureInjector injector;
+  injector.KillAttempt(1, 0, 1.0).KillAttempt(5, 0, 2.5).KillAttempt(
+      5, 1, 0.2);
+  cluster_->set_failure_injector(&injector);
+  RunDriver([&](sim::Process& driver) {
+    std::vector<Row> first = MakeRows(100);
+    auto df1 = session_->CreateDataFrame(TestSchema(), first, 8);
+    ASSERT_TRUE(df1.ok());
+    ASSERT_TRUE(df1->Write()
+                    .Format(kVerticaSourceName)
+                    .Option("table", "t")
+                    .Option("numpartitions", 8)
+                    .Mode(SaveMode::kOverwrite)
+                    .Save(driver)
+                    .ok());
+    std::vector<Row> second;
+    for (int i = 1000; i < 1200; ++i) {
+      second.push_back({Value::Int64(i), Value::Float64(i * 1.5)});
+    }
+    auto df2 = session_->CreateDataFrame(TestSchema(), second, 8);
+    ASSERT_TRUE(df2.ok());
+    ASSERT_TRUE(df2->Write()
+                    .Format(kVerticaSourceName)
+                    .Option("table", "t")
+                    .Option("numpartitions", 8)
+                    .Mode(SaveMode::kAppend)
+                    .Save(driver)
+                    .ok());
+    std::multiset<int64_t> expected = IdsOf(first);
+    for (const Row& row : second) expected.insert(row[0].int64_value());
+    EXPECT_EQ(IdsOf(TableRows(driver, "t")), expected);
+  });
+}
+
+TEST_F(ExtensionTest, SaveCompletesEvenIfDriverDies) {
+  // The five-phase protocol is entirely task-driven: once the tasks are
+  // launched, the save promotes itself even when the driver (and with it
+  // Finalize's cleanup) is gone. The permanent job-status table tells a
+  // reconnecting user the job finished.
+  RunDriver([&](sim::Process& driver) {
+    std::vector<Row> rows = MakeRows(300);
+    Status save_status;
+    auto doomed = engine_.Spawn("doomed-driver", [&](sim::Process& inner) {
+      auto df = session_->CreateDataFrame(TestSchema(), rows, 8);
+      ASSERT_TRUE(df.ok());
+      save_status = df->Write()
+                        .Format(kVerticaSourceName)
+                        .Option("table", "t")
+                        .Option("numpartitions", 8)
+                        .Option("jobname", "orphaned")
+                        .Mode(SaveMode::kOverwrite)
+                        .Save(inner);
+    });
+    // Kill the driver shortly after the job starts; the tasks live on.
+    ASSERT_TRUE(driver.Sleep(3.0).ok());
+    engine_.Kill(*doomed);
+    // Give the orphaned tasks time to finish their protocol.
+    ASSERT_TRUE(driver.Sleep(500.0).ok());
+    EXPECT_EQ(save_status.code(), StatusCode::kCancelled);
+    // Data landed exactly once and the permanent record says finished.
+    EXPECT_EQ(IdsOf(TableRows(driver, "t")), IdsOf(rows));
+    auto session = db_->Connect(driver, 0, &cluster_->driver_host());
+    ASSERT_TRUE(session.ok());
+    auto final_row = (*session)->Execute(
+        driver, StrCat("SELECT finished FROM ",
+                       S2VRelation::kFinalStatusTable,
+                       " WHERE job = 'orphaned'"));
+    ASSERT_TRUE(final_row.ok());
+    ASSERT_EQ(final_row->rows.size(), 1u);
+    EXPECT_TRUE(final_row->rows[0][0].bool_value());
+    // Finalize never ran, so the temporary tables are still around for
+    // the DBA to inspect (and clean up).
+    EXPECT_TRUE(db_->catalog().HasTable("s2v_task_status_orphaned"));
+    ASSERT_TRUE((*session)->Close(driver).ok());
+  });
+}
+
+TEST_F(ExtensionTest, AbortedSaveLeavesPermanentUnfinishedRecord) {
+  // Kill every attempt of task 2: the job aborts, the target is never
+  // created, and the permanent record honestly says not-finished.
+  spark::ScriptedFailureInjector injector;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    injector.KillAttempt(2, attempt, 0.5);
+  }
+  cluster_->set_failure_injector(&injector);
+  RunDriver([&](sim::Process& driver) {
+    auto df = session_->CreateDataFrame(TestSchema(), MakeRows(100), 8);
+    ASSERT_TRUE(df.ok());
+    Status saved = df->Write()
+                       .Format(kVerticaSourceName)
+                       .Option("table", "t")
+                       .Option("numpartitions", 8)
+                       .Option("jobname", "doomed")
+                       .Mode(SaveMode::kOverwrite)
+                       .Save(driver);
+    EXPECT_EQ(saved.code(), StatusCode::kAborted);
+    EXPECT_FALSE(db_->catalog().HasTable("t"));
+    auto session = db_->Connect(driver, 0, &cluster_->driver_host());
+    ASSERT_TRUE(session.ok());
+    auto final_row = (*session)->Execute(
+        driver, StrCat("SELECT finished FROM ",
+                       S2VRelation::kFinalStatusTable,
+                       " WHERE job = 'doomed'"));
+    ASSERT_TRUE(final_row.ok());
+    ASSERT_EQ(final_row->rows.size(), 1u);
+    EXPECT_FALSE(final_row->rows[0][0].bool_value());
+    ASSERT_TRUE((*session)->Close(driver).ok());
+  });
+}
+
+}  // namespace
+}  // namespace fabric::connector

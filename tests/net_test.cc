@@ -1,0 +1,231 @@
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "sim/waitable.h"
+
+namespace fabric::net {
+namespace {
+
+TEST(NetworkTest, SingleFlowUsesFullCapacity) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);  // 100 B/s
+  double finished_at = -1;
+  engine.Spawn("sender", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 500.0).ok());
+    finished_at = self.Now();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_DOUBLE_EQ(finished_at, 5.0);
+  EXPECT_DOUBLE_EQ(network.LinkBytesCarried(link), 500.0);
+}
+
+TEST(NetworkTest, TwoFlowsShareFairly) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  std::vector<double> finish(2, -1);
+  for (int i = 0; i < 2; ++i) {
+    engine.Spawn("sender", [&network, &finish, link, i](sim::Process& self) {
+      ASSERT_TRUE(network.Transfer(self, {link}, 500.0).ok());
+      finish[i] = self.Now();
+    });
+  }
+  ASSERT_TRUE(engine.Run().ok());
+  // Each gets 50 B/s for 500 B => both done at t=10.
+  EXPECT_DOUBLE_EQ(finish[0], 10.0);
+  EXPECT_DOUBLE_EQ(finish[1], 10.0);
+}
+
+TEST(NetworkTest, ShortFlowFreesBandwidthForLongFlow) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  double long_done = -1, short_done = -1;
+  engine.Spawn("long", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 1000.0).ok());
+    long_done = self.Now();
+  });
+  engine.Spawn("short", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 100.0).ok());
+    short_done = self.Now();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  // Shared at 50/50 until the short flow finishes (t=2, 100B), then the
+  // long flow runs at 100 B/s for its remaining 900 B: 2 + 9 = 11.
+  EXPECT_DOUBLE_EQ(short_done, 2.0);
+  EXPECT_DOUBLE_EQ(long_done, 11.0);
+}
+
+TEST(NetworkTest, RateCapLimitsASingleFlow) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  double done = -1;
+  engine.Spawn("capped", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 100.0, /*rate_cap=*/20.0).ok());
+    done = self.Now();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(NetworkTest, CappedFlowsLeaveHeadroomToOthers) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  double capped_done = -1, open_done = -1;
+  engine.Spawn("capped", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 200.0, 20.0).ok());
+    capped_done = self.Now();
+  });
+  engine.Spawn("open", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 400.0).ok());
+    open_done = self.Now();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  // Capped flow: 20 B/s for 200 B => 10 s. Open flow gets 80 B/s while the
+  // capped flow is active: 400 B at 80 B/s => 5 s.
+  EXPECT_DOUBLE_EQ(open_done, 5.0);
+  EXPECT_DOUBLE_EQ(capped_done, 10.0);
+}
+
+TEST(NetworkTest, MultiLinkPathTakesMinimumShare) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId fast = network.AddLink("fast", 100.0);
+  LinkId slow = network.AddLink("slow", 10.0);
+  double done = -1;
+  engine.Spawn("sender", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {fast, slow}, 100.0).ok());
+    done = self.Now();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_DOUBLE_EQ(done, 10.0);
+}
+
+TEST(NetworkTest, CrossTrafficCongestsSharedLink) {
+  // Two flows share an ingress link but have distinct egress links: the
+  // ingress is the bottleneck and both flows halve.
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId egress_a = network.AddLink("egress_a", 100.0);
+  LinkId egress_b = network.AddLink("egress_b", 100.0);
+  LinkId ingress = network.AddLink("ingress", 100.0);
+  std::vector<double> finish(2, -1);
+  engine.Spawn("a", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {egress_a, ingress}, 300.0).ok());
+    finish[0] = self.Now();
+  });
+  engine.Spawn("b", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {egress_b, ingress}, 300.0).ok());
+    finish[1] = self.Now();
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_DOUBLE_EQ(finish[0], 6.0);
+  EXPECT_DOUBLE_EQ(finish[1], 6.0);
+}
+
+TEST(NetworkTest, ZeroByteTransferIsInstant) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  engine.Spawn("sender", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 0.0).ok());
+    EXPECT_DOUBLE_EQ(self.Now(), 0.0);
+  });
+  ASSERT_TRUE(engine.Run().ok());
+}
+
+TEST(NetworkTest, KilledSenderTearsDownFlow) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  Status observed;
+  double other_done = -1;
+  auto victim = engine.Spawn("victim", [&](sim::Process& self) {
+    observed = network.Transfer(self, {link}, 10000.0);
+  });
+  engine.Spawn("survivor", [&](sim::Process& self) {
+    ASSERT_TRUE(network.Transfer(self, {link}, 500.0).ok());
+    other_done = self.Now();
+  });
+  engine.ScheduleAt(2.0, [&] { engine.Kill(*victim); });
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_EQ(observed.code(), StatusCode::kCancelled);
+  // Survivor: 50 B/s for 2 s (100 B), then full 100 B/s for remaining
+  // 400 B => 2 + 4 = 6 s.
+  EXPECT_DOUBLE_EQ(other_done, 6.0);
+  EXPECT_EQ(network.num_active_flows(), 0);
+}
+
+TEST(NetworkTest, LinkTelemetryTracksRateAndFlows) {
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId link = network.AddLink("nic", 100.0);
+  double mid_rate = -1;
+  int mid_flows = -1;
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn("sender", [&network, link](sim::Process& self) {
+      ASSERT_TRUE(network.Transfer(self, {link}, 400.0).ok());
+    });
+  }
+  engine.ScheduleAt(1.0, [&] {
+    mid_rate = network.LinkCurrentRate(link);
+    mid_flows = network.LinkActiveFlows(link);
+  });
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_DOUBLE_EQ(mid_rate, 100.0);  // saturated
+  EXPECT_EQ(mid_flows, 4);
+  EXPECT_DOUBLE_EQ(network.LinkBytesCarried(link), 1600.0);
+}
+
+// Property sweep over randomized flow sets: bytes are conserved (sum of
+// carried bytes equals sum of flow sizes per traversed link), the link
+// never exceeds capacity, and makespan is at least the lower bound
+// total_bytes / capacity.
+class NetworkPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NetworkPropertyTest, ConservationAndCapacity) {
+  Rng rng(GetParam());
+  sim::Engine engine;
+  Network network(&engine);
+  LinkId shared = network.AddLink("shared", 100.0);
+  std::vector<LinkId> privates;
+  for (int i = 0; i < 3; ++i) {
+    privates.push_back(network.AddLink("private", 60.0));
+  }
+  double total_bytes = 0;
+  int flows = 2 + static_cast<int>(rng.NextUint64(10));
+  for (int i = 0; i < flows; ++i) {
+    double bytes = 50.0 + static_cast<double>(rng.NextUint64(1000));
+    double start = rng.NextDouble() * 5.0;
+    LinkId private_link = privates[rng.NextUint64(privates.size())];
+    total_bytes += bytes;
+    engine.Spawn("sender", [&network, private_link, shared, bytes, start](
+                               sim::Process& self) {
+      ASSERT_TRUE(self.Sleep(start).ok());
+      ASSERT_TRUE(
+          network.Transfer(self, {private_link, shared}, bytes).ok());
+    });
+  }
+  // Sample the shared link rate periodically to check the capacity bound.
+  for (int t = 1; t <= 40; ++t) {
+    engine.ScheduleAt(t * 0.5, [&network, shared] {
+      EXPECT_LE(network.LinkCurrentRate(shared), 100.0 * (1 + 1e-9));
+    });
+  }
+  ASSERT_TRUE(engine.Run().ok());
+  EXPECT_NEAR(network.LinkBytesCarried(shared), total_bytes, 1e-3);
+  EXPECT_GE(engine.now(), total_bytes / 100.0 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NetworkPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace fabric::net

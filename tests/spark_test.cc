@@ -1,0 +1,279 @@
+#include <memory>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "spark/cluster.h"
+#include "spark/dataframe.h"
+#include "spark/types.h"
+
+namespace fabric::spark {
+namespace {
+
+using storage::DataType;
+using storage::Row;
+using storage::Schema;
+using storage::Value;
+
+Schema TwoColSchema() {
+  return Schema({{"id", DataType::kInt64}, {"v", DataType::kFloat64}});
+}
+
+std::vector<Row> MakeRows(int n) {
+  std::vector<Row> rows;
+  for (int i = 0; i < n; ++i) {
+    rows.push_back({Value::Int64(i), Value::Float64(i * 0.5)});
+  }
+  return rows;
+}
+
+class SparkTest : public ::testing::Test {
+ protected:
+  SparkTest() : network_(&engine_) {
+    SparkCluster::Options options;
+    options.num_workers = 4;
+    options.cost.spark_slots_per_worker = 4;
+    cluster_ = std::make_unique<SparkCluster>(&engine_, &network_, options);
+    session_ = std::make_unique<SparkSession>(cluster_.get());
+  }
+
+  void RunDriver(std::function<void(sim::Process&)> body) {
+    engine_.Spawn("driver", std::move(body));
+    Status status = engine_.Run();
+    ASSERT_TRUE(status.ok()) << status;
+  }
+
+  sim::Engine engine_;
+  net::Network network_;
+  std::unique_ptr<SparkCluster> cluster_;
+  std::unique_ptr<SparkSession> session_;
+};
+
+TEST_F(SparkTest, CreateDataFrameAndCollect) {
+  RunDriver([&](sim::Process& driver) {
+    auto df = session_->CreateDataFrame(TwoColSchema(), MakeRows(100), 8);
+    ASSERT_TRUE(df.ok());
+    EXPECT_EQ(df->NumPartitions(), 8);
+    auto rows = df->Collect(driver);
+    ASSERT_TRUE(rows.ok()) << rows.status();
+    EXPECT_EQ(rows->size(), 100u);
+  });
+}
+
+TEST_F(SparkTest, CountAndFilterAndSelect) {
+  RunDriver([&](sim::Process& driver) {
+    auto df = session_->CreateDataFrame(TwoColSchema(), MakeRows(100), 4);
+    ASSERT_TRUE(df.ok());
+    EXPECT_EQ(df->Count(driver).value(), 100);
+    ColumnPredicate pred;
+    pred.column = "id";
+    pred.op = ColumnPredicate::Op::kGe;
+    pred.literal = Value::Int64(90);
+    DataFrame filtered = df->Filter(pred);
+    EXPECT_EQ(filtered.Count(driver).value(), 10);
+    auto selected = filtered.Select({"v"});
+    ASSERT_TRUE(selected.ok());
+    EXPECT_EQ(selected->schema().num_columns(), 1);
+    auto rows = selected->Collect(driver);
+    ASSERT_TRUE(rows.ok());
+    ASSERT_EQ(rows->size(), 10u);
+    EXPECT_EQ((*rows)[0].size(), 1u);
+  });
+}
+
+TEST_F(SparkTest, MapAndUnionAndOpaqueFilter) {
+  RunDriver([&](sim::Process& driver) {
+    auto df = session_->CreateDataFrame(TwoColSchema(), MakeRows(10), 2);
+    ASSERT_TRUE(df.ok());
+    Schema mapped_schema({{"doubled", DataType::kInt64}});
+    DataFrame mapped = df->Map(
+        [](const Row& row) -> Result<Row> {
+          return Row{Value::Int64(row[0].int64_value() * 2)};
+        },
+        mapped_schema);
+    DataFrame odd = mapped.Filter([](const Row& row) -> Result<bool> {
+      return row[0].int64_value() % 4 == 2;
+    });
+    auto unioned = mapped.Union(odd);
+    ASSERT_TRUE(unioned.ok());
+    EXPECT_EQ(unioned->Count(driver).value(), 10 + 5);
+    // Union of mismatched schemas fails.
+    EXPECT_FALSE(df->Union(mapped).ok());
+  });
+}
+
+TEST_F(SparkTest, RepartitionCoalescePreservesRows) {
+  RunDriver([&](sim::Process& driver) {
+    auto df = session_->CreateDataFrame(TwoColSchema(), MakeRows(97), 16);
+    ASSERT_TRUE(df.ok());
+    auto coalesced = df->Repartition(5);
+    ASSERT_TRUE(coalesced.ok());
+    EXPECT_EQ(coalesced->NumPartitions(), 5);
+    auto rows = coalesced->Collect(driver);
+    ASSERT_TRUE(rows.ok());
+    std::set<int64_t> ids;
+    for (const Row& row : *rows) ids.insert(row[0].int64_value());
+    EXPECT_EQ(ids.size(), 97u);
+    // Widening driver-local data reslices it.
+    auto widened = df->Repartition(32);
+    ASSERT_TRUE(widened.ok());
+    EXPECT_EQ(widened->NumPartitions(), 32);
+    EXPECT_EQ(widened->Count(driver).value(), 97);
+  });
+}
+
+TEST_F(SparkTest, PushDownPassFusesFiltersAndSelectsIntoScan) {
+  // Build by hand: a scan plan wrapped by filter+select must collapse.
+  auto scan = std::make_shared<Plan>();
+  scan->kind = Plan::Kind::kScan;
+  scan->schema = TwoColSchema();
+  DataFrame df = session_->WrapPlan(scan);
+  ColumnPredicate pred;
+  pred.column = "id";
+  pred.op = ColumnPredicate::Op::kLt;
+  pred.literal = Value::Int64(5);
+  auto chained = df.Filter(pred).Select({"v"});
+  ASSERT_TRUE(chained.ok());
+  auto fused = PushDownPass(chained->plan());
+  ASSERT_EQ(fused->kind, Plan::Kind::kScan);
+  ASSERT_EQ(fused->pushed.filters.size(), 1u);
+  EXPECT_EQ(fused->pushed.filters[0].column, "id");
+  EXPECT_EQ(fused->pushed.required_columns,
+            std::vector<std::string>{"v"});
+  EXPECT_EQ(fused->schema.num_columns(), 1);
+}
+
+TEST_F(SparkTest, OpaqueFilterBlocksPushdown) {
+  auto scan = std::make_shared<Plan>();
+  scan->kind = Plan::Kind::kScan;
+  scan->schema = TwoColSchema();
+  DataFrame df = session_->WrapPlan(scan);
+  DataFrame opaque = df.Filter(
+      [](const Row&) -> Result<bool> { return true; });
+  ColumnPredicate pred;
+  pred.column = "id";
+  pred.op = ColumnPredicate::Op::kLt;
+  pred.literal = Value::Int64(5);
+  DataFrame mixed = opaque.Filter(pred);
+  auto fused = PushDownPass(mixed.plan());
+  // The pushable filter stays above the opaque one; the scan keeps no
+  // pushed filters.
+  EXPECT_EQ(fused->kind, Plan::Kind::kFilterPredicate);
+}
+
+TEST_F(SparkTest, JobUsesSlotsInWaves) {
+  // 4 workers x 4 slots = 16 slots; 32 equal one-second tasks need two
+  // waves.
+  RunDriver([&](sim::Process& driver) {
+    auto stats = cluster_->RunJob(driver, "waves", 32,
+                                  [](TaskContext& task) -> Status {
+                                    return task.process->Sleep(1.0);
+                                  });
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->attempts_launched, 32);
+    EXPECT_GE(stats->makespan, 2.0);
+    EXPECT_LT(stats->makespan, 3.0);
+  });
+}
+
+TEST_F(SparkTest, FailedTasksAreRetried) {
+  ScriptedFailureInjector injector;
+  injector.KillAttempt(3, 0, 0.2).KillAttempt(3, 1, 0.2);
+  cluster_->set_failure_injector(&injector);
+  RunDriver([&](sim::Process& driver) {
+    auto stats = cluster_->RunJob(driver, "retry", 8,
+                                  [](TaskContext& task) -> Status {
+                                    return task.process->Sleep(1.0);
+                                  });
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_EQ(stats->attempts_failed, 2);
+    EXPECT_EQ(stats->attempts_launched, 10);  // 8 + 2 retries
+  });
+}
+
+TEST_F(SparkTest, JobAbortsAfterMaxFailures) {
+  ScriptedFailureInjector injector;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    injector.KillAttempt(0, attempt, 0.1);
+  }
+  cluster_->set_failure_injector(&injector);
+  RunDriver([&](sim::Process& driver) {
+    auto stats = cluster_->RunJob(driver, "doomed", 4,
+                                  [](TaskContext& task) -> Status {
+                                    return task.process->Sleep(1.0);
+                                  });
+    EXPECT_EQ(stats.status().code(), StatusCode::kAborted);
+  });
+}
+
+TEST_F(SparkTest, SpeculationDuplicatesStragglers) {
+  RunDriver([&](sim::Process& driver) {
+    // Task 0 (attempt 0) sleeps forever-ish; all others are quick. The
+    // speculative copy (attempt 1) is fast, so the job finishes long
+    // before the straggler would.
+    auto stats = cluster_->RunJob(
+        driver, "straggle", 8, [](TaskContext& task) -> Status {
+          if (task.task == 0 && task.attempt == 0) {
+            return task.process->Sleep(500.0);
+          }
+          return task.process->Sleep(1.0);
+        });
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_GE(stats->speculative_launched, 1);
+    // The straggler still runs to completion (the scheduler does not
+    // preempt), but the duplicate finished the task.
+    EXPECT_GE(stats->makespan, 1.0);
+  });
+}
+
+TEST_F(SparkTest, SpeculativeDuplicatesBothExecute) {
+  // Count executions per task: the speculated task's body runs twice —
+  // the hazard S2V must tolerate.
+  RunDriver([&](sim::Process& driver) {
+    auto executions = std::make_shared<std::vector<int>>(8, 0);
+    auto stats = cluster_->RunJob(
+        driver, "dup", 8, [executions](TaskContext& task) -> Status {
+          ++(*executions)[task.task];
+          if (task.task == 0 && task.attempt == 0) {
+            return task.process->Sleep(300.0);
+          }
+          return task.process->Sleep(1.0);
+        });
+    ASSERT_TRUE(stats.ok());
+    EXPECT_GE((*executions)[0], 2);
+  });
+}
+
+TEST(SourceOptionsTest, TypedAccess) {
+  SourceOptions options;
+  options.Set("Table", "t1").Set("NumPartitions", 32);
+  EXPECT_TRUE(options.Has("table"));
+  EXPECT_EQ(options.Get("TABLE").value(), "t1");
+  EXPECT_EQ(options.GetInt("numpartitions").value(), 32);
+  EXPECT_EQ(options.GetIntOr("missing", 7), 7);
+  EXPECT_EQ(options.GetOr("missing", "x"), "x");
+  EXPECT_FALSE(options.Get("missing").ok());
+  options.Set("tolerance", "0.25");
+  EXPECT_DOUBLE_EQ(options.GetDoubleOr("tolerance", 0), 0.25);
+}
+
+TEST(ColumnPredicateTest, MatchAndSql) {
+  Schema schema({{"id", DataType::kInt64}, {"s", DataType::kVarchar}});
+  Row row = {Value::Int64(5), Value::Varchar("x")};
+  ColumnPredicate ge{"id", ColumnPredicate::Op::kGe, Value::Int64(5)};
+  EXPECT_TRUE(ge.Matches(schema, row).value());
+  EXPECT_EQ(ge.ToSqlCondition(), "id >= 5");
+  ColumnPredicate null_check{"s", ColumnPredicate::Op::kIsNotNull,
+                             Value::Null()};
+  EXPECT_TRUE(null_check.Matches(schema, row).value());
+  EXPECT_EQ(null_check.ToSqlCondition(), "s IS NOT NULL");
+  Row with_null = {Value::Null(), Value::Varchar("x")};
+  EXPECT_FALSE(ge.Matches(schema, with_null).value());
+}
+
+}  // namespace
+}  // namespace fabric::spark
