@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_jdbc_save.dir/bench_fig11_jdbc_save.cc.o"
+  "CMakeFiles/bench_fig11_jdbc_save.dir/bench_fig11_jdbc_save.cc.o.d"
+  "bench_fig11_jdbc_save"
+  "bench_fig11_jdbc_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_jdbc_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_partitions.dir/bench_fig6_partitions.cc.o"
+  "CMakeFiles/bench_fig6_partitions.dir/bench_fig6_partitions.cc.o.d"
+  "bench_fig6_partitions"
+  "bench_fig6_partitions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_partitions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_clusterscale.dir/bench_fig8_clusterscale.cc.o"
+  "CMakeFiles/bench_fig8_clusterscale.dir/bench_fig8_clusterscale.cc.o.d"
+  "bench_fig8_clusterscale"
+  "bench_fig8_clusterscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_clusterscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

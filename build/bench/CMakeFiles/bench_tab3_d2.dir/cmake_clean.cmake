@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_d2.dir/bench_tab3_d2.cc.o"
+  "CMakeFiles/bench_tab3_d2.dir/bench_tab3_d2.cc.o.d"
+  "bench_tab3_d2"
+  "bench_tab3_d2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_d2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

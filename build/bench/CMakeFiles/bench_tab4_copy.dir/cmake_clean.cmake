@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_copy.dir/bench_tab4_copy.cc.o"
+  "CMakeFiles/bench_tab4_copy.dir/bench_tab4_copy.cc.o.d"
+  "bench_tab4_copy"
+  "bench_tab4_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertica_sql_tour.dir/vertica_sql_tour.cpp.o"
+  "CMakeFiles/vertica_sql_tour.dir/vertica_sql_tour.cpp.o.d"
+  "vertica_sql_tour"
+  "vertica_sql_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertica_sql_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

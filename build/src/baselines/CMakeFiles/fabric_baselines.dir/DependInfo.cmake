@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/jdbc_source.cc" "src/baselines/CMakeFiles/fabric_baselines.dir/jdbc_source.cc.o" "gcc" "src/baselines/CMakeFiles/fabric_baselines.dir/jdbc_source.cc.o.d"
+  "/root/repo/src/baselines/native_copy.cc" "src/baselines/CMakeFiles/fabric_baselines.dir/native_copy.cc.o" "gcc" "src/baselines/CMakeFiles/fabric_baselines.dir/native_copy.cc.o.d"
+  "/root/repo/src/baselines/two_stage.cc" "src/baselines/CMakeFiles/fabric_baselines.dir/two_stage.cc.o" "gcc" "src/baselines/CMakeFiles/fabric_baselines.dir/two_stage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spark/CMakeFiles/fabric_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/vertica/CMakeFiles/fabric_vertica.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdfs/CMakeFiles/fabric_hdfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fabric_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fabric_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabric_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fabric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

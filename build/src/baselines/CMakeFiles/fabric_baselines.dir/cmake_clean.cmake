@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_baselines.dir/jdbc_source.cc.o"
+  "CMakeFiles/fabric_baselines.dir/jdbc_source.cc.o.d"
+  "CMakeFiles/fabric_baselines.dir/native_copy.cc.o"
+  "CMakeFiles/fabric_baselines.dir/native_copy.cc.o.d"
+  "CMakeFiles/fabric_baselines.dir/two_stage.cc.o"
+  "CMakeFiles/fabric_baselines.dir/two_stage.cc.o.d"
+  "libfabric_baselines.a"
+  "libfabric_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fabric_baselines.
+# This may be replaced when dependencies are built.

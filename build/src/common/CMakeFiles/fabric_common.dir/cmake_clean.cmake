@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_common.dir/csv.cc.o"
+  "CMakeFiles/fabric_common.dir/csv.cc.o.d"
+  "CMakeFiles/fabric_common.dir/hash.cc.o"
+  "CMakeFiles/fabric_common.dir/hash.cc.o.d"
+  "CMakeFiles/fabric_common.dir/logging.cc.o"
+  "CMakeFiles/fabric_common.dir/logging.cc.o.d"
+  "CMakeFiles/fabric_common.dir/random.cc.o"
+  "CMakeFiles/fabric_common.dir/random.cc.o.d"
+  "CMakeFiles/fabric_common.dir/status.cc.o"
+  "CMakeFiles/fabric_common.dir/status.cc.o.d"
+  "CMakeFiles/fabric_common.dir/string_util.cc.o"
+  "CMakeFiles/fabric_common.dir/string_util.cc.o.d"
+  "libfabric_common.a"
+  "libfabric_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/connector/avro.cc" "src/connector/CMakeFiles/fabric_connector.dir/avro.cc.o" "gcc" "src/connector/CMakeFiles/fabric_connector.dir/avro.cc.o.d"
+  "/root/repo/src/connector/default_source.cc" "src/connector/CMakeFiles/fabric_connector.dir/default_source.cc.o" "gcc" "src/connector/CMakeFiles/fabric_connector.dir/default_source.cc.o.d"
+  "/root/repo/src/connector/model_deploy.cc" "src/connector/CMakeFiles/fabric_connector.dir/model_deploy.cc.o" "gcc" "src/connector/CMakeFiles/fabric_connector.dir/model_deploy.cc.o.d"
+  "/root/repo/src/connector/s2v.cc" "src/connector/CMakeFiles/fabric_connector.dir/s2v.cc.o" "gcc" "src/connector/CMakeFiles/fabric_connector.dir/s2v.cc.o.d"
+  "/root/repo/src/connector/v2s.cc" "src/connector/CMakeFiles/fabric_connector.dir/v2s.cc.o" "gcc" "src/connector/CMakeFiles/fabric_connector.dir/v2s.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spark/CMakeFiles/fabric_spark.dir/DependInfo.cmake"
+  "/root/repo/build/src/vertica/CMakeFiles/fabric_vertica.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmml/CMakeFiles/fabric_pmml.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fabric_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fabric_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabric_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fabric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_connector.dir/avro.cc.o"
+  "CMakeFiles/fabric_connector.dir/avro.cc.o.d"
+  "CMakeFiles/fabric_connector.dir/default_source.cc.o"
+  "CMakeFiles/fabric_connector.dir/default_source.cc.o.d"
+  "CMakeFiles/fabric_connector.dir/model_deploy.cc.o"
+  "CMakeFiles/fabric_connector.dir/model_deploy.cc.o.d"
+  "CMakeFiles/fabric_connector.dir/s2v.cc.o"
+  "CMakeFiles/fabric_connector.dir/s2v.cc.o.d"
+  "CMakeFiles/fabric_connector.dir/v2s.cc.o"
+  "CMakeFiles/fabric_connector.dir/v2s.cc.o.d"
+  "libfabric_connector.a"
+  "libfabric_connector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_connector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

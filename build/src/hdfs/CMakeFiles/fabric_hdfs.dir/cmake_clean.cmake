@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_hdfs.dir/hdfs.cc.o"
+  "CMakeFiles/fabric_hdfs.dir/hdfs.cc.o.d"
+  "libfabric_hdfs.a"
+  "libfabric_hdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_hdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

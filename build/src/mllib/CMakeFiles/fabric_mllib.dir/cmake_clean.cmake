@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_mllib.dir/mllib.cc.o"
+  "CMakeFiles/fabric_mllib.dir/mllib.cc.o.d"
+  "libfabric_mllib.a"
+  "libfabric_mllib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_mllib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

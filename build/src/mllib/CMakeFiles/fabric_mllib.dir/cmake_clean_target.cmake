@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfabric_mllib.a"
+)

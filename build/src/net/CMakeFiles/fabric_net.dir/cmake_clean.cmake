@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_net.dir/host.cc.o"
+  "CMakeFiles/fabric_net.dir/host.cc.o.d"
+  "CMakeFiles/fabric_net.dir/network.cc.o"
+  "CMakeFiles/fabric_net.dir/network.cc.o.d"
+  "libfabric_net.a"
+  "libfabric_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

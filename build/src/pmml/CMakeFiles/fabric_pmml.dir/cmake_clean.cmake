@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_pmml.dir/model.cc.o"
+  "CMakeFiles/fabric_pmml.dir/model.cc.o.d"
+  "CMakeFiles/fabric_pmml.dir/xml.cc.o"
+  "CMakeFiles/fabric_pmml.dir/xml.cc.o.d"
+  "libfabric_pmml.a"
+  "libfabric_pmml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_pmml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_sim.dir/engine.cc.o"
+  "CMakeFiles/fabric_sim.dir/engine.cc.o.d"
+  "CMakeFiles/fabric_sim.dir/waitable.cc.o"
+  "CMakeFiles/fabric_sim.dir/waitable.cc.o.d"
+  "libfabric_sim.a"
+  "libfabric_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

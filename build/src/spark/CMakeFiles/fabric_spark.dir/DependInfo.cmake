@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spark/cluster.cc" "src/spark/CMakeFiles/fabric_spark.dir/cluster.cc.o" "gcc" "src/spark/CMakeFiles/fabric_spark.dir/cluster.cc.o.d"
+  "/root/repo/src/spark/dataframe.cc" "src/spark/CMakeFiles/fabric_spark.dir/dataframe.cc.o" "gcc" "src/spark/CMakeFiles/fabric_spark.dir/dataframe.cc.o.d"
+  "/root/repo/src/spark/types.cc" "src/spark/CMakeFiles/fabric_spark.dir/types.cc.o" "gcc" "src/spark/CMakeFiles/fabric_spark.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/fabric_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fabric_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabric_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fabric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

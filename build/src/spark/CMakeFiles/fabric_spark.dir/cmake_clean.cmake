@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_spark.dir/cluster.cc.o"
+  "CMakeFiles/fabric_spark.dir/cluster.cc.o.d"
+  "CMakeFiles/fabric_spark.dir/dataframe.cc.o"
+  "CMakeFiles/fabric_spark.dir/dataframe.cc.o.d"
+  "CMakeFiles/fabric_spark.dir/types.cc.o"
+  "CMakeFiles/fabric_spark.dir/types.cc.o.d"
+  "libfabric_spark.a"
+  "libfabric_spark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_spark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

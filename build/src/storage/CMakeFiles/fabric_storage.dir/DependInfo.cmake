@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/encoding.cc" "src/storage/CMakeFiles/fabric_storage.dir/encoding.cc.o" "gcc" "src/storage/CMakeFiles/fabric_storage.dir/encoding.cc.o.d"
+  "/root/repo/src/storage/profile.cc" "src/storage/CMakeFiles/fabric_storage.dir/profile.cc.o" "gcc" "src/storage/CMakeFiles/fabric_storage.dir/profile.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/fabric_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/fabric_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/segment_store.cc" "src/storage/CMakeFiles/fabric_storage.dir/segment_store.cc.o" "gcc" "src/storage/CMakeFiles/fabric_storage.dir/segment_store.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/storage/CMakeFiles/fabric_storage.dir/value.cc.o" "gcc" "src/storage/CMakeFiles/fabric_storage.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fabric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

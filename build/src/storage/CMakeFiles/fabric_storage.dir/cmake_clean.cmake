@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_storage.dir/encoding.cc.o"
+  "CMakeFiles/fabric_storage.dir/encoding.cc.o.d"
+  "CMakeFiles/fabric_storage.dir/profile.cc.o"
+  "CMakeFiles/fabric_storage.dir/profile.cc.o.d"
+  "CMakeFiles/fabric_storage.dir/schema.cc.o"
+  "CMakeFiles/fabric_storage.dir/schema.cc.o.d"
+  "CMakeFiles/fabric_storage.dir/segment_store.cc.o"
+  "CMakeFiles/fabric_storage.dir/segment_store.cc.o.d"
+  "CMakeFiles/fabric_storage.dir/value.cc.o"
+  "CMakeFiles/fabric_storage.dir/value.cc.o.d"
+  "libfabric_storage.a"
+  "libfabric_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

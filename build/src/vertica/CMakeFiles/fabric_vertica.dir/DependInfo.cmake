@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vertica/catalog.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/catalog.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/catalog.cc.o.d"
+  "/root/repo/src/vertica/copy_stream.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/copy_stream.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/copy_stream.cc.o.d"
+  "/root/repo/src/vertica/database.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/database.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/database.cc.o.d"
+  "/root/repo/src/vertica/dfs.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/dfs.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/dfs.cc.o.d"
+  "/root/repo/src/vertica/session.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/session.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/session.cc.o.d"
+  "/root/repo/src/vertica/sql_analyzer.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_analyzer.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_analyzer.cc.o.d"
+  "/root/repo/src/vertica/sql_ast.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_ast.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_ast.cc.o.d"
+  "/root/repo/src/vertica/sql_eval.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_eval.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_eval.cc.o.d"
+  "/root/repo/src/vertica/sql_lexer.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_lexer.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_lexer.cc.o.d"
+  "/root/repo/src/vertica/sql_parser.cc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_parser.cc.o" "gcc" "src/vertica/CMakeFiles/fabric_vertica.dir/sql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/fabric_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fabric_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabric_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fabric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_vertica.dir/catalog.cc.o"
+  "CMakeFiles/fabric_vertica.dir/catalog.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/copy_stream.cc.o"
+  "CMakeFiles/fabric_vertica.dir/copy_stream.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/database.cc.o"
+  "CMakeFiles/fabric_vertica.dir/database.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/dfs.cc.o"
+  "CMakeFiles/fabric_vertica.dir/dfs.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/session.cc.o"
+  "CMakeFiles/fabric_vertica.dir/session.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/sql_analyzer.cc.o"
+  "CMakeFiles/fabric_vertica.dir/sql_analyzer.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/sql_ast.cc.o"
+  "CMakeFiles/fabric_vertica.dir/sql_ast.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/sql_eval.cc.o"
+  "CMakeFiles/fabric_vertica.dir/sql_eval.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/sql_lexer.cc.o"
+  "CMakeFiles/fabric_vertica.dir/sql_lexer.cc.o.d"
+  "CMakeFiles/fabric_vertica.dir/sql_parser.cc.o"
+  "CMakeFiles/fabric_vertica.dir/sql_parser.cc.o.d"
+  "libfabric_vertica.a"
+  "libfabric_vertica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_vertica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

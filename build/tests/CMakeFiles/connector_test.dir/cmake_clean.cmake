@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connector_test.dir/connector_test.cc.o"
+  "CMakeFiles/connector_test.dir/connector_test.cc.o.d"
+  "connector_test"
+  "connector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

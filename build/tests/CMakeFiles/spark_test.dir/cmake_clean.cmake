@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spark_test.dir/spark_test.cc.o"
+  "CMakeFiles/spark_test.dir/spark_test.cc.o.d"
+  "spark_test"
+  "spark_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spark_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

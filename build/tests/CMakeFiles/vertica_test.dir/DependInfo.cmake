@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vertica_test.cc" "tests/CMakeFiles/vertica_test.dir/vertica_test.cc.o" "gcc" "tests/CMakeFiles/vertica_test.dir/vertica_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vertica/CMakeFiles/fabric_vertica.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/fabric_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/fabric_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/fabric_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fabric_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vertica_test.dir/vertica_test.cc.o"
+  "CMakeFiles/vertica_test.dir/vertica_test.cc.o.d"
+  "vertica_test"
+  "vertica_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vertica_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sim_test "/root/repo/build/tests/sim_test")
+set_tests_properties(sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(net_test "/root/repo/build/tests/net_test")
+set_tests_properties(net_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(storage_test "/root/repo/build/tests/storage_test")
+set_tests_properties(storage_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(sql_test "/root/repo/build/tests/sql_test")
+set_tests_properties(sql_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(vertica_test "/root/repo/build/tests/vertica_test")
+set_tests_properties(vertica_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(spark_test "/root/repo/build/tests/spark_test")
+set_tests_properties(spark_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(connector_test "/root/repo/build/tests/connector_test")
+set_tests_properties(connector_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ml_test "/root/repo/build/tests/ml_test")
+set_tests_properties(ml_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(extension_test "/root/repo/build/tests/extension_test")
+set_tests_properties(extension_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(determinism_test "/root/repo/build/tests/determinism_test")
+set_tests_properties(determinism_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;fabric_add_test;/root/repo/tests/CMakeLists.txt;0;")
