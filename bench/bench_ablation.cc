@@ -31,6 +31,7 @@ double InternalBytes(Fabric& fabric) {
 int main() {
   PrintHeader("Ablations: locality, pre-hash, two-stage",
               "Sec. 3.1.2 (locality), Sec. 5 (pre-hash, 2-stage)");
+  BenchReport report("ablation");
 
   // ---------------- 1. V2S locality on/off
   {
@@ -58,6 +59,11 @@ int main() {
                   locality ? "locality (paper)" : "misaligned (ablated)",
                   elapsed,
                   HumanBytes(InternalBytes(fabric) - before).c_str());
+      report.AddSample(fabric,
+                       {{"v2s_locality", locality ? 1.0 : 0.0},
+                        {"seconds", elapsed},
+                        {"intra_vertica_bytes",
+                         InternalBytes(fabric) - before}});
     }
   }
 
@@ -87,6 +93,11 @@ int main() {
                   prehash ? "pre-hashed (Sec. 5)" : "baseline S2V",
                   elapsed,
                   HumanBytes(InternalBytes(fabric) - before).c_str());
+      report.AddSample(fabric,
+                       {{"s2v_prehash", prehash ? 1.0 : 0.0},
+                        {"seconds", elapsed},
+                        {"intra_vertica_bytes",
+                         InternalBytes(fabric) - before}});
     }
   }
 
@@ -115,6 +126,10 @@ int main() {
     std::printf("%-28s %10.0f s  (stage1 %.0f + stage2 %.0f)\n",
                 "two-stage via HDFS", timing.total(), timing.stage1_write,
                 timing.stage2_load);
+    report.AddSample(fabric, {{"s2v_seconds", s2v},
+                              {"two_stage_seconds", timing.total()},
+                              {"stage1_seconds", timing.stage1_write},
+                              {"stage2_seconds", timing.stage2_load}});
   }
   return 0;
 }

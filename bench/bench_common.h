@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/jdbc_source.h"
@@ -21,6 +23,8 @@
 #include "connector/default_source.h"
 #include "hdfs/hdfs.h"
 #include "net/network.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "spark/dataframe.h"
 #include "vertica/database.h"
@@ -48,6 +52,12 @@ class Fabric {
     options_.cost.data_scale =
         options_.paper_rows / options_.real_rows;
     engine_ = std::make_unique<sim::Engine>();
+    // Metrics-only tracer: benches want the counters in BENCH_*.json but
+    // must not materialize multi-million-event traces.
+    tracer_ = std::make_unique<obs::Tracer>(
+        [engine = engine_.get()] { return engine->now(); },
+        obs::Tracer::Options{.capture_events = false});
+    install_.emplace(tracer_.get());
     network_ = std::make_unique<net::Network>(engine_.get());
     vertica::Database::Options vopts;
     vopts.num_nodes = options_.vertica_nodes;
@@ -71,6 +81,7 @@ class Fabric {
   }
 
   sim::Engine* engine() { return engine_.get(); }
+  obs::Tracer* tracer() { return tracer_.get(); }
   net::Network* network() { return network_.get(); }
   vertica::Database* db() { return db_.get(); }
   spark::SparkCluster* cluster() { return cluster_.get(); }
@@ -97,6 +108,9 @@ class Fabric {
  private:
   FabricOptions options_;
   std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  // Declared after tracer_ so uninstall happens before the tracer dies.
+  std::optional<obs::ScopedTracer> install_;
   std::unique_ptr<net::Network> network_;
   std::unique_ptr<vertica::Database> db_;
   std::unique_ptr<spark::SparkCluster> cluster_;
@@ -190,6 +204,60 @@ inline double LoadViaV2S(Fabric& fabric, const std::string& table,
 }
 
 // -------------------------------------------------------------- output
+
+// Machine-readable companion to the stdout tables: one JSON record per
+// measurement, each carrying the fabric's full metrics snapshot (the
+// counters/gauges/histograms the obs layer accumulated during the run).
+// Written to BENCH_<name>.json in the working directory on destruction.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { Write(); }
+
+  // Records one measurement. Call after the fabric ran its workload and
+  // before it is destroyed; `fields` become top-level JSON keys.
+  void AddSample(Fabric& fabric,
+                 std::vector<std::pair<std::string, double>> fields) {
+    std::string json = "{";
+    for (const auto& [key, value] : fields) {
+      json += obs::JsonString(key);
+      json += ":";
+      json += obs::JsonNumber(value);
+      json += ",";
+    }
+    json += "\"metrics\":";
+    json += fabric.tracer()->metrics().ToJson();
+    json += "}";
+    samples_.push_back(std::move(json));
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string path = StrCat("BENCH_", name_, ".json");
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(file, "{\"bench\":%s,\"samples\":[\n",
+                 obs::JsonString(name_).c_str());
+    for (size_t i = 0; i < samples_.size(); ++i) {
+      std::fprintf(file, "%s%s\n", samples_[i].c_str(),
+                   i + 1 < samples_.size() ? "," : "");
+    }
+    std::fprintf(file, "]}\n");
+    std::fclose(file);
+    std::printf("wrote %s (%zu samples)\n", path.c_str(), samples_.size());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::string> samples_;
+  bool written_ = false;
+};
 
 inline void PrintHeader(const std::string& title,
                         const std::string& paper_reference) {

@@ -102,5 +102,10 @@ int main() {
   std::printf("%-28s %10.0f %10.0f\n", "without pushdown (all rows)",
               v2s_full, jdbc_full);
   std::printf("speedup without pushdown: %.1fx\n", jdbc_full / v2s_full);
+  BenchReport report("fig10_jdbc_load");
+  report.AddSample(fabric, {{"v2s_pushdown_seconds", v2s_push},
+                            {"jdbc_pushdown_seconds", jdbc_push},
+                            {"v2s_full_seconds", v2s_full},
+                            {"jdbc_full_seconds", jdbc_full}});
   return 0;
 }

@@ -36,6 +36,7 @@ int main() {
               "Fig. 11 — 1 row: S2V ~5 s vs JDBC ~3 s; 10K rows: S2V "
               "far ahead; 1M rows: S2V 19 s, JDBC >3 h");
 
+  BenchReport report("fig11_jdbc_save");
   const int kRows[] = {1, 1000, 10000};
   std::printf("%-10s %12s %12s\n", "rows", "S2V (s)", "JDBC (s)");
   for (int rows : kRows) {
@@ -52,6 +53,9 @@ int main() {
     double jdbc =
         SaveJdbc(jdbc_fabric, D1Schema(), D1Rows(rows), "t");
     std::printf("%-10d %12.1f %12.1f\n", rows, s2v, jdbc);
+    report.AddSample(s2v_fabric, {{"rows", static_cast<double>(rows)},
+                                  {"s2v_seconds", s2v},
+                                  {"jdbc_seconds", jdbc}});
   }
 
   // The 1M-row S2V point (Figure 7's first point, quoted in the Fig. 11
@@ -64,6 +68,7 @@ int main() {
                             D1Rows(static_cast<int>(options.real_rows)),
                             "t", 128);
     std::printf("%-10s %12.1f %12s\n", "1M", s2v, ">3h (paper)");
+    report.AddSample(fabric, {{"rows", 1e6}, {"s2v_seconds", s2v}});
   }
   return 0;
 }

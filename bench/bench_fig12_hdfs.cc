@@ -57,5 +57,10 @@ int main() {
               "read (load)", v2s, hdfs_read, hdfs_read / v2s);
   std::printf("%-14s %8.0f s %8.0f s   (HDFS/Vertica = %.2f)\n",
               "write (save)", s2v, hdfs_write, hdfs_write / s2v);
+  BenchReport report("fig12_hdfs");
+  report.AddSample(fabric, {{"v2s_seconds", v2s},
+                            {"hdfs_read_seconds", hdfs_read},
+                            {"s2v_seconds", s2v},
+                            {"hdfs_write_seconds", hdfs_write}});
   return 0;
 }

@@ -13,6 +13,7 @@ int main() {
               "Fig. 6 — V2S best 475 s @128 (497 s @32), S2V best 252 s "
               "@128; bowl shape");
 
+  BenchReport report("fig6_partitions");
   const int kPartitions[] = {4, 8, 16, 32, 64, 128, 256};
   std::printf("%-12s %12s %12s\n", "partitions", "V2S (s)", "S2V (s)");
   for (int partitions : kPartitions) {
@@ -30,6 +31,10 @@ int main() {
 
     std::printf("%-12d %12.0f %12.0f\n", partitions, v2s_seconds,
                 s2v_seconds);
+    report.AddSample(s2v_fabric,
+                     {{"partitions", static_cast<double>(partitions)},
+                      {"v2s_seconds", v2s_seconds},
+                      {"s2v_seconds", s2v_seconds}});
   }
   return 0;
 }

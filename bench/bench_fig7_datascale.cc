@@ -14,6 +14,7 @@ int main() {
               "Fig. 7 — linear scaling; S2V ~19 s at 1M rows; curves "
               "cross at large sizes");
 
+  BenchReport report("fig7_datascale");
   const double kPaperRows[] = {1e6, 10e6, 100e6, 1000e6};
   std::printf("%-12s %12s %12s\n", "rows", "V2S@32 (s)", "S2V@128 (s)");
   for (double paper_rows : kPaperRows) {
@@ -26,6 +27,9 @@ int main() {
     double v2s = LoadViaV2S(fabric, "d1", 32);
     std::printf("%-12s %12.0f %12.0f\n",
                 HumanCount(paper_rows).c_str(), v2s, s2v);
+    report.AddSample(fabric, {{"paper_rows", paper_rows},
+                              {"v2s_seconds", v2s},
+                              {"s2v_seconds", s2v}});
   }
   return 0;
 }

@@ -20,6 +20,7 @@ int main() {
   const Config kConfigs[] = {{2, 4, 16, 64, 100e6},
                              {4, 8, 32, 128, 200e6},
                              {8, 16, 64, 256, 400e6}};
+  BenchReport report("fig8_clusterscale");
   std::printf("%-10s %-10s %12s %12s\n", "cluster", "rows", "V2S (s)",
               "S2V (s)");
   for (const Config& config : kConfigs) {
@@ -35,6 +36,12 @@ int main() {
     std::printf("%d:%-8d %-10s %12.0f %12.0f\n", config.vertica,
                 config.spark, HumanCount(config.paper_rows).c_str(), v2s,
                 s2v);
+    report.AddSample(fabric,
+                     {{"vertica_nodes", static_cast<double>(config.vertica)},
+                      {"spark_workers", static_cast<double>(config.spark)},
+                      {"paper_rows", config.paper_rows},
+                      {"v2s_seconds", v2s},
+                      {"s2v_seconds", s2v}});
   }
   return 0;
 }

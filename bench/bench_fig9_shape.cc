@@ -21,6 +21,7 @@ int main() {
   };
   const Shape kShapes[] = {{100, 100e6, "100 cols x 100M rows"},
                            {1, 10000e6, "1 col   x 10000M rows"}};
+  BenchReport report("fig9_shape");
   std::printf("%-26s %12s %12s\n", "shape", "V2S@32 (s)", "S2V@128 (s)");
   for (const Shape& shape : kShapes) {
     FabricOptions options;
@@ -34,6 +35,10 @@ int main() {
         128);
     double v2s = LoadViaV2S(fabric, "d1", 32);
     std::printf("%-26s %12.0f %12.0f\n", shape.label, v2s, s2v);
+    report.AddSample(fabric, {{"cols", static_cast<double>(shape.cols)},
+                              {"paper_rows", shape.paper_rows},
+                              {"v2s_seconds", v2s},
+                              {"s2v_seconds", s2v}});
   }
   return 0;
 }

@@ -10,7 +10,7 @@ namespace {
 using namespace fabric;
 using namespace fabric::bench;
 
-void RunTrace(int partitions) {
+void RunTrace(BenchReport& report, int partitions) {
   FabricOptions options;
   Fabric fabric(options);
   SaveViaS2V(fabric, D1Schema(),
@@ -62,6 +62,10 @@ void RunTrace(int partitions) {
   if (steady > 0) {
     std::printf("steady state (t>=60s): CPU %.1f%%, network %.1f MBps\n",
                 cpu_sum / steady, net_sum / steady);
+    report.AddSample(fabric,
+                     {{"partitions", static_cast<double>(partitions)},
+                      {"steady_cpu_pct", cpu_sum / steady},
+                      {"steady_net_mbps", net_sum / steady}});
   }
 }
 
@@ -71,7 +75,8 @@ int main() {
   PrintHeader("Table 2: Vertica node resources during V2S",
               "Tab. 2 — 4 partitions: ~5% CPU / ~38 MBps; 32 partitions: "
               "~20% CPU / ~120 MBps (saturated)");
-  RunTrace(4);
-  RunTrace(32);
+  fabric::bench::BenchReport report("tab2_resources");
+  RunTrace(report, 4);
+  RunTrace(report, 32);
   return 0;
 }

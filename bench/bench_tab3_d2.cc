@@ -13,6 +13,7 @@ int main() {
               "Tab. 3 — V2S 378 s, S2V 386 s; compare D1 (V2S ~490 s, "
               "S2V 252 s)");
 
+  BenchReport report("tab3_d2");
   // D1 reference point on the same harness.
   {
     FabricOptions options;
@@ -23,6 +24,9 @@ int main() {
     double v2s = LoadViaV2S(fabric, "d1", 32);
     std::printf("%-10s %12s %12s\n", "dataset", "V2S (s)", "S2V (s)");
     std::printf("%-10s %12.0f %12.0f\n", "D1", v2s, s2v);
+    report.AddSample(fabric, {{"dataset", 1},
+                              {"v2s_seconds", v2s},
+                              {"s2v_seconds", s2v}});
   }
   {
     FabricOptions options;
@@ -34,6 +38,9 @@ int main() {
                             "d2", 128);
     double v2s = LoadViaV2S(fabric, "d2", 32);
     std::printf("%-10s %12.0f %12.0f\n", "D2", v2s, s2v);
+    report.AddSample(fabric, {{"dataset", 2},
+                              {"v2s_seconds", v2s},
+                              {"s2v_seconds", s2v}});
   }
   return 0;
 }

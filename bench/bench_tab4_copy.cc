@@ -27,6 +27,7 @@ int main() {
                           "d1", 128);
   }
 
+  BenchReport report("tab4_copy");
   std::printf("%-10s %14s\n", "splits", "COPY time (s)");
   double copy_best = -1;
   int best_splits = 0;
@@ -55,6 +56,8 @@ int main() {
       FABRIC_CHECK_OK(result.status());
     });
     std::printf("%-10d %14.0f\n", splits, elapsed);
+    report.AddSample(fabric, {{"splits", static_cast<double>(splits)},
+                              {"copy_seconds", elapsed}});
     if (copy_best < 0 || elapsed < copy_best) {
       copy_best = elapsed;
       best_splits = splits;

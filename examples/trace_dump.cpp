@@ -1,0 +1,95 @@
+// Observability tour: run an S2V save with a scripted mid-copy kill and
+// dump the full structured trace as Chrome trace-event JSON.
+//
+// Open the output in chrome://tracing or https://ui.perfetto.dev to see
+// the job/task spans, the kill, the retry, and the five S2V phases; the
+// "metrics" key at the end carries every counter/gauge/histogram from
+// the run. Re-running produces a byte-identical file — traces are
+// deterministic artifacts, which is exactly what makes them testable
+// (see tests/connector_test.cc's conformance suite).
+
+#include <cstdio>
+#include <fstream>
+
+#include "connector/default_source.h"
+#include "net/network.h"
+#include "obs/trace.h"
+#include "obs/trace_matcher.h"
+#include "sim/engine.h"
+#include "spark/dataframe.h"
+#include "vertica/database.h"
+#include "vertica/session.h"
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "s2v_trace.json";
+
+  fabric::sim::Engine engine;
+  fabric::net::Network network(&engine);
+
+  fabric::vertica::Database::Options vertica_options;
+  vertica_options.num_nodes = 4;
+  fabric::vertica::Database db(&engine, &network, vertica_options);
+
+  fabric::spark::SparkCluster::Options spark_options;
+  spark_options.num_workers = 4;
+  fabric::spark::SparkCluster cluster(&engine, &network, spark_options);
+  fabric::spark::SparkSession spark(&cluster);
+  fabric::connector::RegisterVerticaSource(&spark, &db);
+
+  // Kill task 3's first attempt one virtual second in — mid-COPY — so
+  // the trace shows a failed attempt span and the retried one.
+  fabric::spark::ScriptedFailureInjector injector;
+  injector.KillAttempt(/*task=*/3, /*attempt=*/0, /*after=*/1.0);
+  cluster.set_failure_injector(&injector);
+
+  // Everything that happens while this tracer is installed is recorded,
+  // stamped with virtual time from the engine's clock.
+  fabric::obs::Tracer tracer([&engine] { return engine.now(); });
+  fabric::obs::ScopedTracer install(&tracer);
+
+  engine.Spawn("driver", [&](fabric::sim::Process& driver) {
+    fabric::storage::Schema schema(
+        {{"id", fabric::storage::DataType::kInt64},
+         {"v", fabric::storage::DataType::kFloat64}});
+    std::vector<fabric::storage::Row> rows;
+    for (int i = 0; i < 2000; ++i) {
+      rows.push_back({fabric::storage::Value::Int64(i),
+                      fabric::storage::Value::Float64(i * 0.5)});
+    }
+    auto df = spark.CreateDataFrame(schema, std::move(rows), 8);
+    FABRIC_CHECK_OK(df.status());
+    FABRIC_CHECK_OK(df->Write()
+                        .Format(fabric::connector::kVerticaSourceName)
+                        .Option("table", "events")
+                        .Option("numpartitions", 8)
+                        .Mode(fabric::spark::SaveMode::kOverwrite)
+                        .Save(driver));
+  });
+  FABRIC_CHECK_OK(engine.Run());
+
+  // Query the trace in-process...
+  fabric::obs::TraceMatcher trace(tracer);
+  std::printf("events: %zu | s2v commits: %zu | duplicates: %zu | "
+              "kills planned: %zu\n",
+              trace.count(),
+              trace.Category("s2v").Name("phase1.commit").count(),
+              trace.Category("s2v").Name("phase1.duplicate").count(),
+              trace.Category("spark").Name("task.kill_planned").count());
+  std::printf("promoted at t=%.2fs by partition %lld\n",
+              trace.Category("s2v").Name("phase5.promote").only().time,
+              static_cast<long long>(trace.Category("s2v")
+                                         .Name("phase5.promote")
+                                         .only()
+                                         .IntAttr("partition")));
+
+  // ...and export it for chrome://tracing.
+  std::ofstream out(out_path);
+  out << tracer.ToChromeTraceJson();
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "failed to write %s\n", out_path);
+    return 1;
+  }
+  std::printf("wrote %s (load it in chrome://tracing)\n", out_path);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "connector/avro.h"
+#include "obs/trace.h"
 #include "storage/profile.h"
 #include "vertica/copy_stream.h"
 #include "vertica/session.h"
@@ -148,6 +149,10 @@ Status S2VRelation::Setup(sim::Process& driver, int num_partitions) {
   db_->MarkScaleExempt(status_table_);
   db_->MarkScaleExempt(committer_table_);
   db_->MarkScaleExempt(kFinalStatusTable);
+  obs::TraceEvent("s2v", "save.setup",
+                  {{"job", job_name_},
+                   {"partitions", num_partitions_},
+                   {"append", mode_ == SaveMode::kAppend}});
   return session->Close(driver);
 }
 
@@ -215,8 +220,30 @@ Status S2VRelation::StageData(TaskContext& task, int partition,
                               ", failed = ", rejected, " WHERE task = ",
                               partition, " AND done = FALSE")));
   if (updated.affected == 1) {
-    return session->Execute(self, "COMMIT").status();
+    Status committed = session->Execute(self, "COMMIT").status();
+    // Traced at the durability point, not the ack: a kill inside the
+    // commit/ack window (the Section 2.2.2 hazard) still staged this
+    // partition exactly once, and the trace must say so — while a kill
+    // before durability must leave no commit event at all.
+    if (session->last_commit_epoch() != 0) {
+      obs::TraceEvent(
+          "s2v", "phase1.commit",
+          {{"job", job_name_},
+           {"partition", partition},
+           {"attempt", task.attempt},
+           {"loaded", loaded},
+           {"rejected", rejected},
+           {"epoch", static_cast<int64_t>(session->last_commit_epoch())},
+           {"acked", committed.ok()}});
+      obs::IncrCounter("s2v.phase1_commits");
+    }
+    return committed;
   }
+  obs::TraceEvent("s2v", "phase1.duplicate",
+                  {{"job", job_name_},
+                   {"partition", partition},
+                   {"attempt", task.attempt}});
+  obs::IncrCounter("s2v.phase1_duplicates");
   return session->Execute(self, "ROLLBACK").status();
 }
 
@@ -238,15 +265,33 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
       session->Execute(self, StrCat("SELECT COUNT(*) FROM ", status_table_,
                                     " WHERE done = FALSE")));
   if (remaining.rows[0][0].int64_value() > 0) {
+    obs::TraceEvent("s2v", "phase2.incomplete",
+                    {{"job", job_name_},
+                     {"partition", partition},
+                     {"attempt", task.attempt},
+                     {"remaining", remaining.rows[0][0].int64_value()}});
     return session->Close(self);
   }
 
   // ---- Phase 3: race to become the last committer.
-  FABRIC_RETURN_IF_ERROR(
-      session->Execute(self, StrCat("UPDATE ", committer_table_,
-                                    " SET task = ", partition,
-                                    " WHERE task = -1"))
-          .status());
+  Status raced =
+      session
+          ->Execute(self, StrCat("UPDATE ", committer_table_,
+                                 " SET task = ", partition,
+                                 " WHERE task = -1"))
+          .status();
+  // Election observed at the durability point (see phase 1): affected==1
+  // on a durable autocommit means this task's id is now in the committer
+  // table, even if the ack never arrived.
+  if (session->last_commit_epoch() != 0 &&
+      session->last_update_affected() == 1) {
+    obs::TraceEvent("s2v", "phase3.elected",
+                    {{"job", job_name_},
+                     {"partition", partition},
+                     {"attempt", task.attempt}});
+    obs::IncrCounter("s2v.phase3_elections");
+  }
+  FABRIC_RETURN_IF_ERROR(raced);
 
   // ---- Phase 4: did this task win?
   FABRIC_ASSIGN_OR_RETURN(
@@ -255,8 +300,16 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
                        StrCat("SELECT task FROM ", committer_table_)));
   if (winner.rows.size() != 1 ||
       winner.rows[0][0].int64_value() != partition) {
+    obs::TraceEvent("s2v", "phase4.loser",
+                    {{"job", job_name_},
+                     {"partition", partition},
+                     {"attempt", task.attempt}});
     return session->Close(self);
   }
+  obs::TraceEvent("s2v", "phase4.winner",
+                  {{"job", job_name_},
+                   {"partition", partition},
+                   {"attempt", task.attempt}});
 
   // ---- Phase 5: verify tolerance, then promote staging into the target.
   FABRIC_ASSIGN_OR_RETURN(
@@ -274,6 +327,12 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
   double failed_pct =
       inserted + failed > 0 ? failed / (inserted + failed) : 0.0;
   if (failed_pct > tolerance_) {
+    obs::TraceEvent("s2v", "phase5.reject",
+                    {{"job", job_name_},
+                     {"partition", partition},
+                     {"failed_pct", failed_pct},
+                     {"tolerance", tolerance_}});
+    obs::IncrCounter("s2v.phase5_rejects");
     // Record the failure and fail the save; the target is untouched.
     FABRIC_RETURN_IF_ERROR(
         session->Execute(self, StrCat("UPDATE ", kFinalStatusTable,
@@ -305,7 +364,20 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
                                       job_name_,
                                       "' AND finished = FALSE")));
     if (flag.affected == 1) {
-      FABRIC_RETURN_IF_ERROR(session->Execute(self, "COMMIT").status());
+      Status committed = session->Execute(self, "COMMIT").status();
+      // Durable-point tracing, as in phase 1: the promotion happened iff
+      // the INSERT+flag transaction reached durability.
+      if (session->last_commit_epoch() != 0) {
+        obs::TraceEvent("s2v", "phase5.promote",
+                        {{"job", job_name_},
+                         {"partition", partition},
+                         {"attempt", task.attempt},
+                         {"mode", "append"},
+                         {"failed_pct", failed_pct},
+                         {"acked", committed.ok()}});
+        obs::IncrCounter("s2v.phase5_promotions");
+      }
+      FABRIC_RETURN_IF_ERROR(committed);
     } else {
       FABRIC_RETURN_IF_ERROR(session->Execute(self, "ROLLBACK").status());
     }
@@ -325,12 +397,26 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
   if (!renamed.ok() && renamed.code() != StatusCode::kNotFound) {
     return renamed;
   }
-  FABRIC_RETURN_IF_ERROR(
-      session->Execute(self, StrCat("UPDATE ", kFinalStatusTable,
-                                    " SET finished = TRUE, failed_pct = ",
-                                    failed_pct, " WHERE job = '",
-                                    job_name_, "' AND finished = FALSE"))
-          .status());
+  Status flagged =
+      session
+          ->Execute(self, StrCat("UPDATE ", kFinalStatusTable,
+                                 " SET finished = TRUE, failed_pct = ",
+                                 failed_pct, " WHERE job = '", job_name_,
+                                 "' AND finished = FALSE"))
+          .status();
+  // The conditional flag flip is the exactly-once promotion marker for
+  // overwrite mode too: only one attempt ever moves finished FALSE->TRUE.
+  if (session->last_commit_epoch() != 0 &&
+      session->last_update_affected() == 1) {
+    obs::TraceEvent("s2v", "phase5.promote",
+                    {{"job", job_name_},
+                     {"partition", partition},
+                     {"attempt", task.attempt},
+                     {"mode", "overwrite"},
+                     {"failed_pct", failed_pct}});
+    obs::IncrCounter("s2v.phase5_promotions");
+  }
+  FABRIC_RETURN_IF_ERROR(flagged);
   return session->Close(self);
 }
 
@@ -361,6 +447,10 @@ Status S2VRelation::Finalize(sim::Process& driver, Status job_status) {
                                       staging_table_))
           .status());
   FABRIC_RETURN_IF_ERROR(session->Close(driver));
+  obs::TraceEvent("s2v", "save.finalize",
+                  {{"job", job_name_},
+                   {"finished", finished},
+                   {"job_ok", job_status.ok()}});
 
   if (!job_status.ok()) return job_status;
   if (!finished) {

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "storage/profile.h"
 #include "vertica/session.h"
 #include "vertica/sql_eval.h"
@@ -194,14 +195,45 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
   if (partition < 0 || partition >= num_partitions_) {
     return InvalidArgumentError("bad partition index");
   }
-  FABRIC_ASSIGN_OR_RETURN(
-      std::unique_ptr<vertica::Session> session,
-      db_->Connect(*task.process, partition_nodes_[partition],
-                   &task.worker_host()));
-  FABRIC_ASSIGN_OR_RETURN(
-      QueryResult result,
-      session->Execute(*task.process, PartitionQuery(partition, push)));
-  FABRIC_RETURN_IF_ERROR(session->Close(*task.process));
+  // The span's begin attrs record what was pushed down; the end attrs
+  // record what actually crossed the wire — the pair is the evidence the
+  // pushdown tests assert on.
+  uint64_t span = obs::TraceBegin(
+      "v2s", "scan",
+      {{"table", table_},
+       {"partition", partition},
+       {"node", partition_nodes_[partition]},
+       {"attempt", task.attempt},
+       {"epoch", snapshot_epoch_},
+       {"count_only", push.count_only},
+       {"columns", static_cast<int64_t>(push.required_columns.size())},
+       {"filters", static_cast<int64_t>(push.filters.size())}});
+  auto fail = [&](const Status& status) {
+    obs::TraceEnd(span, "v2s", "scan",
+                  {{"partition", partition}, {"ok", false}});
+    return status;
+  };
+  auto connected = db_->Connect(*task.process, partition_nodes_[partition],
+                                &task.worker_host());
+  if (!connected.ok()) return fail(connected.status());
+  std::unique_ptr<vertica::Session> session = std::move(connected).value();
+  auto executed =
+      session->Execute(*task.process, PartitionQuery(partition, push));
+  if (!executed.ok()) return fail(executed.status());
+  QueryResult result = std::move(executed).value();
+  Status closed = session->Close(*task.process);
+  if (!closed.ok()) return fail(closed);
+
+  int64_t rows_returned = push.count_only
+                              ? 1
+                              : static_cast<int64_t>(result.rows.size());
+  obs::TraceEnd(span, "v2s", "scan",
+                {{"partition", partition},
+                 {"rows", rows_returned},
+                 {"ok", true}});
+  obs::IncrCounter("v2s.partitions_scanned");
+  obs::IncrCounter("v2s.rows_returned",
+                   static_cast<double>(rows_returned));
 
   PartitionData data;
   if (push.count_only) {

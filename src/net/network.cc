@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace fabric::net {
 
@@ -61,11 +62,26 @@ Status Network::Transfer(sim::Process& self, const std::vector<LinkId>& path,
   it->remaining = bytes;
   it->cap = rate_cap;
   it->cond = std::make_unique<sim::Condition>(engine_);
+  uint64_t span = 0;
+  if (obs::CurrentTracer() != nullptr) {
+    std::string links;
+    for (LinkId id : path) {
+      if (!links.empty()) links += ",";
+      links += links_[id].name;
+    }
+    span = obs::TraceBegin("net", "flow",
+                           {{"links", links}, {"bytes", bytes}});
+    obs::IncrCounter("net.flows_opened");
+    obs::IncrCounter("net.bytes_requested", bytes);
+  }
   Recompute();
 
   Status status = it->cond->WaitUntil(self, [&] { return it->done; });
   if (!status.ok()) {
     // Killed mid-transfer: tear the flow down and re-rate the rest.
+    obs::TraceEnd(span, "net", "flow",
+                  {{"ok", false}, {"remaining", it->remaining}});
+    obs::IncrCounter("net.flows_cancelled");
     if (!it->done) {
       flows_.erase(it);
       Recompute();
@@ -74,6 +90,7 @@ Status Network::Transfer(sim::Process& self, const std::vector<LinkId>& path,
     }
     return status;
   }
+  obs::TraceEnd(span, "net", "flow", {{"ok", true}});
   flows_.erase(it);
   return Status::OK();
 }
@@ -109,6 +126,9 @@ void Network::Advance() {
 
 void Network::Recompute() {
   Advance();
+  // Every arrival/departure re-rates the whole fleet of flows; the count
+  // (not per-flow spam) is the useful observability signal.
+  obs::IncrCounter("net.recomputes");
 
   // Max-min fair allocation with per-flow caps (progressive filling).
   std::vector<double> avail(links_.size());

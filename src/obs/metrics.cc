@@ -1,0 +1,145 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace fabric::obs {
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no inf/nan
+  // Integers (the common case for counters) print without an exponent
+  // or trailing zeros so the files stay humane.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+int BucketOf(double value) {
+  // bucket i holds value <= 2^(i-1); i.e. ceil(log2(value)) + 1, clamped.
+  if (value <= 0.5) return 0;
+  int b = 1 + static_cast<int>(std::ceil(std::log2(value)));
+  if (b < 0) b = 0;
+  if (b >= Metrics::Histogram::kBuckets) b = Metrics::Histogram::kBuckets - 1;
+  return b;
+}
+
+}  // namespace
+
+void Metrics::AddCounter(std::string_view name, double delta) {
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void Metrics::SetGauge(std::string_view name, double value) {
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void Metrics::Observe(std::string_view name, double value) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  Histogram& h = it->second;
+  if (h.count == 0 || value < h.min) h.min = value;
+  if (h.count == 0 || value > h.max) h.max = value;
+  ++h.count;
+  h.sum += value;
+  ++h.bucket[BucketOf(value)];
+}
+
+double Metrics::counter(std::string_view name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double Metrics::gauge(std::string_view name) const {
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0 : it->second;
+}
+
+Metrics::Histogram Metrics::histogram(std::string_view name) const {
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::string Metrics::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(name) + ":" + JsonNumber(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(name) + ":" + JsonNumber(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) out += ',';
+    first = false;
+    out += JsonString(name) + ":{\"count\":" + JsonNumber(h.count) +
+           ",\"sum\":" + JsonNumber(h.sum) + ",\"min\":" + JsonNumber(h.min) +
+           ",\"max\":" + JsonNumber(h.max) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace fabric::obs

@@ -1,0 +1,65 @@
+#ifndef FABRIC_OBS_METRICS_H_
+#define FABRIC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace fabric::obs {
+
+// Deterministic JSON rendering of a double: shortest round-trippable
+// form, fixed across platforms for a given bit pattern (%.17g trimmed).
+std::string JsonNumber(double value);
+
+// Escapes and quotes `s` as a JSON string literal.
+std::string JsonString(std::string_view s);
+
+// A metrics registry: counters (monotonic sums), gauges (last value) and
+// histograms (count/sum/min/max plus power-of-two buckets). Names are
+// created on first touch; iteration order is lexicographic, so two runs
+// that touch the same names in any order export identical JSON.
+//
+// All values are doubles — the simulator's byte counts and virtual
+// durations are fractional, and integer counters embed exactly.
+class Metrics {
+ public:
+  struct Histogram {
+    int64_t count = 0;
+    double sum = 0;
+    double min = 0;
+    double max = 0;
+    // bucket[i] counts observations with value <= 2^(i-1), the last
+    // bucket is unbounded; chosen so latencies (seconds) and sizes
+    // (bytes) both spread usefully.
+    static constexpr int kBuckets = 40;
+    int64_t bucket[kBuckets] = {0};
+  };
+
+  void AddCounter(std::string_view name, double delta = 1);
+  void SetGauge(std::string_view name, double value);
+  void Observe(std::string_view name, double value);
+
+  // Reads return the zero value for names never touched.
+  double counter(std::string_view name) const;
+  double gauge(std::string_view name) const;
+  Histogram histogram(std::string_view name) const;
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  // {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  // "sum":..,"min":..,"max":..}}}, keys sorted. Byte-identical across
+  // runs that record the same values.
+  std::string ToJson() const;
+
+ private:
+  std::map<std::string, double, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace fabric::obs
+
+#endif  // FABRIC_OBS_METRICS_H_

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace fabric::sim {
 
@@ -28,6 +29,12 @@ Status Process::Sleep(double seconds) {
   FABRIC_CHECK(seconds >= 0) << "negative sleep: " << seconds;
   std::unique_lock<std::mutex> lock(engine_->mu_);
   if (killed_) return CancelledError(StrCat("process '", name_, "' killed"));
+  // Yields (Sleep(0)) are pure scheduling noise; only real sleeps trace.
+  if (seconds > 0) {
+    obs::TraceEvent("sim", "process.sleep",
+                    {{"process", name_}, {"seconds", seconds}});
+    obs::ObserveValue("sim.sleep_seconds", seconds);
+  }
   engine_->PostWakeLocked(this, engine_->now_ + seconds);
   state_ = State::kBlocked;
   SwitchToEngine(lock);
@@ -49,6 +56,7 @@ void Process::ThreadMain() {
   }
   body_(*this);
   std::unique_lock<std::mutex> lock(engine_->mu_);
+  obs::TraceEvent("sim", "process.done", {{"process", name_}, {"pid", id_}});
   state_ = State::kDone;
   engine_->engine_turn_ = true;
   engine_->engine_cv_.notify_one();
@@ -89,6 +97,10 @@ ProcessHandle Engine::Spawn(std::string name,
   std::lock_guard<std::mutex> lock(mu_);
   auto process = std::shared_ptr<Process>(
       new Process(this, next_id_++, std::move(name), std::move(body)));
+  obs::TraceEvent(
+      "sim", "process.spawn",
+      {{"process", process->name_}, {"pid", process->id_}});
+  obs::IncrCounter("sim.processes_spawned");
   process->thread_ = std::thread(&Process::ThreadMain, process.get());
   processes_.push_back(process);
   PostWakeLocked(process.get(), now_);
@@ -104,6 +116,9 @@ void Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
 void Engine::Kill(Process& process) {
   std::lock_guard<std::mutex> lock(mu_);
   if (process.state_ == Process::State::kDone || process.killed_) return;
+  obs::TraceEvent("sim", "process.kill",
+                  {{"process", process.name_}, {"pid", process.id_}});
+  obs::IncrCounter("sim.kills");
   process.killed_ = true;
   if (process.state_ == Process::State::kBlocked) {
     PostWakeLocked(&process, now_, /*force=*/true);

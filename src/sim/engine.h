@@ -20,6 +20,7 @@ namespace fabric::sim {
 // whole fabric; benchmarks report these seconds.
 using SimTime = double;
 
+class Condition;
 class Engine;
 class Process;
 
@@ -84,6 +85,10 @@ class Process {
   std::function<void(Process&)> body_;
   State state_ = State::kReady;
   bool killed_ = false;
+  // The condition this process is parked on, while registered in its
+  // waiter list. Cleared at notify time and by ~Condition, so a process
+  // resumed during teardown can tell whether deregistering is safe.
+  Condition* wait_cond_ = nullptr;
   bool wake_posted_ = false;  // a wake event for this process is queued
   uint64_t wake_epoch_ = 0;   // invalidates superseded queued wakes
   std::condition_variable cv_;

@@ -7,17 +7,32 @@
 
 namespace fabric::sim {
 
+Condition::~Condition() {
+  // Processes can still be parked here when a whole simulation is torn
+  // down mid-run (the engine destructor kills and resumes them later,
+  // possibly after this condition is gone). Clear their back-pointers so
+  // their unwinding Wait() knows not to touch the freed waiter list.
+  std::lock_guard<std::mutex> lock(engine_->mu_);
+  for (Process* waiter : waiters_) waiter->wait_cond_ = nullptr;
+}
+
 Status Condition::Wait(Process& self) {
   std::unique_lock<std::mutex> lock(engine_->mu_);
   if (self.killed_) {
     return CancelledError(StrCat("process '", self.name(), "' killed"));
   }
   waiters_.push_back(&self);
+  self.wait_cond_ = this;
   self.state_ = Process::State::kBlocked;
   self.SwitchToEngine(lock);
-  // A kill-wake resumes us while still registered; deregister.
-  waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &self),
-                 waiters_.end());
+  // A kill-wake resumes us while still registered; deregister. The
+  // back-pointer is only still set for that case — notification and
+  // ~Condition both clear it (the latter because `this` may be freed).
+  if (self.wait_cond_ == this) {
+    self.wait_cond_ = nullptr;
+    waiters_.erase(std::remove(waiters_.begin(), waiters_.end(), &self),
+                   waiters_.end());
+  }
   if (self.killed_) {
     return CancelledError(StrCat("process '", self.name(), "' killed"));
   }
@@ -27,6 +42,7 @@ Status Condition::Wait(Process& self) {
 void Condition::NotifyAll() {
   std::lock_guard<std::mutex> lock(engine_->mu_);
   for (Process* waiter : waiters_) {
+    waiter->wait_cond_ = nullptr;
     engine_->PostWakeLocked(waiter, engine_->now_);
   }
   waiters_.clear();
@@ -35,6 +51,7 @@ void Condition::NotifyAll() {
 void Condition::NotifyOne() {
   std::lock_guard<std::mutex> lock(engine_->mu_);
   if (waiters_.empty()) return;
+  waiters_.front()->wait_cond_ = nullptr;
   engine_->PostWakeLocked(waiters_.front(), engine_->now_);
   waiters_.erase(waiters_.begin());
 }

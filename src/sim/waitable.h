@@ -17,6 +17,7 @@ namespace fabric::sim {
 class Condition {
  public:
   explicit Condition(Engine* engine) : engine_(engine) {}
+  ~Condition();
 
   Condition(const Condition&) = delete;
   Condition& operator=(const Condition&) = delete;

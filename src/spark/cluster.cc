@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace fabric::spark {
 
@@ -96,6 +97,10 @@ Result<SparkCluster::JobStats> SparkCluster::RunJob(
   job->stats.tasks = num_tasks;
   job->progress = std::make_unique<sim::Condition>(engine_);
 
+  uint64_t job_span = obs::TraceBegin(
+      "spark", "job", {{"job", job->name}, {"tasks", num_tasks}});
+  obs::IncrCounter("spark.jobs");
+
   for (int task = 0; task < num_tasks; ++task) {
     LaunchAttempt(job, task, /*speculative=*/false);
   }
@@ -115,6 +120,12 @@ Result<SparkCluster::JobStats> SparkCluster::RunJob(
       job->progress->WaitUntil(driver, [&] { return job->active == 0; }));
   job->finished = true;
   job->stats.makespan = engine_->now() - job->started_at;
+  obs::TraceEnd(job_span, "spark", "job",
+                {{"job", job->name},
+                 {"aborted", job->aborted},
+                 {"attempts", job->stats.attempts_launched},
+                 {"speculative", job->stats.speculative_launched}});
+  obs::ObserveValue("spark.job_makespan", job->stats.makespan);
   if (job->aborted) return job->abort_status;
   return job->stats;
 }
@@ -152,6 +163,11 @@ void SparkCluster::MaybeSpeculate(const std::shared_ptr<JobState>& job) {
     if (job->running[task] != 1) continue;  // queued or already duplicated
     if (engine_->now() - job->earliest_start[task] <= threshold) continue;
     job->speculated[task] = true;
+    obs::TraceEvent("spark", "task.speculate",
+                    {{"job", job->name},
+                     {"task", task},
+                     {"threshold", threshold}});
+    obs::IncrCounter("spark.speculative_launched");
     LaunchAttempt(job, task, /*speculative=*/true);
   }
 }
@@ -163,9 +179,11 @@ void SparkCluster::LaunchAttempt(std::shared_ptr<JobState> job, int task,
   if (speculative) ++job->stats.speculative_launched;
   ++job->active;
   ++total_attempts_;
+  obs::IncrCounter("spark.attempts_launched");
   engine_->Spawn(
       StrCat(job->name, ":t", task, ".", attempt),
       [this, job, task, attempt, speculative](sim::Process& self) {
+        uint64_t attempt_span = 0;
         Status status = [&]() -> Status {
           FABRIC_RETURN_IF_ERROR(slots_->Acquire(self));
           struct SlotGuard {
@@ -176,6 +194,12 @@ void SparkCluster::LaunchAttempt(std::shared_ptr<JobState> job, int task,
 
           int worker = next_worker_;
           next_worker_ = (next_worker_ + 1) % num_workers();
+          attempt_span = obs::TraceBegin("spark", "task",
+                                         {{"job", job->name},
+                                          {"task", task},
+                                          {"attempt", attempt},
+                                          {"worker", worker},
+                                          {"speculative", speculative}});
           ++job->running[task];
           struct RunGuard {
             JobState* job;
@@ -188,6 +212,12 @@ void SparkCluster::LaunchAttempt(std::shared_ptr<JobState> job, int task,
           // Arm the failure adversary for this attempt.
           if (injector_ != nullptr) {
             if (auto delay = injector_->PlanKill(job->name, task, attempt)) {
+              obs::TraceEvent("spark", "task.kill_planned",
+                              {{"job", job->name},
+                               {"task", task},
+                               {"attempt", attempt},
+                               {"delay", *delay}});
+              obs::IncrCounter("spark.kills_planned");
               sim::Process* victim = &self;
               engine_->ScheduleAt(engine_->now() + *delay,
                                   [this, victim] { engine_->Kill(*victim); });
@@ -214,6 +244,12 @@ void SparkCluster::LaunchAttempt(std::shared_ptr<JobState> job, int task,
           }
           return Status::OK();
         }();
+        obs::TraceEnd(attempt_span, "spark", "task",
+                      {{"job", job->name},
+                       {"task", task},
+                       {"attempt", attempt},
+                       {"ok", status.ok()}});
+        if (!status.ok()) obs::IncrCounter("spark.attempts_failed");
         if (!status.ok() && !job->aborted && !job->done[task]) {
           ++job->failures[task];
           ++job->stats.attempts_failed;

@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "storage/profile.h"
 
 namespace fabric::vertica {
@@ -119,6 +120,13 @@ Status CopyStream::WriteBatch(sim::Process& self,
       per_node[owner].push_back(std::move(row));
     }
   }
+  obs::TraceEvent("vertica", "copy.batch",
+                  {{"table", def_->name},
+                   {"rows", static_cast<int64_t>(rows.size())},
+                   {"rejected",
+                    static_cast<int64_t>(rows.size() - good.size())},
+                   {"txn", txn_}});
+  obs::IncrCounter("vertica.copy_rows", static_cast<double>(rows.size()));
   for (int n = 0; n < db->num_nodes(); ++n) {
     if (per_node[n].empty()) continue;
     DataProfile node_profile = ProfileRows(per_node[n]);
@@ -157,6 +165,11 @@ Result<CopyStream::LoadResult> CopyStream::Finish(sim::Process& self) {
       return commit;
     }
   }
+  obs::TraceEvent("vertica", "copy.finish",
+                  {{"table", def_->name},
+                   {"loaded", totals_.loaded},
+                   {"rejected", totals_.rejected},
+                   {"txn", txn_}});
   return totals_;
 }
 

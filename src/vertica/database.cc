@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "vertica/session.h"
 
 namespace fabric::vertica {
@@ -164,6 +165,8 @@ int Database::OwnerNode(const TableDef& def,
 storage::TxnId Database::BeginTxnInternal() {
   storage::TxnId txn = next_txn_++;
   txns_.emplace(txn, TxnState{});
+  obs::TraceEvent("vertica", "txn.begin", {{"txn", txn}});
+  obs::IncrCounter("vertica.txns_begun");
   return txn;
 }
 
@@ -225,6 +228,10 @@ Status Database::CommitTxnInternal(sim::Process& self,
   // Commit latency: group-commit style fixed cost.
   FABRIC_RETURN_IF_ERROR(self.Sleep(options_.cost.commit_overhead));
   storage::Epoch commit_epoch = ++epoch_;
+  obs::TraceEvent("vertica", "epoch.advance", {{"epoch", commit_epoch}});
+  obs::TraceEvent("vertica", "txn.commit",
+                  {{"txn", txn}, {"epoch", commit_epoch}});
+  obs::IncrCounter("vertica.txns_committed");
   for (const std::string& table : it->second.touched_tables) {
     auto storage_it = storage_.find(table);
     if (storage_it == storage_.end()) continue;  // dropped mid-txn
@@ -245,6 +252,8 @@ Status Database::CommitTxnInternal(sim::Process& self,
 void Database::AbortTxnInternal(storage::TxnId txn) {
   auto it = txns_.find(txn);
   if (it == txns_.end()) return;
+  obs::TraceEvent("vertica", "txn.abort", {{"txn", txn}});
+  obs::IncrCounter("vertica.txns_aborted");
   for (const std::string& table : it->second.touched_tables) {
     auto storage_it = storage_.find(table);
     if (storage_it == storage_.end()) continue;

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 #include "storage/profile.h"
 #include "vertica/sql_analyzer.h"
 #include "vertica/sql_eval.h"
@@ -277,6 +278,11 @@ Result<QueryResult> Session::Execute(sim::Process& self,
                                      std::string_view sql_text) {
   if (closed_) return FailedPreconditionError("session closed");
   FABRIC_RETURN_IF_ERROR(self.CheckAlive());
+  // Per-statement observability state: a statement killed before its
+  // dispatcher runs must not leave the previous statement's outcome
+  // visible through last_commit_epoch()/last_update_affected().
+  last_commit_epoch_ = 0;
+  last_update_affected_ = -1;
   FABRIC_ASSIGN_OR_RETURN(sql::Statement statement, sql::Parse(sql_text));
   // Parse/plan cost on the initiator node.
   FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
@@ -334,6 +340,7 @@ Status Session::FinishWriteTxn(sim::Process& self, const WriteTxn& wt,
     }
     return status;
   }
+  last_commit_epoch_ = 0;
   if (!status.ok()) {
     db_->AbortTxnInternal(wt.txn);
     return status;
@@ -343,6 +350,7 @@ Status Session::FinishWriteTxn(sim::Process& self, const WriteTxn& wt,
     db_->AbortTxnInternal(wt.txn);
     return commit;
   }
+  last_commit_epoch_ = db_->current_epoch();
   return self.Sleep(kCommitAckLatency);
 }
 
@@ -354,6 +362,7 @@ Result<QueryResult> Session::ExecTxn(sim::Process& self,
       if (txn_ == 0) txn_ = db_->BeginTxnInternal();
       return result;
     case sql::TxnStmt::Kind::kCommit: {
+      last_commit_epoch_ = 0;
       if (txn_ == 0) return result;
       TxnId txn = txn_;
       Status commit = db_->CommitTxnInternal(self, txn);
@@ -364,6 +373,7 @@ Result<QueryResult> Session::ExecTxn(sim::Process& self,
         return commit;
       }
       txn_ = 0;
+      last_commit_epoch_ = db_->current_epoch();
       // The commit is durable; a kill during the ack still loses the
       // client's confirmation (exactly the hazard S2V must survive).
       FABRIC_RETURN_IF_ERROR(self.Sleep(kCommitAckLatency));
@@ -671,7 +681,17 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
     }
     return Status::OK();
   }();
-  FABRIC_RETURN_IF_ERROR(FinishWriteTxn(self, wt, status));
+  Status finished = FinishWriteTxn(self, wt, status);
+  // Recorded before ack-loss propagation: conditional updates (UPDATE ...
+  // WHERE guard) are the connector's election and dedup primitive, and
+  // the trace layer must see who won even when the winner's ack was
+  // killed mid-flight.
+  last_update_affected_ = affected;
+  obs::TraceEvent("vertica", "update",
+                  {{"table", def->name},
+                   {"affected", affected},
+                   {"txn", wt.txn}});
+  FABRIC_RETURN_IF_ERROR(finished);
   QueryResult result;
   result.affected = affected;
   return result;
@@ -1275,6 +1295,9 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
             FABRIC_ASSIGN_OR_RETURN(
                 std::vector<Row> visible,
                 store->SnapshotRows(state->snapshot, state->txn));
+            obs::IncrCounter(
+                "vertica.rows_scanned",
+                static_cast<double>(visible.size()) * state->data_scale);
             // Column-store scan cost (late materialization): predicate
             // columns are touched for every visible row (this is where
             // V2S pays its per-row HASH evaluation, Section 4.7.2), but
@@ -1415,6 +1438,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
 Status Session::StreamToClient(sim::Process& self, double wire_bytes,
                                double rate_cap) {
   if (client_ == nullptr || wire_bytes <= 0) return self.CheckAlive();
+  obs::IncrCounter("vertica.result_wire_bytes", wire_bytes);
   return db_->network()->Transfer(
       self,
       {db_->node_host(node_).ext_egress, client_->ext_ingress},
@@ -1424,6 +1448,7 @@ Status Session::StreamToClient(sim::Process& self, double wire_bytes,
 Status Session::StreamToClientReverse(sim::Process& self,
                                       double wire_bytes) {
   if (client_ == nullptr || wire_bytes <= 0) return self.CheckAlive();
+  obs::IncrCounter("vertica.load_wire_bytes", wire_bytes);
   return db_->network()->Transfer(
       self,
       {client_->ext_egress, db_->node_host(node_).ext_ingress},

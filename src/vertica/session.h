@@ -44,6 +44,20 @@ class Session {
   Database* database() const { return db_; }
   bool in_transaction() const { return txn_ != 0; }
 
+  // Observability aids (the server's view of this session's last write,
+  // exposed so instrumented clients can distinguish "commit durable, ack
+  // lost to a kill" from "commit never happened" — the Section 2.2.2
+  // hazard). Protocol code must NOT branch on these; only tracing and
+  // conformance tests read them.
+  //
+  // Epoch of the most recent durable commit (explicit COMMIT or DML
+  // autocommit) on this session; 0 if the last commit attempt never
+  // reached durability.
+  storage::Epoch last_commit_epoch() const { return last_commit_epoch_; }
+  // Affected-row count of the most recent UPDATE, recorded even when the
+  // statement's ack was lost; -1 before any UPDATE ran.
+  int64_t last_update_affected() const { return last_update_affected_; }
+
   // Internal: executes a parsed SELECT without streaming to the client
   // (used for views and INSERT ... SELECT).
   Result<QueryResult> ExecuteSelectInternal(sim::Process& self,
@@ -103,6 +117,8 @@ class Session {
   int node_;
   const net::Host* client_;  // may be null (console)
   storage::TxnId txn_ = 0;   // open explicit transaction
+  storage::Epoch last_commit_epoch_ = 0;
+  int64_t last_update_affected_ = -1;
   bool closed_ = false;
 };
 

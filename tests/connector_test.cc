@@ -14,6 +14,8 @@
 #include "connector/v2s.h"
 #include "hdfs/hdfs.h"
 #include "net/network.h"
+#include "obs/trace.h"
+#include "obs/trace_matcher.h"
 #include "sim/engine.h"
 #include "spark/dataframe.h"
 #include "vertica/database.h"
@@ -48,6 +50,44 @@ std::multiset<int64_t> IdsOf(const std::vector<Row>& rows) {
   std::multiset<int64_t> ids;
   for (const Row& row : rows) ids.insert(row[0].int64_value());
   return ids;
+}
+
+// The five-phase invariants every S2V save must leave in its trace, no
+// matter where kills landed. Phase events are emitted at the durability
+// point (not the client ack), so these hold even when an acknowledgement
+// was lost mid-flight:
+//  - success: exactly one durable COPY commit per partition (phase 1),
+//    exactly one leader election winner (phase 3, the one-shot
+//    `WHERE task = -1` update), every winner check resolved to the same
+//    elected partition (phase 4 may repeat after a lost ack), and exactly
+//    one durable promotion (phase 5) sequenced after all data commits;
+//  - failure: zero promotions — a rejected save must never publish.
+void ExpectS2VTraceConformance(const obs::Tracer& tracer, int partitions,
+                               bool save_ok) {
+  obs::TraceMatcher s2v = obs::TraceMatcher(tracer).Category("s2v");
+  obs::TraceMatcher commits = s2v.Name("phase1.commit");
+  obs::TraceMatcher promotes = s2v.Name("phase5.promote");
+  if (!save_ok) {
+    EXPECT_TRUE(promotes.empty())
+        << "failed save published data:\n" << promotes.Describe();
+    return;
+  }
+  for (int p = 0; p < partitions; ++p) {
+    EXPECT_EQ(commits.WithAttr("partition", p).count(), 1u)
+        << "partition " << p << " committed != once:\n"
+        << commits.Describe();
+  }
+  EXPECT_EQ(commits.count(), static_cast<size_t>(partitions));
+  obs::TraceMatcher elected = s2v.Name("phase3.elected");
+  EXPECT_EQ(elected.count(), 1u) << elected.Describe();
+  obs::TraceMatcher winners = s2v.Name("phase4.winner");
+  ASSERT_GE(winners.count(), 1u);
+  EXPECT_EQ(winners.DistinctIntAttr("partition"),
+            std::vector<int64_t>{elected.only().IntAttr("partition")})
+      << winners.Describe();
+  EXPECT_EQ(promotes.count(), 1u) << promotes.Describe();
+  EXPECT_TRUE(commits.StrictlyBefore(promotes))
+      << "a COPY commit was sequenced after the promotion";
 }
 
 class ConnectorTest : public ::testing::Test {
@@ -225,11 +265,21 @@ TEST_F(ConnectorTest, S2VExactlyOnceUnderScriptedKills) {
       .KillAttempt(2, 1, 0.5)        // second attempt too
       .KillAttempt(5, 0, 2.0);
   cluster_->set_failure_injector(&injector);
+  obs::Tracer tracer([this] { return engine_.now(); });
+  obs::ScopedTracer install(&tracer);
   RunDriver([&](sim::Process& driver) {
     std::vector<Row> rows = MakeRows(400);
     ASSERT_TRUE(SaveRows(driver, rows, "t", 8).ok());
     EXPECT_EQ(IdsOf(TableRows(driver, "t")), IdsOf(rows));
   });
+  ExpectS2VTraceConformance(tracer, /*partitions=*/8, /*save_ok=*/true);
+  // The scripted kills are visible in the trace: every planned kill that
+  // fired left a spark task.kill_planned record and a retried attempt.
+  obs::TraceMatcher trace(tracer);
+  EXPECT_GE(trace.Category("spark").Name("task.kill_planned").count(), 1u);
+  EXPECT_GE(trace.Category("s2v").Name("phase1.duplicate").count() +
+                tracer.metrics().counter("spark.attempts_failed"),
+            1u);
 }
 
 // The central property: under randomized kills (any attempt, any time),
@@ -255,7 +305,10 @@ TEST_P(S2VExactlyOncePropertyTest, KillsNeverDuplicateOrDrop) {
                                         /*typical_duration=*/4.0,
                                         /*max_kills=*/6);
   cluster.set_failure_injector(&injector);
+  obs::Tracer tracer([&engine] { return engine.now(); });
+  obs::ScopedTracer install(&tracer);
 
+  Status save_status;
   engine.Spawn("driver", [&](sim::Process& driver) {
     std::vector<Row> rows;
     for (int i = 0; i < 300; ++i) {
@@ -269,6 +322,7 @@ TEST_P(S2VExactlyOncePropertyTest, KillsNeverDuplicateOrDrop) {
                        .Option("numpartitions", 8)
                        .Mode(SaveMode::kOverwrite)
                        .Save(driver);
+    save_status = saved;
     auto vsession = db.Connect(driver, 0, &cluster.driver_host());
     ASSERT_TRUE(vsession.ok());
     if (saved.ok()) {
@@ -284,6 +338,9 @@ TEST_P(S2VExactlyOncePropertyTest, KillsNeverDuplicateOrDrop) {
   });
   Status status = engine.Run();
   ASSERT_TRUE(status.ok()) << status;
+  // Whatever this seed's kills did, the trace must show the five-phase
+  // protocol was honored (and a failed save must promote nothing).
+  ExpectS2VTraceConformance(tracer, /*partitions=*/8, save_status.ok());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, S2VExactlyOncePropertyTest,
@@ -386,6 +443,89 @@ TEST_F(ConnectorTest, V2SPushdownReducesTransfer) {
                              cluster_->driver_host().ext_ingress) -
                          before_count;
     EXPECT_LT(count_bytes, full_bytes * 0.01);
+  });
+}
+
+// Same pushdown story as above, but asserted through the metrics layer:
+// rows scanned inside Vertica, rows handed back to Spark, and result
+// bytes on the wire, instead of inferring from link counters.
+TEST_F(ConnectorTest, V2SPushdownReducesWorkInMetrics) {
+  obs::Tracer tracer([this] { return engine_.now(); });
+  obs::ScopedTracer install(&tracer);
+  RunDriver([&](sim::Process& driver) {
+    ASSERT_TRUE(SaveRows(driver, MakeRows(1000), "t", 8).ok());
+    auto df = session_->Read()
+                  .Format(kVerticaSourceName)
+                  .Option("table", "t")
+                  .Option("numpartitions", 8)
+                  .Load(driver);
+    ASSERT_TRUE(df.ok());
+
+    struct Work {
+      double rows_scanned, rows_returned, wire_bytes;
+    };
+    auto measure = [&](auto&& action) {
+      const obs::Metrics& m = tracer.metrics();
+      Work before{m.counter("vertica.rows_scanned"),
+                  m.counter("v2s.rows_returned"),
+                  m.counter("vertica.result_wire_bytes")};
+      action();
+      return Work{m.counter("vertica.rows_scanned") - before.rows_scanned,
+                  m.counter("v2s.rows_returned") - before.rows_returned,
+                  m.counter("vertica.result_wire_bytes") -
+                      before.wire_bytes};
+    };
+
+    Work full = measure(
+        [&] { ASSERT_TRUE(df->Collect(driver).ok()); });
+    // A full load returns every row; each of the 8 partition queries
+    // scans its node's whole segment (2 partitions per node).
+    EXPECT_DOUBLE_EQ(full.rows_returned, 1000);
+    EXPECT_DOUBLE_EQ(full.rows_scanned, 2000);
+    EXPECT_GT(full.wire_bytes, 0);
+
+    // Filter pushdown: the predicate runs inside the scan, so the same
+    // rows are scanned but only matches are returned and shipped.
+    ColumnPredicate pred{"id", ColumnPredicate::Op::kLt, Value::Int64(50)};
+    Work filtered = measure(
+        [&] { ASSERT_TRUE(df->Filter(pred).Collect(driver).ok()); });
+    EXPECT_DOUBLE_EQ(filtered.rows_scanned, full.rows_scanned);
+    EXPECT_DOUBLE_EQ(filtered.rows_returned, 50);
+    EXPECT_LT(filtered.wire_bytes, full.wire_bytes * 0.2);
+
+    // Projection pushdown: the cost model keeps every referenced column
+    // on the wire and the segmentation hash references both columns of
+    // this table, so the pruning shows in the pushed query itself — each
+    // partition scan advertises a one-column required set instead of `*`.
+    auto projected = df->Select({"id"});
+    ASSERT_TRUE(projected.ok());
+    Work narrow = measure(
+        [&] { ASSERT_TRUE(projected->Collect(driver).ok()); });
+    EXPECT_DOUBLE_EQ(narrow.rows_returned, 1000);
+    EXPECT_LE(narrow.wire_bytes, full.wire_bytes);
+    obs::TraceMatcher scans = obs::TraceMatcher(tracer)
+                                  .Category("v2s")
+                                  .Name("scan")
+                                  .Phase(obs::Event::Phase::kBegin);
+    EXPECT_EQ(scans.WithAttr("columns", 1).count(), 8u)
+        << scans.Describe();
+    EXPECT_GE(scans.WithAttr("filters", 1).count(), 8u)
+        << "filter pushdown never reached the partition queries";
+
+    // Count pushdown: one aggregate row per partition, near-zero wire.
+    Work counted = measure(
+        [&] { EXPECT_EQ(df->Count(driver).value(), 1000); });
+    EXPECT_DOUBLE_EQ(counted.rows_returned, 8);
+    EXPECT_LT(counted.wire_bytes, full.wire_bytes * 0.01);
+    // Rebuilt: matchers are views into the event vector, which may have
+    // reallocated while the count ran.
+    EXPECT_EQ(obs::TraceMatcher(tracer)
+                  .Category("v2s")
+                  .Name("scan")
+                  .Phase(obs::Event::Phase::kBegin)
+                  .WithAttr("count_only", true)
+                  .count(),
+              8u);
   });
 }
 

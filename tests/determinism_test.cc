@@ -4,6 +4,7 @@
 // checked against a brute-force reference allocator.
 
 #include <cmath>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include "common/random.h"
 #include "connector/default_source.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "spark/dataframe.h"
 #include "vertica/database.h"
@@ -25,15 +27,18 @@ using storage::Schema;
 using storage::Value;
 
 // Runs a full save+load workload with failure injection and returns
-// (virtual end time, engine steps, loaded row count).
+// (virtual end time, engine steps, loaded row count) plus the complete
+// exported event trace — the strongest fingerprint: every spawn, kill,
+// flow, txn and protocol phase, in order, with timestamps.
 struct RunFingerprint {
   double end_time = 0;
   uint64_t steps = 0;
   int64_t rows = 0;
+  std::string trace;  // Chrome-trace JSON of the whole run
 
   friend bool operator==(const RunFingerprint& a, const RunFingerprint& b) {
     return a.end_time == b.end_time && a.steps == b.steps &&
-           a.rows == b.rows;
+           a.rows == b.rows && a.trace == b.trace;
   }
 };
 
@@ -50,6 +55,8 @@ RunFingerprint RunWorkload(uint64_t seed) {
   connector::RegisterVerticaSource(&session, &db);
   spark::RandomFailureInjector injector(seed, 0.3, 3.0, 4);
   cluster.set_failure_injector(&injector);
+  obs::Tracer tracer([&engine] { return engine.now(); });
+  obs::ScopedTracer install(&tracer);
 
   RunFingerprint fingerprint;
   engine.Spawn("driver", [&](sim::Process& driver) {
@@ -83,6 +90,7 @@ RunFingerprint RunWorkload(uint64_t seed) {
   EXPECT_TRUE(status.ok()) << status;
   fingerprint.end_time = engine.now();
   fingerprint.steps = engine.steps();
+  fingerprint.trace = tracer.ToChromeTraceJson();
   return fingerprint;
 }
 
@@ -97,7 +105,17 @@ TEST_P(DeterminismPropertyTest, IdenticalRunsProduceIdenticalFingerprints) {
   EXPECT_EQ(first, second)
       << "t=" << first.end_time << "/" << second.end_time << " steps="
       << first.steps << "/" << second.steps;
+  // Byte-identical traces: a weaker fingerprint could collide, but the
+  // serialized trace records every event and timestamp.
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_GT(first.trace.size(), 1000u) << "trace suspiciously empty";
   EXPECT_EQ(first.rows, 200);
+}
+
+// Different seeds land kills differently; their traces must diverge
+// (otherwise the injector's seed is not reaching the simulation).
+TEST(DeterminismTest, DifferentSeedsProduceDifferentTraces) {
+  EXPECT_NE(RunWorkload(1).trace, RunWorkload(7).trace);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DeterminismPropertyTest,

@@ -1,0 +1,243 @@
+// Unit tests for the observability layer: the metrics registry, the
+// tracer and its Chrome-trace export, the scoped installation helpers,
+// and the TraceMatcher query utility the conformance tests build on.
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_matcher.h"
+
+namespace fabric::obs {
+namespace {
+
+// ------------------------------------------------------------- metrics
+
+TEST(MetricsTest, CountersAccumulate) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.counter("x"), 0);
+  metrics.AddCounter("x");
+  metrics.AddCounter("x", 2.5);
+  EXPECT_DOUBLE_EQ(metrics.counter("x"), 3.5);
+  EXPECT_EQ(metrics.counter("never_touched"), 0);
+}
+
+TEST(MetricsTest, GaugesKeepLastValue) {
+  Metrics metrics;
+  metrics.SetGauge("g", 7);
+  metrics.SetGauge("g", -1.5);
+  EXPECT_DOUBLE_EQ(metrics.gauge("g"), -1.5);
+}
+
+TEST(MetricsTest, HistogramsTrackCountSumMinMax) {
+  Metrics metrics;
+  metrics.Observe("h", 2);
+  metrics.Observe("h", 10);
+  metrics.Observe("h", 0.5);
+  Metrics::Histogram h = metrics.histogram("h");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.sum, 12.5);
+  EXPECT_DOUBLE_EQ(h.min, 0.5);
+  EXPECT_DOUBLE_EQ(h.max, 10);
+  EXPECT_EQ(metrics.histogram("none").count, 0);
+}
+
+TEST(MetricsTest, JsonIsSortedAndOrderIndependent) {
+  Metrics a;
+  a.AddCounter("zeta", 1);
+  a.AddCounter("alpha", 2);
+  a.SetGauge("g", 3);
+  Metrics b;
+  b.SetGauge("g", 3);
+  b.AddCounter("alpha", 2);
+  b.AddCounter("zeta", 1);
+  EXPECT_EQ(a.ToJson(), b.ToJson());
+  // Lexicographic key order regardless of touch order.
+  EXPECT_LT(a.ToJson().find("\"alpha\""), a.ToJson().find("\"zeta\""));
+}
+
+TEST(JsonTest, NumbersRenderDeterministically) {
+  EXPECT_EQ(JsonNumber(0), "0");
+  EXPECT_EQ(JsonNumber(42), "42");
+  EXPECT_EQ(JsonNumber(-3), "-3");
+  EXPECT_EQ(JsonNumber(1e15), "1000000000000000");
+  // Non-integers round-trip; non-finite values become null.
+  EXPECT_EQ(std::stod(JsonNumber(0.1)), 0.1);
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(JsonNumber(std::nan("")), "null");
+}
+
+TEST(JsonTest, StringsAreEscaped) {
+  EXPECT_EQ(JsonString("plain"), "\"plain\"");
+  EXPECT_EQ(JsonString("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+}
+
+// -------------------------------------------------------------- tracer
+
+TEST(TracerTest, StampsEventsWithClockAndSequence) {
+  double now = 1.5;
+  Tracer tracer([&now] { return now; });
+  tracer.Emit("cat", "first", {{"k", 1}});
+  now = 2.25;
+  tracer.Emit("cat", "second");
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].time, 1.5);
+  EXPECT_EQ(tracer.events()[1].time, 2.25);
+  EXPECT_LT(tracer.events()[0].seq, tracer.events()[1].seq);
+  EXPECT_EQ(tracer.events()[0].IntAttr("k"), 1);
+}
+
+TEST(TracerTest, SpansShareAnIdAcrossBeginAndEnd) {
+  double now = 0;
+  Tracer tracer([&now] { return now; });
+  uint64_t span = tracer.BeginSpan("cat", "work", {{"arg", "x"}});
+  ASSERT_NE(span, 0u);
+  now = 3;
+  tracer.EndSpan(span, "cat", "work", {{"ok", true}});
+  ASSERT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.events()[0].phase, Event::Phase::kBegin);
+  EXPECT_EQ(tracer.events()[1].phase, Event::Phase::kEnd);
+  EXPECT_EQ(tracer.events()[0].span, tracer.events()[1].span);
+  EXPECT_TRUE(tracer.events()[1].BoolAttr("ok"));
+}
+
+TEST(TracerTest, MetricsOnlyModeKeepsEventVectorEmpty) {
+  Tracer tracer([] { return 0.0; },
+                Tracer::Options{.capture_events = false});
+  ScopedTracer install(&tracer);
+  TraceEvent("cat", "dropped");
+  uint64_t span = TraceBegin("cat", "span");
+  EXPECT_NE(span, 0u);  // span ids still flow so call sites stay uniform
+  TraceEnd(span, "cat", "span");
+  IncrCounter("kept", 2);
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_DOUBLE_EQ(tracer.metrics().counter("kept"), 2);
+}
+
+TEST(TracerTest, HelpersNoOpWithoutInstalledTracer) {
+  ASSERT_EQ(CurrentTracer(), nullptr);
+  TraceEvent("cat", "nobody-listening");
+  EXPECT_EQ(TraceBegin("cat", "span"), 0u);
+  TraceEnd(0, "cat", "span");
+  IncrCounter("counter");
+  ObserveValue("histogram", 1);
+  SetGauge("gauge", 1);  // all must be safe no-ops
+}
+
+TEST(TracerTest, ScopedTracerNestsAndRestores) {
+  Tracer outer([] { return 0.0; });
+  Tracer inner([] { return 0.0; });
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  {
+    ScopedTracer first(&outer);
+    EXPECT_EQ(CurrentTracer(), &outer);
+    {
+      ScopedTracer second(&inner);
+      EXPECT_EQ(CurrentTracer(), &inner);
+      TraceEvent("cat", "inner-event");
+    }
+    EXPECT_EQ(CurrentTracer(), &outer);
+  }
+  EXPECT_EQ(CurrentTracer(), nullptr);
+  EXPECT_TRUE(outer.events().empty());
+  EXPECT_EQ(inner.events().size(), 1u);
+}
+
+TEST(TracerTest, ChromeTraceJsonIsDeterministicAndWellFormed) {
+  auto build = [] {
+    double now = 0.5;
+    Tracer tracer([&now] { return now; });
+    uint64_t span = tracer.BeginSpan("s2v", "phase", {{"partition", 3}});
+    now = 1.0;
+    tracer.Emit("sim", "tick", {{"pi", 3.25}, {"label", "a\"b"}});
+    tracer.EndSpan(span, "s2v", "phase");
+    tracer.metrics().AddCounter("c", 2);
+    return tracer.ToChromeTraceJson();
+  };
+  std::string json = build();
+  EXPECT_EQ(json, build()) << "export must be byte-stable";
+  // Spot structure: async span pair, instant, microsecond timestamps,
+  // attached metrics.
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":500000"), std::string::npos);
+  EXPECT_NE(json.find("\"partition\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"a\\\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"metrics\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"c\":2"), std::string::npos);
+}
+
+// ------------------------------------------------------------- matcher
+
+Tracer MakeSampleTrace() {
+  double now = 0;
+  Tracer tracer([&now] { return now; });
+  ScopedTracer install(&tracer);
+  TraceEvent("s2v", "phase1.commit", {{"partition", 0}, {"attempt", 0}});
+  now = 1;
+  TraceEvent("s2v", "phase1.commit", {{"partition", 1}, {"attempt", 2}});
+  TraceEvent("s2v", "phase1.duplicate", {{"partition", 1}});
+  now = 2;
+  TraceEvent("s2v", "phase5.promote", {{"partition", 1}});
+  TraceEvent("net", "flow", {{"bytes", 100}});
+  return tracer;
+}
+
+TEST(TraceMatcherTest, FiltersByCategoryNameAndAttr) {
+  Tracer tracer = MakeSampleTrace();
+  TraceMatcher trace(tracer);
+  EXPECT_EQ(trace.count(), 5u);
+  EXPECT_EQ(trace.Category("s2v").count(), 4u);
+  EXPECT_EQ(trace.Name("phase1.commit").count(), 2u);
+  EXPECT_EQ(trace.Name("phase1.commit").WithAttr("partition", 1).count(),
+            1u);
+  EXPECT_EQ(trace.WithAttrKey("bytes").count(), 1u);
+  EXPECT_TRUE(trace.Name("no.such.event").empty());
+}
+
+TEST(TraceMatcherTest, TimeWindowsAndAccessors) {
+  Tracer tracer = MakeSampleTrace();
+  TraceMatcher trace(tracer);
+  EXPECT_EQ(trace.Before(1.0).count(), 1u);
+  EXPECT_EQ(trace.After(1.0).count(), 2u);
+  EXPECT_EQ(trace.first().name, "phase1.commit");
+  EXPECT_EQ(trace.last().name, "flow");
+  const Event& promote = trace.Name("phase5.promote").only();
+  EXPECT_EQ(promote.IntAttr("partition"), 1);
+}
+
+TEST(TraceMatcherTest, DistinctIntAttrSortsAndDedupes) {
+  Tracer tracer = MakeSampleTrace();
+  TraceMatcher trace(tracer);
+  std::vector<int64_t> partitions =
+      trace.Category("s2v").DistinctIntAttr("partition");
+  EXPECT_EQ(partitions, (std::vector<int64_t>{0, 1}));
+}
+
+TEST(TraceMatcherTest, StrictlyBeforeComparesSequenceOrder) {
+  Tracer tracer = MakeSampleTrace();
+  TraceMatcher trace(tracer);
+  EXPECT_TRUE(trace.Name("phase1.commit")
+                  .StrictlyBefore(trace.Name("phase5.promote")));
+  EXPECT_FALSE(trace.Name("phase5.promote")
+                   .StrictlyBefore(trace.Name("phase1.commit")));
+  // Vacuous on empty sides.
+  EXPECT_TRUE(trace.Name("missing").StrictlyBefore(trace));
+}
+
+TEST(TraceMatcherTest, DescribeMentionsMatchedEvents) {
+  Tracer tracer = MakeSampleTrace();
+  std::string dump = TraceMatcher(tracer).Name("phase5.promote").Describe();
+  EXPECT_NE(dump.find("phase5.promote"), std::string::npos);
+  EXPECT_NE(dump.find("partition"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fabric::obs
