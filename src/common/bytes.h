@@ -60,6 +60,22 @@ class ByteReader {
     pos_ += *len;
     return out;
   }
+  // Zero-copy variant for scan hot paths: the view aliases the underlying
+  // buffer and is valid only while that buffer lives.
+  Result<std::string_view> GetStringView() {
+    auto len = GetU32();
+    if (!len.ok()) return len.status();
+    FABRIC_RETURN_IF_ERROR(Require(*len));
+    std::string_view out = data_.substr(pos_, *len);
+    pos_ += *len;
+    return out;
+  }
+  // Skips `n` bytes without materializing them.
+  Status Skip(size_t n) {
+    FABRIC_RETURN_IF_ERROR(Require(n));
+    pos_ += n;
+    return Status::OK();
+  }
 
   bool AtEnd() const { return pos_ == data_.size(); }
   size_t remaining() const { return data_.size() - pos_; }

@@ -11,6 +11,11 @@ namespace fabric {
 // the ring assigned to nodes (the "hash ring" of Section 3.1.2). We mimic
 // that contract: uniform, deterministic, combinable across columns.
 
+// Seed for multi-column segmentation hashes: RowSegmentationHash, the SQL
+// HASH() builtin, and the vectorized hash-range kernels must all fold
+// columns starting from this value to land on the same ring position.
+inline constexpr uint64_t kSegmentationHashSeed = 0x5eed5eed5eed5eedULL;
+
 // Mixes a 64-bit value (splitmix64 finalizer; strong avalanche).
 uint64_t Mix64(uint64_t x);
 

@@ -173,19 +173,31 @@ std::string V2SRelation::PartitionQuery(int partition,
     select_list = Join(push.required_columns, ", ");
   }
 
+  // Every conjunct emitted here — the HASH(...) ring-range bounds and the
+  // Spark column filters (column <op> literal) — is a shape the server's
+  // analyzer compiles into predicate kernels (CompileScanPredicate), so a
+  // V2S partition query runs entirely on encoded columns with no
+  // interpreter residual. The vacuous `>= min` lower bound is emitted
+  // anyway: the per-row HASH evaluation cost it charges is part of the
+  // Section 4.7.2 calibration.
   const HashRange& range = partition_ranges_[partition];
   std::string hash_call =
       StrCat("HASH(", Join(segmentation_columns_, ", "), ")");
   std::string where =
       StrCat(hash_call, " >= ",
              vertica::sql::RingHashToSigned(range.lower));
+  int pushed_conjuncts = 1;
   if (range.upper != 0) {
     where += StrCat(" AND ", hash_call, " < ",
                     vertica::sql::RingHashToSigned(range.upper));
+    ++pushed_conjuncts;
   }
   for (const spark::ColumnPredicate& filter : push.filters) {
     where += StrCat(" AND ", filter.ToSqlCondition());
+    ++pushed_conjuncts;
   }
+  obs::IncrCounter("v2s.pushdown_conjuncts",
+                   static_cast<double>(pushed_conjuncts));
   return StrCat("SELECT ", select_list, " FROM ", table_, " WHERE ", where,
                 " AT EPOCH ", snapshot_epoch_);
 }

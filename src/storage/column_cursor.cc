@@ -1,0 +1,209 @@
+#include "storage/column_cursor.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace fabric::storage {
+
+namespace {
+
+Result<std::vector<uint8_t>> DecodeBitmap(const ColumnChunk& chunk) {
+  size_t bytes = NullBitmapBytes(chunk.num_rows);
+  if (chunk.data.size() < bytes) {
+    return OutOfRangeError("null bitmap truncated");
+  }
+  std::vector<uint8_t> nulls(chunk.num_rows);
+  for (uint32_t i = 0; i < chunk.num_rows; ++i) {
+    nulls[i] = (static_cast<uint8_t>(chunk.data[i / 8]) >> (i % 8)) & 1;
+  }
+  return nulls;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> DecodeNullFlags(const ColumnChunk& chunk) {
+  return DecodeBitmap(chunk);
+}
+
+uint64_t TypedVec::Hash(DataType type, size_t i) const {
+  switch (type) {
+    case DataType::kBool:
+      return HashBool(bools[i] != 0);
+    case DataType::kInt64:
+      return HashInt64(ints[i]);
+    case DataType::kFloat64:
+      return HashDouble(doubles[i]);
+    case DataType::kVarchar:
+      return HashBytes(strings[i]);
+  }
+  return 0;
+}
+
+Status ColumnCursor::ReadScalar(Scalar* out) {
+  ByteReader reader(
+      std::string_view(chunk_->data).substr(payload_pos_));
+  size_t before = reader.remaining();
+  switch (chunk_->type) {
+    case DataType::kBool: {
+      FABRIC_ASSIGN_OR_RETURN(out->b, reader.GetU8());
+      break;
+    }
+    case DataType::kInt64: {
+      FABRIC_ASSIGN_OR_RETURN(out->i, reader.GetI64());
+      break;
+    }
+    case DataType::kFloat64: {
+      FABRIC_ASSIGN_OR_RETURN(out->d, reader.GetDouble());
+      break;
+    }
+    case DataType::kVarchar: {
+      FABRIC_ASSIGN_OR_RETURN(out->s, reader.GetStringView());
+      break;
+    }
+  }
+  payload_pos_ += before - reader.remaining();
+  return Status::OK();
+}
+
+void ColumnCursor::PushScalar(const Scalar& s, TypedVec* out) const {
+  switch (chunk_->type) {
+    case DataType::kBool:
+      out->bools.push_back(s.b);
+      return;
+    case DataType::kInt64:
+      out->ints.push_back(s.i);
+      return;
+    case DataType::kFloat64:
+      out->doubles.push_back(s.d);
+      return;
+    case DataType::kVarchar:
+      out->strings.push_back(s.s);
+      return;
+  }
+}
+
+Status ColumnCursor::Open(const ColumnChunk* chunk) {
+  chunk_ = chunk;
+  next_row_ = 0;
+  dict_size_ = 0;
+  dictionary_.clear();
+  runs_left_ = 0;
+  run_remaining_ = 0;
+  run_is_null_ = false;
+  FABRIC_ASSIGN_OR_RETURN(nulls_, DecodeBitmap(*chunk));
+  payload_pos_ = NullBitmapBytes(chunk->num_rows);
+
+  ByteReader reader(std::string_view(chunk_->data).substr(payload_pos_));
+  size_t before = reader.remaining();
+  switch (chunk_->encoding) {
+    case Encoding::kPlain:
+      break;
+    case Encoding::kRle: {
+      FABRIC_ASSIGN_OR_RETURN(runs_left_, reader.GetU32());
+      break;
+    }
+    case Encoding::kDictionary: {
+      FABRIC_ASSIGN_OR_RETURN(dict_size_, reader.GetU32());
+      payload_pos_ += before - reader.remaining();
+      Scalar s;
+      for (uint32_t i = 0; i < dict_size_; ++i) {
+        FABRIC_RETURN_IF_ERROR(ReadScalar(&s));
+        PushScalar(s, &dictionary_);
+      }
+      return Status::OK();
+    }
+  }
+  payload_pos_ += before - reader.remaining();
+  return Status::OK();
+}
+
+Result<bool> ColumnCursor::Next(ColumnBatch* batch) {
+  FABRIC_CHECK(chunk_ != nullptr) << "cursor not opened";
+  if (next_row_ >= chunk_->num_rows) return false;
+  uint32_t base = next_row_;
+  uint32_t length =
+      std::min(kScanBatchSize, chunk_->num_rows - base);
+
+  batch->base = base;
+  batch->length = length;
+  batch->nulls = nulls_.data();
+  batch->values.clear();
+  batch->runs.clear();
+  batch->codes.clear();
+
+  switch (chunk_->encoding) {
+    case Encoding::kPlain: {
+      batch->layout = ColumnBatch::Layout::kPlainLayout;
+      Scalar s;
+      for (uint32_t i = base; i < base + length; ++i) {
+        if (nulls_[i]) continue;
+        FABRIC_RETURN_IF_ERROR(ReadScalar(&s));
+        PushScalar(s, &batch->values);
+      }
+      break;
+    }
+    case Encoding::kRle: {
+      batch->layout = ColumnBatch::Layout::kRunLayout;
+      uint32_t row = base;
+      while (row < base + length) {
+        if (run_remaining_ == 0) {
+          if (runs_left_ == 0) {
+            return InvalidArgumentError("RLE runs exhausted early");
+          }
+          --runs_left_;
+          ByteReader reader(
+              std::string_view(chunk_->data).substr(payload_pos_));
+          size_t before = reader.remaining();
+          FABRIC_ASSIGN_OR_RETURN(run_remaining_, reader.GetU32());
+          payload_pos_ += before - reader.remaining();
+          if (row + 1 > chunk_->num_rows ||
+              run_remaining_ > chunk_->num_rows - row) {
+            return InvalidArgumentError("RLE runs exceed row count");
+          }
+          run_is_null_ = nulls_[row] != 0;
+          if (!run_is_null_) {
+            FABRIC_RETURN_IF_ERROR(ReadScalar(&run_value_));
+          }
+        }
+        uint32_t take = std::min(run_remaining_, base + length - row);
+        RunSpan span;
+        span.start = row;
+        span.length = take;
+        span.is_null = run_is_null_;
+        if (!run_is_null_) {
+          span.slot =
+              static_cast<uint32_t>(batch->values.size(chunk_->type));
+          PushScalar(run_value_, &batch->values);
+        }
+        batch->runs.push_back(span);
+        run_remaining_ -= take;
+        row += take;
+      }
+      break;
+    }
+    case Encoding::kDictionary: {
+      batch->layout = ColumnBatch::Layout::kCodeLayout;
+      ByteReader reader(
+          std::string_view(chunk_->data).substr(payload_pos_));
+      size_t before = reader.remaining();
+      for (uint32_t i = base; i < base + length; ++i) {
+        if (nulls_[i]) continue;
+        FABRIC_ASSIGN_OR_RETURN(uint32_t code, reader.GetU32());
+        if (code >= dict_size_) {
+          return InvalidArgumentError("dictionary index out of range");
+        }
+        batch->codes.push_back(code);
+      }
+      payload_pos_ += before - reader.remaining();
+      break;
+    }
+  }
+
+  next_row_ = base + length;
+  return true;
+}
+
+}  // namespace fabric::storage

@@ -1,0 +1,190 @@
+#ifndef FABRIC_STORAGE_COLUMN_CURSOR_H_
+#define FABRIC_STORAGE_COLUMN_CURSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/encoding.h"
+#include "storage/value.h"
+
+namespace fabric::storage {
+
+// Rows per scan batch. 1024 keeps a batch of one column (8 KiB of
+// doubles plus selection vector) comfortably inside L1/L2 while
+// amortizing per-batch dispatch over enough rows that the tight loops
+// dominate.
+inline constexpr uint32_t kScanBatchSize = 1024;
+
+// Decodes only the null bitmap of a chunk (one flag per row). Cheap for
+// every encoding: the bitmap is a fixed-size prefix of the payload.
+Result<std::vector<uint8_t>> DecodeNullFlags(const ColumnChunk& chunk);
+
+// One decoded batch worth of typed column data. Exactly one of the typed
+// vectors is populated, per the chunk's DataType; slots correspond to
+// non-null rows in batch order for kPlainLayout, to runs for kRunLayout,
+// and to dictionary codes for kCodeLayout.
+struct TypedVec {
+  std::vector<int64_t> ints;
+  std::vector<double> doubles;
+  std::vector<uint8_t> bools;
+  std::vector<std::string_view> strings;  // alias chunk.data; zero-copy
+
+  size_t size(DataType type) const {
+    switch (type) {
+      case DataType::kBool:
+        return bools.size();
+      case DataType::kInt64:
+        return ints.size();
+      case DataType::kFloat64:
+        return doubles.size();
+      case DataType::kVarchar:
+        return strings.size();
+    }
+    return 0;
+  }
+
+  void clear() {
+    ints.clear();
+    doubles.clear();
+    bools.clear();
+    strings.clear();
+  }
+
+  // Numeric view of slot `i` (callers guarantee a numeric type).
+  double NumberAt(DataType type, size_t i) const {
+    switch (type) {
+      case DataType::kBool:
+        return bools[i] ? 1.0 : 0.0;
+      case DataType::kInt64:
+        return static_cast<double>(ints[i]);
+      default:
+        return doubles[i];
+    }
+  }
+
+  std::string_view StringAt(size_t i) const { return strings[i]; }
+
+  // Boxes slot `i` back into a Value (late materialization endpoint).
+  Value Box(DataType type, size_t i) const {
+    switch (type) {
+      case DataType::kBool:
+        return Value::Bool(bools[i] != 0);
+      case DataType::kInt64:
+        return Value::Int64(ints[i]);
+      case DataType::kFloat64:
+        return Value::Float64(doubles[i]);
+      case DataType::kVarchar:
+        return Value::Varchar(std::string(strings[i]));
+    }
+    return Value::Null();
+  }
+
+  // Segmentation hash of slot `i` (matches Value::SegmentationHash).
+  uint64_t Hash(DataType type, size_t i) const;
+
+  // Cost-model raw size of slot `i` (matches Value::RawSize for non-null).
+  double RawSize(DataType type, size_t i) const {
+    switch (type) {
+      case DataType::kBool:
+        return 1;
+      case DataType::kInt64:
+      case DataType::kFloat64:
+        return 8;
+      case DataType::kVarchar:
+        return static_cast<double>(strings[i].size());
+    }
+    return 0;
+  }
+};
+
+// An RLE run clipped to the current batch, in absolute row coordinates.
+// `slot` indexes the batch's TypedVec for the run value; is_null runs
+// carry no slot.
+struct RunSpan {
+  uint32_t start = 0;   // absolute row index of first row in span
+  uint32_t length = 0;  // rows covered within this batch
+  uint32_t slot = 0;    // TypedVec slot of the run value (if !is_null)
+  bool is_null = false;
+};
+
+// One batch of a column scan. Layout tells kernels which representation
+// `values` uses; all row indices are absolute container coordinates
+// [base, base + length).
+struct ColumnBatch {
+  enum class Layout : uint8_t {
+    kPlainLayout,  // values slot k = k-th non-null row of the batch
+    kRunLayout,    // runs[] spans; values slot per non-null run
+    kCodeLayout,   // codes[k] = dictionary slot of k-th non-null row
+  };
+
+  Layout layout = Layout::kPlainLayout;
+  uint32_t base = 0;    // absolute index of first row in batch
+  uint32_t length = 0;  // rows in batch (<= kScanBatchSize)
+  // Null flag per row of the whole column; index with absolute row ids.
+  const uint8_t* nulls = nullptr;
+  TypedVec values;             // kPlainLayout / kRunLayout payloads
+  std::vector<RunSpan> runs;   // kRunLayout only
+  std::vector<uint32_t> codes;  // kCodeLayout: slots into dictionary()
+};
+
+// Streams a ColumnChunk as fixed-size batches without materializing the
+// whole column. The chunk must outlive the cursor (varchar slots alias
+// its buffer). RLE runs crossing a batch boundary are split, carrying
+// the in-progress run across Next() calls.
+class ColumnCursor {
+ public:
+  Status Open(const ColumnChunk* chunk);
+
+  // Fills `batch` with the next kScanBatchSize (or fewer) rows. Returns
+  // false when the column is exhausted (batch is left untouched).
+  Result<bool> Next(ColumnBatch* batch);
+
+  bool Done() const { return next_row_ >= chunk_->num_rows; }
+
+  DataType type() const { return chunk_->type; }
+  Encoding encoding() const { return chunk_->encoding; }
+  uint32_t num_rows() const { return chunk_->num_rows; }
+
+  // Null flag per row, decoded once at Open().
+  const std::vector<uint8_t>& nulls() const { return nulls_; }
+
+  // Dictionary values (kDictionary chunks only), decoded once at Open();
+  // kCodeLayout batches index into this.
+  const TypedVec& dictionary() const { return dictionary_; }
+  uint32_t dictionary_size() const { return dict_size_; }
+
+ private:
+  // Last scalar read from the payload, kept unboxed so a run split
+  // across batches can re-emit its value into the next batch's TypedVec.
+  // The string_view aliases chunk data, which outlives the cursor.
+  struct Scalar {
+    int64_t i = 0;
+    double d = 0;
+    uint8_t b = 0;
+    std::string_view s;
+  };
+
+  Status ReadScalar(Scalar* out);
+  void PushScalar(const Scalar& s, TypedVec* out) const;
+
+  const ColumnChunk* chunk_ = nullptr;
+  std::vector<uint8_t> nulls_;
+  TypedVec dictionary_;
+  uint32_t dict_size_ = 0;
+  uint32_t next_row_ = 0;
+
+  // Payload read position (byte offset into chunk_->data).
+  size_t payload_pos_ = 0;
+  // RLE state carried across Next() calls.
+  uint32_t runs_left_ = 0;      // encoded runs not yet started
+  uint32_t run_remaining_ = 0;  // rows left in the current (split) run
+  bool run_is_null_ = false;
+  Scalar run_value_;            // value of the current run
+};
+
+}  // namespace fabric::storage
+
+#endif  // FABRIC_STORAGE_COLUMN_CURSOR_H_

@@ -5,6 +5,7 @@
 #include "common/bytes.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "storage/column_cursor.h"
 
 namespace fabric::storage {
 namespace {
@@ -24,19 +25,6 @@ void WriteNullBitmap(const std::vector<Value>& values, ByteWriter* writer) {
   if (bit != 0) writer->PutU8(current);
 }
 
-Result<std::vector<bool>> ReadNullBitmap(uint32_t num_rows,
-                                         ByteReader* reader) {
-  std::vector<bool> nulls(num_rows);
-  uint8_t current = 0;
-  for (uint32_t i = 0; i < num_rows; ++i) {
-    if (i % 8 == 0) {
-      FABRIC_ASSIGN_OR_RETURN(current, reader->GetU8());
-    }
-    nulls[i] = (current >> (i % 8)) & 1;
-  }
-  return nulls;
-}
-
 void WriteScalar(DataType type, const Value& value, ByteWriter* writer) {
   switch (type) {
     case DataType::kBool:
@@ -53,28 +41,6 @@ void WriteScalar(DataType type, const Value& value, ByteWriter* writer) {
       return;
   }
   FABRIC_CHECK(false) << "corrupt type";
-}
-
-Result<Value> ReadScalar(DataType type, ByteReader* reader) {
-  switch (type) {
-    case DataType::kBool: {
-      FABRIC_ASSIGN_OR_RETURN(uint8_t v, reader->GetU8());
-      return Value::Bool(v != 0);
-    }
-    case DataType::kInt64: {
-      FABRIC_ASSIGN_OR_RETURN(int64_t v, reader->GetI64());
-      return Value::Int64(v);
-    }
-    case DataType::kFloat64: {
-      FABRIC_ASSIGN_OR_RETURN(double v, reader->GetDouble());
-      return Value::Float64(v);
-    }
-    case DataType::kVarchar: {
-      FABRIC_ASSIGN_OR_RETURN(std::string v, reader->GetString());
-      return Value::Varchar(std::move(v));
-    }
-  }
-  return InternalError("corrupt type");
 }
 
 Status CheckTypes(DataType type, const std::vector<Value>& values) {
@@ -198,59 +164,44 @@ Result<ColumnChunk> EncodeColumn(DataType type,
 }
 
 Result<std::vector<Value>> DecodeColumn(const ColumnChunk& chunk) {
-  ByteReader reader(chunk.data);
-  FABRIC_ASSIGN_OR_RETURN(std::vector<bool> nulls,
-                          ReadNullBitmap(chunk.num_rows, &reader));
+  ColumnCursor cursor;
+  FABRIC_RETURN_IF_ERROR(cursor.Open(&chunk));
   std::vector<Value> values;
   values.reserve(chunk.num_rows);
-  switch (chunk.encoding) {
-    case Encoding::kPlain: {
-      for (uint32_t i = 0; i < chunk.num_rows; ++i) {
-        if (nulls[i]) {
-          values.push_back(Value::Null());
-        } else {
-          FABRIC_ASSIGN_OR_RETURN(Value v, ReadScalar(chunk.type, &reader));
-          values.push_back(std::move(v));
+  ColumnBatch batch;
+  while (true) {
+    FABRIC_ASSIGN_OR_RETURN(bool more, cursor.Next(&batch));
+    if (!more) break;
+    switch (batch.layout) {
+      case ColumnBatch::Layout::kPlainLayout: {
+        size_t slot = 0;
+        for (uint32_t i = batch.base; i < batch.base + batch.length; ++i) {
+          values.push_back(batch.nulls[i]
+                               ? Value::Null()
+                               : batch.values.Box(chunk.type, slot++));
         }
+        break;
       }
-      break;
-    }
-    case Encoding::kRle: {
-      FABRIC_ASSIGN_OR_RETURN(uint32_t num_runs, reader.GetU32());
-      for (uint32_t r = 0; r < num_runs; ++r) {
-        FABRIC_ASSIGN_OR_RETURN(uint32_t run, reader.GetU32());
-        if (values.size() + run > chunk.num_rows) {
-          return InvalidArgumentError("RLE runs exceed row count");
+      case ColumnBatch::Layout::kRunLayout: {
+        for (const RunSpan& span : batch.runs) {
+          Value v = span.is_null ? Value::Null()
+                                 : batch.values.Box(chunk.type, span.slot);
+          for (uint32_t k = 0; k < span.length; ++k) values.push_back(v);
         }
-        bool run_is_null = nulls[values.size()];
-        Value v = Value::Null();
-        if (!run_is_null) {
-          FABRIC_ASSIGN_OR_RETURN(v, ReadScalar(chunk.type, &reader));
-        }
-        for (uint32_t k = 0; k < run; ++k) values.push_back(v);
+        break;
       }
-      break;
-    }
-    case Encoding::kDictionary: {
-      FABRIC_ASSIGN_OR_RETURN(uint32_t dict_size, reader.GetU32());
-      std::vector<Value> dictionary;
-      dictionary.reserve(dict_size);
-      for (uint32_t i = 0; i < dict_size; ++i) {
-        FABRIC_ASSIGN_OR_RETURN(Value v, ReadScalar(chunk.type, &reader));
-        dictionary.push_back(std::move(v));
-      }
-      for (uint32_t i = 0; i < chunk.num_rows; ++i) {
-        if (nulls[i]) {
-          values.push_back(Value::Null());
-          continue;
+      case ColumnBatch::Layout::kCodeLayout: {
+        size_t slot = 0;
+        for (uint32_t i = batch.base; i < batch.base + batch.length; ++i) {
+          if (batch.nulls[i]) {
+            values.push_back(Value::Null());
+          } else {
+            values.push_back(cursor.dictionary().Box(
+                chunk.type, batch.codes[slot++]));
+          }
         }
-        FABRIC_ASSIGN_OR_RETURN(uint32_t idx, reader.GetU32());
-        if (idx >= dictionary.size()) {
-          return InvalidArgumentError("dictionary index out of range");
-        }
-        values.push_back(dictionary[idx]);
+        break;
       }
-      break;
     }
   }
   if (values.size() != chunk.num_rows) {

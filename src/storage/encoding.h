@@ -20,6 +20,12 @@ enum class Encoding : uint8_t {
 
 const char* EncodingName(Encoding encoding);
 
+// Bytes the null-bitmap prefix occupies ahead of the payload in every
+// encoding (LSB-first, one bit per row).
+inline constexpr size_t NullBitmapBytes(uint32_t num_rows) {
+  return (num_rows + 7) / 8;
+}
+
 // An encoded column of `num_rows` values of `type` (with a null bitmap).
 struct ColumnChunk {
   DataType type;
@@ -39,7 +45,9 @@ Result<ColumnChunk> EncodeColumn(DataType type,
 Result<ColumnChunk> EncodeColumnAs(DataType type, Encoding encoding,
                                    const std::vector<Value>& values);
 
-// Decodes a chunk back to values.
+// Decodes a chunk back to values. Implemented on top of ColumnCursor
+// (storage/column_cursor.h), which is the streaming batch decoder; this
+// is the materialize-everything convenience form.
 Result<std::vector<Value>> DecodeColumn(const ColumnChunk& chunk);
 
 }  // namespace fabric::storage

@@ -46,7 +46,7 @@ double RowRawSize(const Row& row) {
 
 uint64_t RowSegmentationHash(const Row& row,
                              const std::vector<int>& column_indices) {
-  uint64_t h = 0x5eed5eed5eed5eedULL;
+  uint64_t h = kSegmentationHashSeed;
   for (int i : column_indices) {
     FABRIC_CHECK(i >= 0 && i < static_cast<int>(row.size()));
     h = HashCombine(h, row[i].SegmentationHash());

@@ -3,10 +3,66 @@
 #include <algorithm>
 #include <map>
 
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "storage/column_cursor.h"
 
 namespace fabric::storage {
+
+namespace {
+
+// Adds the fields/byte composition of `row`'s `columns` to `profile`
+// without touching the rows field (same bucketing as ProfileRow).
+void MeasureRowColumns(const Row& row, const std::vector<int>& columns,
+                       DataProfile* profile) {
+  for (int c : columns) {
+    const Value& v = row[c];
+    profile->fields += 1;
+    double size = v.RawSize();
+    profile->raw_bytes += size;
+    if (!v.is_null() && v.type() == DataType::kVarchar) {
+      profile->string_bytes += size;
+    } else {
+      profile->numeric_bytes += size;
+    }
+  }
+}
+
+// Walks the batches of `chunk` covering positions of `sel`, invoking
+// fn(cursor, batch, first, last) with the [first, last) index range of
+// `sel` inside the batch. Stops once the selection is exhausted, so
+// trailing batches of the column are never decoded.
+template <typename Fn>
+Status ForEachBatchSlice(const ColumnChunk& chunk, const SelectionVector& sel,
+                         Fn&& fn) {
+  if (sel.empty()) return Status::OK();
+  ColumnCursor cursor;
+  FABRIC_RETURN_IF_ERROR(cursor.Open(&chunk));
+  ColumnBatch batch;
+  size_t i = 0;
+  while (i < sel.size()) {
+    FABRIC_ASSIGN_OR_RETURN(bool more, cursor.Next(&batch));
+    if (!more) break;
+    uint32_t end = batch.base + batch.length;
+    size_t j = i;
+    while (j < sel.size() && sel[j] < end) ++j;
+    if (j > i) {
+      FABRIC_RETURN_IF_ERROR(fn(cursor, batch, i, j));
+    }
+    i = j;
+  }
+  return Status::OK();
+}
+
+// All schema column indices (projection default).
+std::vector<int> AllColumns(const Schema& schema) {
+  std::vector<int> cols(schema.num_columns());
+  for (int c = 0; c < schema.num_columns(); ++c) cols[c] = c;
+  return cols;
+}
+
+}  // namespace
 
 Result<RosContainer> RosContainer::Create(const Schema& schema,
                                           const std::vector<Row>& rows,
@@ -99,13 +155,11 @@ Status SegmentStore::InsertPending(TxnId txn, std::vector<Row> rows) {
   return Status::OK();
 }
 
-Status SegmentStore::InsertPendingDirect(TxnId txn,
-                                         const std::vector<Row>& rows) {
+Status SegmentStore::InsertPendingDirect(TxnId txn, std::vector<Row> rows) {
   FABRIC_CHECK(txn != 0) << "InsertPendingDirect requires a transaction";
-  std::vector<Row> coerced = rows;
-  for (Row& row : coerced) CoerceRow(schema_, &row);
+  for (Row& row : rows) CoerceRow(schema_, &row);
   FABRIC_ASSIGN_OR_RETURN(RosContainer container,
-                          RosContainer::Create(schema_, coerced, txn));
+                          RosContainer::Create(schema_, rows, txn));
   ros_.push_back(std::move(container));
   return Status::OK();
 }
@@ -235,12 +289,277 @@ Result<std::vector<Row>> SegmentStore::SnapshotRows(Epoch as_of,
 }
 
 Result<int64_t> SegmentStore::CountVisible(Epoch as_of, TxnId txn) const {
+  // Visibility needs only delete marks and epochs — no column decode.
   int64_t count = 0;
-  FABRIC_RETURN_IF_ERROR(ScanVisible(as_of, txn, [&](const Row&) {
-    ++count;
-    return Status::OK();
-  }));
+  for (const RosContainer& container : ros_) {
+    if (!container.committed() && container.pending_txn() != txn) continue;
+    if (container.committed() && container.commit_epoch() > as_of) continue;
+    TxnId owner = container.committed() ? 0 : container.pending_txn();
+    for (const DeleteMark& mark : container.delete_marks()) {
+      if (VersionVisible(owner, container.commit_epoch(), mark, as_of, txn)) {
+        ++count;
+      }
+    }
+  }
+  for (const WosBatch& batch : wos_) {
+    if (!batch.committed() && batch.pending_txn != txn) continue;
+    if (batch.committed() && batch.commit_epoch > as_of) continue;
+    TxnId owner = batch.committed() ? 0 : batch.pending_txn;
+    for (const DeleteMark& mark : batch.delete_marks) {
+      if (VersionVisible(owner, batch.commit_epoch, mark, as_of, txn)) {
+        ++count;
+      }
+    }
+  }
   return count;
+}
+
+Result<std::vector<uint32_t>> SegmentStore::SelectRosRows(
+    const RosContainer& container, const ScanSpec& spec, ScanStats* stats,
+    std::vector<Row>* emit) const {
+  SelectionVector sel;
+  if (!container.committed() && container.pending_txn() != spec.txn) {
+    return sel;
+  }
+  if (container.committed() && container.commit_epoch() > spec.as_of) {
+    ++stats->containers_pruned_epoch;
+    return sel;
+  }
+
+  // Row visibility from the delete marks alone.
+  TxnId owner = container.committed() ? 0 : container.pending_txn();
+  const auto& marks = container.delete_marks();
+  sel.reserve(container.num_rows());
+  for (uint32_t i = 0; i < container.num_rows(); ++i) {
+    if (VersionVisible(owner, container.commit_epoch(), marks[i],
+                       spec.as_of, spec.txn)) {
+      sel.push_back(i);
+    }
+  }
+  stats->rows_visible += static_cast<int64_t>(sel.size());
+
+  // Cost accounting happens before any pruning: the virtual-time model
+  // charges the predicate columns for every visible row whether or not
+  // the container can produce matches (the row-at-a-time path evaluated
+  // the predicate on each of them).
+  if (spec.cost_columns != nullptr) {
+    for (int c : *spec.cost_columns) {
+      FABRIC_RETURN_IF_ERROR(ForEachBatchSlice(
+          container.column(c), sel,
+          [&](const ColumnCursor& cursor, const ColumnBatch& batch,
+              size_t first, size_t last) {
+            SelectionVector sub(sel.begin() + first, sel.begin() + last);
+            MeasureColumn(cursor, batch, sub, &stats->visible_profile);
+            return Status::OK();
+          }));
+    }
+  }
+  if (sel.empty()) return sel;
+
+  if (spec.predicate != nullptr) {
+    const ScanPredicate& pred = *spec.predicate;
+    if (pred.always_false) {
+      sel.clear();
+      return sel;
+    }
+    // Min/max pruning: skip the whole container before touching any
+    // column payload when no value in range can pass a compare term.
+    for (const CompareTerm& term : pred.compares) {
+      if (!CompareTermCanMatch(term, container.min_value(term.column),
+                               container.max_value(term.column))) {
+        ++stats->containers_pruned_minmax;
+        sel.clear();
+        return sel;
+      }
+    }
+    ++stats->containers_scanned;
+    // Comparison kernels on the encoded columns, most selective first
+    // would be ideal; we run them in analyzer order.
+    for (const CompareTerm& term : pred.compares) {
+      if (sel.empty()) return sel;
+      SelectionVector refined;
+      refined.reserve(sel.size());
+      FABRIC_RETURN_IF_ERROR(ForEachBatchSlice(
+          container.column(term.column), sel,
+          [&](const ColumnCursor& cursor, const ColumnBatch& batch,
+              size_t first, size_t last) {
+            SelectionVector sub(sel.begin() + first, sel.begin() + last);
+            FilterCompare(term, cursor, batch, &sub);
+            refined.insert(refined.end(), sub.begin(), sub.end());
+            return Status::OK();
+          }));
+      sel.swap(refined);
+    }
+    // NULL tests need only the bitmap prefix.
+    for (const NullTestTerm& term : pred.null_tests) {
+      if (sel.empty()) return sel;
+      FABRIC_ASSIGN_OR_RETURN(
+          std::vector<uint8_t> nulls,
+          DecodeNullFlags(container.column(term.column)));
+      FilterNullTest(term, nulls.data(), &sel);
+    }
+    // Hash-range terms: combine per-column hashes for the surviving
+    // rows, then apply the ring bounds.
+    for (const HashRangeTerm& term : pred.hash_ranges) {
+      if (sel.empty()) return sel;
+      std::vector<uint64_t> acc(sel.size(), kSegmentationHashSeed);
+      for (int c : term.columns) {
+        FABRIC_RETURN_IF_ERROR(ForEachBatchSlice(
+            container.column(c), sel,
+            [&](const ColumnCursor& cursor, const ColumnBatch& batch,
+                size_t first, size_t last) {
+              SelectionVector sub(sel.begin() + first, sel.begin() + last);
+              std::vector<uint64_t> sub_acc(acc.begin() + first,
+                                            acc.begin() + last);
+              AccumulateHash(cursor, batch, sub, &sub_acc);
+              std::copy(sub_acc.begin(), sub_acc.end(),
+                        acc.begin() + first);
+              return Status::OK();
+            }));
+      }
+      FilterHashRange(term, &acc, &sel);
+    }
+  } else {
+    ++stats->containers_scanned;
+  }
+  if (sel.empty()) return sel;
+
+  // Residual predicate: materialize only the columns it reads, at the
+  // selected positions, and interpret row-at-a-time.
+  if (spec.residual) {
+    std::vector<Row> scratch(
+        sel.size(), Row(static_cast<size_t>(schema_.num_columns())));
+    if (spec.residual_columns != nullptr) {
+      for (int c : *spec.residual_columns) {
+        FABRIC_RETURN_IF_ERROR(ForEachBatchSlice(
+            container.column(c), sel,
+            [&](const ColumnCursor& cursor, const ColumnBatch& batch,
+                size_t first, size_t last) {
+              SelectionVector sub(sel.begin() + first, sel.begin() + last);
+              GatherColumn(cursor, batch, sub, c, &scratch, first);
+              return Status::OK();
+            }));
+      }
+    }
+    SelectionVector kept;
+    kept.reserve(sel.size());
+    for (size_t k = 0; k < sel.size(); ++k) {
+      FABRIC_ASSIGN_OR_RETURN(bool keep, spec.residual(scratch[k]));
+      if (keep) kept.push_back(sel[k]);
+    }
+    sel.swap(kept);
+  }
+  if (sel.empty() || emit == nullptr) return sel;
+
+  // Late materialization of the projection for the survivors.
+  std::vector<int> all;
+  const std::vector<int>* projection = spec.projection;
+  if (projection == nullptr) {
+    all = AllColumns(schema_);
+    projection = &all;
+  }
+  size_t out_base = emit->size();
+  emit->resize(out_base + sel.size(),
+               Row(static_cast<size_t>(schema_.num_columns())));
+  for (int c : *projection) {
+    FABRIC_RETURN_IF_ERROR(ForEachBatchSlice(
+        container.column(c), sel,
+        [&](const ColumnCursor& cursor, const ColumnBatch& batch,
+            size_t first, size_t last) {
+          SelectionVector sub(sel.begin() + first, sel.begin() + last);
+          MeasureColumn(cursor, batch, sub, &stats->output_profile);
+          GatherColumn(cursor, batch, sub, c, emit, out_base + first);
+          return Status::OK();
+        }));
+  }
+  stats->rows_emitted += static_cast<int64_t>(sel.size());
+  return sel;
+}
+
+Result<std::vector<Row>> SegmentStore::Scan(const ScanSpec& spec,
+                                            ScanStats* stats) const {
+  std::vector<Row> out;
+  for (const RosContainer& container : ros_) {
+    FABRIC_RETURN_IF_ERROR(
+        SelectRosRows(container, spec, stats, &out).status());
+  }
+  // WOS rows are uncompressed; filter them row-at-a-time.
+  std::vector<int> all;
+  const std::vector<int>* projection = spec.projection;
+  if (projection == nullptr) {
+    all = AllColumns(schema_);
+    projection = &all;
+  }
+  for (const WosBatch& batch : wos_) {
+    if (!batch.committed() && batch.pending_txn != spec.txn) continue;
+    if (batch.committed() && batch.commit_epoch > spec.as_of) continue;
+    TxnId owner = batch.committed() ? 0 : batch.pending_txn;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      if (!VersionVisible(owner, batch.commit_epoch, batch.delete_marks[i],
+                          spec.as_of, spec.txn)) {
+        continue;
+      }
+      const Row& row = batch.rows[i];
+      ++stats->rows_visible;
+      if (spec.cost_columns != nullptr) {
+        MeasureRowColumns(row, *spec.cost_columns, &stats->visible_profile);
+      }
+      if (spec.predicate != nullptr && !spec.predicate->Matches(row)) {
+        continue;
+      }
+      if (spec.residual) {
+        FABRIC_ASSIGN_OR_RETURN(bool keep, spec.residual(row));
+        if (!keep) continue;
+      }
+      ++stats->rows_emitted;
+      MeasureRowColumns(row, *projection, &stats->output_profile);
+      Row masked(static_cast<size_t>(schema_.num_columns()));
+      for (int c : *projection) masked[c] = row[c];
+      out.push_back(std::move(masked));
+    }
+  }
+  stats->visible_profile.rows = static_cast<double>(stats->rows_visible);
+  stats->output_profile.rows = static_cast<double>(stats->rows_emitted);
+  return out;
+}
+
+Result<int64_t> SegmentStore::MarkDeletedPending(const ScanSpec& spec) {
+  FABRIC_CHECK(spec.txn != 0) << "MarkDeletedPending requires a transaction";
+  int64_t marked = 0;
+  ScanStats ignored;
+  for (RosContainer& container : ros_) {
+    FABRIC_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> sel,
+        SelectRosRows(container, spec, &ignored, nullptr));
+    auto& marks = container.mutable_delete_marks();
+    for (uint32_t pos : sel) {
+      marks[pos] = DeleteMark{DeleteMark::State::kPending, 0, spec.txn};
+      ++marked;
+    }
+  }
+  for (WosBatch& batch : wos_) {
+    if (!batch.committed() && batch.pending_txn != spec.txn) continue;
+    if (batch.committed() && batch.commit_epoch > spec.as_of) continue;
+    TxnId owner = batch.committed() ? 0 : batch.pending_txn;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      if (!VersionVisible(owner, batch.commit_epoch, batch.delete_marks[i],
+                          spec.as_of, spec.txn)) {
+        continue;
+      }
+      const Row& row = batch.rows[i];
+      if (spec.predicate != nullptr && !spec.predicate->Matches(row)) {
+        continue;
+      }
+      if (spec.residual) {
+        FABRIC_ASSIGN_OR_RETURN(bool keep, spec.residual(row));
+        if (!keep) continue;
+      }
+      batch.delete_marks[i] = DeleteMark{DeleteMark::State::kPending, 0,
+                                         spec.txn};
+      ++marked;
+    }
+  }
+  return marked;
 }
 
 Status SegmentStore::Moveout() {

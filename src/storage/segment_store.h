@@ -8,6 +8,8 @@
 
 #include "common/result.h"
 #include "storage/encoding.h"
+#include "storage/profile.h"
+#include "storage/scan_kernels.h"
 #include "storage/schema.h"
 
 namespace fabric::storage {
@@ -50,6 +52,10 @@ class RosContainer {
   const Value& min_value(int col) const { return min_values_[col]; }
   const Value& max_value(int col) const { return max_values_[col]; }
 
+  // Encoded column payload (the vectorized scan path opens cursors on
+  // individual columns instead of decoding all rows).
+  const ColumnChunk& column(int col) const { return columns_[col]; }
+
   // Decodes all rows (visibility is applied by the caller via marks).
   Result<std::vector<Row>> DecodeRows() const;
 
@@ -87,6 +93,37 @@ struct WosBatch {
   bool committed() const { return pending_txn == 0; }
 };
 
+// What a vectorized scan should do. Compiled predicate terms run on the
+// encoded columns; `residual` (if set) is the row-at-a-time remainder of
+// the WHERE clause, evaluated on rows with only `residual_columns`
+// materialized. `cost_columns` are measured for every visible row and
+// `projection` columns for every emitted row (the cost model's
+// late-materialization accounting); emitted rows are schema-width with
+// NULL outside the projection.
+struct ScanSpec {
+  Epoch as_of = 0;
+  TxnId txn = 0;
+  const ScanPredicate* predicate = nullptr;  // may be null (match all)
+  std::function<Result<bool>(const Row&)> residual;  // may be empty
+  const std::vector<int>* residual_columns = nullptr;
+  const std::vector<int>* cost_columns = nullptr;   // null => none
+  const std::vector<int>* projection = nullptr;     // null => all columns
+};
+
+// Scan outcome counters and cost-model profiles. `visible_profile` is
+// the cost_columns composition over all visible rows (rows field =
+// rows_visible); `output_profile` is the projection composition over
+// emitted rows (rows field = rows_emitted).
+struct ScanStats {
+  int64_t containers_scanned = 0;
+  int64_t containers_pruned_epoch = 0;
+  int64_t containers_pruned_minmax = 0;
+  int64_t rows_visible = 0;
+  int64_t rows_emitted = 0;
+  DataProfile visible_profile;
+  DataProfile output_profile;
+};
+
 // All stored data for one table segment on one node: a set of ROS
 // containers plus the WOS, with MVCC visibility by (epoch, transaction).
 //
@@ -102,8 +139,9 @@ class SegmentStore {
   Status InsertPending(TxnId txn, std::vector<Row> rows);
 
   // Appends rows as a pending ROS container owned by `txn` (bulk/DIRECT
-  // load path used by COPY).
-  Status InsertPendingDirect(TxnId txn, const std::vector<Row>& rows);
+  // load path used by COPY). Takes the rows by value: callers that are
+  // done with them move, avoiding a full copy of the batch.
+  Status InsertPendingDirect(TxnId txn, std::vector<Row> rows);
 
   // Marks visible rows matching `predicate` as deleted, pending under
   // `txn`. Rows already pending-deleted by other transactions are skipped
@@ -116,8 +154,25 @@ class SegmentStore {
   void CommitTxn(TxnId txn, Epoch epoch);
   void AbortTxn(TxnId txn);
 
+  // Vectorized scan: per-container min/max pruning, predicate kernels on
+  // the encoded columns, selection-vector late materialization. Returns
+  // the emitted rows in storage order (ROS containers, then WOS rows,
+  // which are filtered row-at-a-time). Cost accounting in `stats` is
+  // identical to the row-at-a-time reference: pruned containers still
+  // measure their cost_columns for every visible row (the virtual-time
+  // model charges the same scan work either way — only host time drops).
+  Result<std::vector<Row>> Scan(const ScanSpec& spec,
+                                ScanStats* stats) const;
+
+  // Marks the rows Scan(spec) would emit as deleted, pending under
+  // spec.txn (the UPDATE/DELETE write path). Shares the selection
+  // pipeline with Scan so both pick exactly the same rows.
+  Result<int64_t> MarkDeletedPending(const ScanSpec& spec);
+
   // Invokes `fn` for every row visible at `as_of` (plus `txn`'s own
-  // pending rows when txn != 0), in storage order.
+  // pending rows when txn != 0), in storage order. Row-at-a-time
+  // reference path (decodes whole containers); kept for tests and as the
+  // baseline the vectorized Scan is verified against.
   Status ScanVisible(Epoch as_of, TxnId txn,
                      const std::function<Status(const Row&)>& fn) const;
 
@@ -137,6 +192,15 @@ class SegmentStore {
   int num_wos_batches() const { return static_cast<int>(wos_.size()); }
 
  private:
+  // Shared selection pipeline for Scan/MarkDeletedPending: visibility
+  // from delete marks, min/max pruning, predicate kernels, residual.
+  // Returns selected row positions; when `emit` != null also gathers
+  // projection columns into schema-width rows appended to *emit.
+  Result<std::vector<uint32_t>> SelectRosRows(const RosContainer& container,
+                                              const ScanSpec& spec,
+                                              ScanStats* stats,
+                                              std::vector<Row>* emit) const;
+
   Schema schema_;
   std::vector<RosContainer> ros_;
   std::vector<WosBatch> wos_;

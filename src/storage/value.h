@@ -51,6 +51,20 @@ class Value {
   // coercion in comparisons/arithmetic). Fails on other types.
   Result<double> AsDouble() const;
 
+  // Unchecked numeric view for scan hot loops: callers must have
+  // established the value is non-null bool/int/float (e.g. via column
+  // type). Bool reads as 0/1 to match AsDouble()/Compare() semantics.
+  double NumericValue() const {
+    switch (data_.index()) {
+      case 1:
+        return std::get<bool>(data_) ? 1.0 : 0.0;
+      case 2:
+        return static_cast<double>(std::get<int64_t>(data_));
+      default:
+        return std::get<double>(data_);
+    }
+  }
+
   // Strict equality: null equals nothing (not even null) under
   // SqlEquals(); Equals() is structural (null == null) for storage and
   // test bookkeeping.

@@ -144,7 +144,8 @@ Status CopyStream::WriteBatch(sim::Process& self,
         node_profile.raw_bytes * cost.scan_cpu_per_byte));
     if (options_.direct) {
       FABRIC_RETURN_IF_ERROR(
-          storage->per_node[n]->InsertPendingDirect(txn_, per_node[n]));
+          storage->per_node[n]->InsertPendingDirect(
+              txn_, std::move(per_node[n])));
     } else {
       FABRIC_RETURN_IF_ERROR(storage->per_node[n]->InsertPending(
           txn_, std::move(per_node[n])));

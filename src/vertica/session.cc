@@ -132,23 +132,6 @@ Status CollectColumns(const sql::Expr& expr, const Schema& schema,
   return Status::OK();
 }
 
-DataProfile ProfileColumns(const Row& row, const std::set<int>& columns) {
-  DataProfile p;
-  p.rows = 1;
-  for (int c : columns) {
-    const Value& v = row[c];
-    p.fields += 1;
-    double size = v.RawSize();
-    p.raw_bytes += size;
-    if (!v.is_null() && v.type() == DataType::kVarchar) {
-      p.string_bytes += size;
-    } else {
-      p.numeric_bytes += size;
-    }
-  }
-  return p;
-}
-
 // Output-type inference for result schemas (used when zero rows return).
 DataType InferType(const sql::Expr& expr, const Schema& schema) {
   switch (expr.kind) {
@@ -578,7 +561,7 @@ Result<QueryResult> Session::ExecInsert(sim::Process& self,
                                          node_profile.CopyParseCpu(cost)));
       if (stmt.direct) {
         FABRIC_RETURN_IF_ERROR(storage->per_node[n]->InsertPendingDirect(
-            wt.txn, per_node[n]));
+            wt.txn, std::move(per_node[n])));
       } else {
         FABRIC_RETURN_IF_ERROR(
             storage->per_node[n]->InsertPending(wt.txn,
@@ -615,29 +598,58 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
     const CostModel& cost = db_->cost();
     bool replicated = def->segmentation.unsegmented();
 
-    auto matches = [&](const Row& row) -> bool {
-      if (stmt.where == nullptr) return true;
-      sql::EvalContext context;
-      context.schema = &schema;
-      context.row = &row;
-      context.udx = &db_->udx_resolver();
-      auto ok = sql::EvalPredicate(*stmt.where, context);
-      return ok.ok() && *ok;
-    };
+    // Compile the WHERE for the vectorized scan; the leftovers run
+    // row-at-a-time with the write path's lenient error semantics
+    // (an erroring predicate simply doesn't match).
+    storage::ScanPredicate predicate;
+    sql::ExprPtr residual;
+    std::vector<int> residual_columns;
+    if (stmt.where != nullptr) {
+      sql::CompiledScan compiled =
+          sql::CompileScanPredicate(*stmt.where, schema);
+      predicate = std::move(compiled.predicate);
+      residual = std::move(compiled.residual);
+      if (residual != nullptr) {
+        std::set<int> cols;
+        FABRIC_RETURN_IF_ERROR(CollectColumns(*residual, schema, &cols));
+        residual_columns.assign(cols.begin(), cols.end());
+      }
+    }
+    std::vector<int> all_columns(schema.num_columns());
+    for (int c = 0; c < schema.num_columns(); ++c) all_columns[c] = c;
+
+    storage::ScanSpec spec;
+    spec.as_of = snapshot;
+    spec.txn = wt.txn;
+    spec.predicate = &predicate;
+    if (residual != nullptr) {
+      spec.residual = [&](const Row& row) -> Result<bool> {
+        sql::EvalContext context;
+        context.schema = &schema;
+        context.row = &row;
+        context.udx = &db_->udx_resolver();
+        return sql::EvalPredicateLenient(*residual, context);
+      };
+    }
+    spec.residual_columns = &residual_columns;
 
     for (int n = 0; n < db_->num_nodes(); ++n) {
       storage::SegmentStore* store = storage->per_node[n].get();
-      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> visible,
-                              store->SnapshotRows(snapshot, wt.txn));
-      // Scan cost over the node's visible rows.
-      DataProfile scanned = ProfileRows(visible);
+      // Scan cost over the node's visible rows (all columns, as the
+      // row-store UPDATE reads full rows to build replacements).
+      storage::ScanSpec node_spec = spec;
+      node_spec.cost_columns = &all_columns;
+      storage::ScanStats stats;
+      FABRIC_ASSIGN_OR_RETURN(std::vector<Row> matched,
+                              store->Scan(node_spec, &stats));
+      DataProfile scanned = stats.visible_profile;
       scanned.ScaleBy(db_->EffectiveScale(def->name));
       FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
                                          db_->node_host(n),
                                          scanned.ScanCpu(cost)));
       std::vector<Row> replacements;
-      for (const Row& row : visible) {
-        if (!matches(row)) continue;
+      replacements.reserve(matched.size());
+      for (const Row& row : matched) {
         Row updated = row;
         sql::EvalContext context;
         context.schema = &schema;
@@ -650,9 +662,10 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
         FABRIC_RETURN_IF_ERROR(ValidateRow(schema, updated));
         replacements.push_back(std::move(updated));
       }
+      // Same selection pipeline as the Scan above, so both pick exactly
+      // the same rows.
       FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
-                              store->DeletePending(wt.txn, snapshot,
-                                                   matches));
+                              store->MarkDeletedPending(spec));
       FABRIC_CHECK(deleted == static_cast<int64_t>(replacements.size()));
       if (!replicated || n == 0) affected += deleted;
       // Reinsert new versions. Replicated tables keep replicas aligned by
@@ -713,15 +726,34 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
     const CostModel& cost = db_->cost();
     bool replicated = def->segmentation.unsegmented();
 
-    auto matches = [&](const Row& row) -> bool {
-      if (stmt.where == nullptr) return true;
-      sql::EvalContext context;
-      context.schema = &schema;
-      context.row = &row;
-      context.udx = &db_->udx_resolver();
-      auto ok = sql::EvalPredicate(*stmt.where, context);
-      return ok.ok() && *ok;
-    };
+    storage::ScanPredicate predicate;
+    sql::ExprPtr residual;
+    std::vector<int> residual_columns;
+    if (stmt.where != nullptr) {
+      sql::CompiledScan compiled =
+          sql::CompileScanPredicate(*stmt.where, schema);
+      predicate = std::move(compiled.predicate);
+      residual = std::move(compiled.residual);
+      if (residual != nullptr) {
+        std::set<int> cols;
+        FABRIC_RETURN_IF_ERROR(CollectColumns(*residual, schema, &cols));
+        residual_columns.assign(cols.begin(), cols.end());
+      }
+    }
+    storage::ScanSpec spec;
+    spec.as_of = snapshot;
+    spec.txn = wt.txn;
+    spec.predicate = &predicate;
+    if (residual != nullptr) {
+      spec.residual = [&](const Row& row) -> Result<bool> {
+        sql::EvalContext context;
+        context.schema = &schema;
+        context.row = &row;
+        context.udx = &db_->udx_resolver();
+        return sql::EvalPredicateLenient(*residual, context);
+      };
+    }
+    spec.residual_columns = &residual_columns;
 
     for (int n = 0; n < db_->num_nodes(); ++n) {
       storage::SegmentStore* store = storage->per_node[n].get();
@@ -734,8 +766,7 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
                                          db_->node_host(n),
                                          scanned.ScanCpu(cost)));
       FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
-                              store->DeletePending(wt.txn, snapshot,
-                                                   matches));
+                              store->MarkDeletedPending(spec));
       if (!replicated || n == 0) affected += deleted;
     }
     return Status::OK();
@@ -1238,9 +1269,13 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   // even if this process is killed mid-query.
   struct ScanState {
     Schema schema;
-    sql::ExprPtr where;  // cloned
-    std::set<int> referenced;
-    std::set<int> where_columns;
+    // WHERE compiled for the vectorized scan: kernel-runnable terms plus
+    // the interpreted residual (null when fully compiled).
+    storage::ScanPredicate predicate;
+    sql::ExprPtr residual;
+    std::vector<int> residual_columns;
+    std::vector<int> cost_columns;  // WHERE columns, charged per visible row
+    std::vector<int> projection;    // referenced columns, charged per match
     Epoch snapshot;
     TxnId txn;
     bool aggregate;
@@ -1261,12 +1296,23 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   };
   auto state = std::make_shared<ScanState>();
   state->schema = schema;
-  state->where = select.where == nullptr ? nullptr : select.where->Clone();
-  state->referenced = referenced;
   if (select.where != nullptr) {
+    sql::CompiledScan compiled =
+        sql::CompileScanPredicate(*select.where, schema);
+    state->predicate = std::move(compiled.predicate);
+    state->residual = std::move(compiled.residual);
+    if (state->residual != nullptr) {
+      std::set<int> cols;
+      FABRIC_RETURN_IF_ERROR(
+          CollectColumns(*state->residual, schema, &cols));
+      state->residual_columns.assign(cols.begin(), cols.end());
+    }
+    std::set<int> where_columns;
     FABRIC_RETURN_IF_ERROR(
-        CollectColumns(*select.where, schema, &state->where_columns));
+        CollectColumns(*select.where, schema, &where_columns));
+    state->cost_columns.assign(where_columns.begin(), where_columns.end());
   }
+  state->projection.assign(referenced.begin(), referenced.end());
   state->snapshot = snapshot;
   state->txn = txn_;
   state->aggregate = aggregate;
@@ -1291,38 +1337,42 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
         [state, store, n](sim::Process& scan) {
           Status status = [&]() -> Status {
             Database* db = state->db;
-            // Materialize visible rows and filter (host work).
-            FABRIC_ASSIGN_OR_RETURN(
-                std::vector<Row> visible,
-                store->SnapshotRows(state->snapshot, state->txn));
-            obs::IncrCounter(
-                "vertica.rows_scanned",
-                static_cast<double>(visible.size()) * state->data_scale);
-            // Column-store scan cost (late materialization): predicate
-            // columns are touched for every visible row (this is where
-            // V2S pays its per-row HASH evaluation, Section 4.7.2), but
-            // the output columns are materialized only for passing rows.
-            DataProfile scanned;
-            std::vector<Row> passed;
-            for (Row& row : visible) {
-              DataProfile row_cost = ProfileColumns(row, state->where_columns);
-              row_cost.rows = 1;
-              scanned.Add(row_cost);
-              if (state->where != nullptr) {
+            // Vectorized scan: predicate kernels run directly on encoded
+            // columns, refining a selection vector; only passing rows are
+            // materialized (late materialization). The virtual-time cost
+            // accounting is unchanged from the row-at-a-time loop it
+            // replaces: predicate columns are charged for every visible
+            // row (this is where V2S pays its per-row HASH evaluation,
+            // Section 4.7.2), output columns only for passing rows.
+            storage::ScanSpec spec;
+            spec.as_of = state->snapshot;
+            spec.txn = state->txn;
+            spec.predicate = &state->predicate;
+            std::function<Result<bool>(const Row&)> residual_fn;
+            if (state->residual != nullptr) {
+              // SELECT keeps strict semantics: residual evaluation errors
+              // fail the query, as the interpreter did.
+              residual_fn = [&](const Row& row) -> Result<bool> {
                 sql::EvalContext context;
                 context.schema = &state->schema;
                 context.row = &row;
                 context.udx = state->udx;
-                FABRIC_ASSIGN_OR_RETURN(
-                    bool keep,
-                    sql::EvalPredicate(*state->where, context));
-                if (!keep) continue;
-              }
-              DataProfile out_cost = ProfileColumns(row, state->referenced);
-              out_cost.rows = 0;  // the row itself was already counted
-              scanned.Add(out_cost);
-              passed.push_back(std::move(row));
+                return sql::EvalPredicate(*state->residual, context);
+              };
+              spec.residual = residual_fn;
+              spec.residual_columns = &state->residual_columns;
             }
+            spec.cost_columns = &state->cost_columns;
+            spec.projection = &state->projection;
+            storage::ScanStats stats;
+            FABRIC_ASSIGN_OR_RETURN(std::vector<Row> passed,
+                                    store->Scan(spec, &stats));
+            obs::IncrCounter("vertica.rows_scanned",
+                             stats.rows_visible * state->data_scale);
+            DataProfile scanned = stats.visible_profile;
+            DataProfile out_cost = stats.output_profile;
+            out_cost.rows = 0;  // passing rows were already counted
+            scanned.Add(out_cost);
             scanned.ScaleBy(state->data_scale);
 
             // Result volume leaving this node: for aggregates only the
@@ -1341,9 +1391,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
               produced.numeric_bytes = produced.fields * 8;
               produced.raw_bytes = produced.numeric_bytes;
             } else {
-              for (const Row& row : passed) {
-                produced.Add(ProfileColumns(row, state->referenced));
-              }
+              produced = stats.output_profile;
               produced.ScaleBy(state->data_scale);
             }
 

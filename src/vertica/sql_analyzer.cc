@@ -158,6 +158,212 @@ std::optional<RingRangeSet> RangeOfComparison(
 
 }  // namespace
 
+namespace {
+
+using storage::CompareOp;
+using storage::CompareTerm;
+using storage::HashRangeTerm;
+using storage::NullTestTerm;
+
+std::optional<CompareOp> CompareOpOf(const std::string& op) {
+  if (op == "=") return CompareOp::kEq;
+  if (op == "<>") return CompareOp::kNe;
+  if (op == "<") return CompareOp::kLt;
+  if (op == "<=") return CompareOp::kLe;
+  if (op == ">") return CompareOp::kGt;
+  if (op == ">=") return CompareOp::kGe;
+  return std::nullopt;
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+// Extracts a non-null literal, folding a unary minus over a numeric one.
+std::optional<storage::Value> LiteralOf(const Expr& expr) {
+  if (expr.kind == Expr::Kind::kLiteral) {
+    if (expr.literal.is_null()) return std::nullopt;
+    return expr.literal;
+  }
+  if (expr.kind == Expr::Kind::kUnary && expr.op == "-" &&
+      expr.args[0]->kind == Expr::Kind::kLiteral &&
+      !expr.args[0]->literal.is_null()) {
+    const storage::Value& v = expr.args[0]->literal;
+    if (v.type() == storage::DataType::kInt64) {
+      return storage::Value::Int64(-v.int64_value());
+    }
+    if (v.type() == storage::DataType::kFloat64) {
+      return storage::Value::Float64(-v.float64_value());
+    }
+  }
+  return std::nullopt;
+}
+
+// Splits an AND tree into conjuncts, left to right.
+void SplitConjuncts(const Expr& expr, std::vector<const Expr*>* out) {
+  if (expr.kind == Expr::Kind::kBinary && expr.op == "AND") {
+    SplitConjuncts(*expr.args[0], out);
+    SplitConjuncts(*expr.args[1], out);
+    return;
+  }
+  out->push_back(&expr);
+}
+
+// column <op> literal (either order) with matching types.
+bool CompileCompare(const Expr& expr, const storage::Schema& schema,
+                    storage::ScanPredicate* pred) {
+  if (expr.kind != Expr::Kind::kBinary) return false;
+  auto op = CompareOpOf(expr.op);
+  if (!op) return false;
+  const Expr* col = expr.args[0].get();
+  const Expr* lit = expr.args[1].get();
+  if (col->kind != Expr::Kind::kColumnRef) {
+    std::swap(col, lit);
+    if (col->kind != Expr::Kind::kColumnRef) return false;
+    *op = FlipCompareOp(*op);
+  }
+  auto idx = schema.IndexOf(col->column);
+  if (!idx.ok()) return false;
+  auto literal = LiteralOf(*lit);
+  if (!literal) return false;
+
+  storage::DataType column_type = schema.column(*idx).type;
+  bool column_is_string = column_type == storage::DataType::kVarchar;
+  bool literal_is_string = literal->type() == storage::DataType::kVarchar;
+  // Mixed string/numeric comparisons are interpreter errors; leave them
+  // to the residual so the error surfaces identically.
+  if (column_is_string != literal_is_string) return false;
+
+  CompareTerm term;
+  term.column = *idx;
+  term.op = *op;
+  term.is_string = column_is_string;
+  if (column_is_string) {
+    term.text = literal->varchar_value();
+  } else {
+    term.number = literal->NumericValue();
+  }
+  pred->compares.push_back(std::move(term));
+  return true;
+}
+
+bool CompileNullTest(const Expr& expr, const storage::Schema& schema,
+                     storage::ScanPredicate* pred) {
+  if (expr.kind != Expr::Kind::kIsNull) return false;
+  if (expr.args[0]->kind != Expr::Kind::kColumnRef) return false;
+  auto idx = schema.IndexOf(expr.args[0]->column);
+  if (!idx.ok()) return false;
+  pred->null_tests.push_back(NullTestTerm{*idx, expr.negated});
+  return true;
+}
+
+// HASH(col, ...) <op> integer literal (either order), folded into the
+// inclusive unsigned ring bounds of a HashRangeTerm. Terms over the same
+// column list merge by bound intersection.
+bool CompileHashRange(const Expr& expr, const storage::Schema& schema,
+                      storage::ScanPredicate* pred) {
+  if (expr.kind != Expr::Kind::kBinary) return false;
+  auto op = CompareOpOf(expr.op);
+  if (!op || *op == CompareOp::kNe) return false;
+  const Expr* call = expr.args[0].get();
+  const Expr* lit = expr.args[1].get();
+  if (call->kind != Expr::Kind::kCall) {
+    std::swap(call, lit);
+    if (call->kind != Expr::Kind::kCall) return false;
+    *op = FlipCompareOp(*op);
+  }
+  if (call->function != "HASH" || call->args.empty()) return false;
+  std::vector<int> columns;
+  for (const ExprPtr& arg : call->args) {
+    if (arg->kind != Expr::Kind::kColumnRef) return false;
+    auto idx = schema.IndexOf(arg->column);
+    if (!idx.ok()) return false;
+    columns.push_back(*idx);
+  }
+  auto literal = LiteralOf(*lit);
+  if (!literal || literal->type() != storage::DataType::kInt64) {
+    return false;
+  }
+  uint64_t ring = SignedToRingHash(literal->int64_value());
+
+  uint64_t lower = 0;
+  uint64_t upper = ~0ull;
+  bool empty = false;
+  switch (*op) {
+    case CompareOp::kEq:
+      lower = upper = ring;
+      break;
+    case CompareOp::kLt:
+      if (ring == 0) empty = true;
+      else upper = ring - 1;
+      break;
+    case CompareOp::kLe:
+      upper = ring;
+      break;
+    case CompareOp::kGt:
+      if (ring == ~0ull) empty = true;
+      else lower = ring + 1;
+      break;
+    case CompareOp::kGe:
+      lower = ring;
+      break;
+    case CompareOp::kNe:
+      return false;
+  }
+  if (empty) {
+    pred->always_false = true;
+    return true;
+  }
+  for (HashRangeTerm& existing : pred->hash_ranges) {
+    if (existing.columns == columns) {
+      existing.lower = std::max(existing.lower, lower);
+      existing.upper = std::min(existing.upper, upper);
+      if (existing.lower > existing.upper) pred->always_false = true;
+      return true;
+    }
+  }
+  HashRangeTerm term;
+  term.columns = std::move(columns);
+  term.lower = lower;
+  term.upper = upper;
+  pred->hash_ranges.push_back(std::move(term));
+  return true;
+}
+
+}  // namespace
+
+CompiledScan CompileScanPredicate(const Expr& where,
+                                  const storage::Schema& schema) {
+  CompiledScan out;
+  std::vector<const Expr*> conjuncts;
+  SplitConjuncts(where, &conjuncts);
+  std::vector<const Expr*> leftovers;
+  for (const Expr* conjunct : conjuncts) {
+    if (CompileCompare(*conjunct, schema, &out.predicate)) continue;
+    if (CompileNullTest(*conjunct, schema, &out.predicate)) continue;
+    if (CompileHashRange(*conjunct, schema, &out.predicate)) continue;
+    leftovers.push_back(conjunct);
+  }
+  for (const Expr* leftover : leftovers) {
+    out.residual = out.residual == nullptr
+                       ? leftover->Clone()
+                       : Expr::Binary("AND", std::move(out.residual),
+                                      leftover->Clone());
+  }
+  return out;
+}
+
 RingRangeSet ExtractHashRanges(
     const Expr& where,
     const std::vector<std::string>& segmentation_column_names) {

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "storage/scan_kernels.h"
+#include "storage/schema.h"
 #include "vertica/catalog.h"
 #include "vertica/sql_ast.h"
 
@@ -52,6 +54,30 @@ class RingRangeSet {
 RingRangeSet ExtractHashRanges(
     const Expr& where,
     const std::vector<std::string>& segmentation_column_names);
+
+// A WHERE clause compiled for the vectorized scan path: the conjuncts
+// the predicate kernels can run directly on encoded columns, plus the
+// re-ANDed leftovers (`residual`, null when fully compiled) for the
+// row-at-a-time interpreter.
+struct CompiledScan {
+  storage::ScanPredicate predicate;
+  ExprPtr residual;
+};
+
+// Compiles the compilable conjuncts of `where`. Recognized shapes:
+//   column <op> literal   (and the reversed literal <op> column) when
+//       the column and literal types agree (numeric incl. BOOLEAN, or
+//       VARCHAR/VARCHAR);
+//   column IS [NOT] NULL;
+//   HASH(col, ...) <op> integer-literal for op in {=, <, <=, >, >=}
+//       (the V2S partition-pushdown shape), folded into inclusive ring
+//       bounds; contradictory bounds mark the predicate always_false.
+// Never fails: anything unrecognized — NULL literals, mixed-type
+// comparisons, OR trees, expressions over multiple columns — lands in
+// `residual` so interpreter semantics (including its errors) are
+// preserved for those rows.
+CompiledScan CompileScanPredicate(const Expr& where,
+                                  const storage::Schema& schema);
 
 }  // namespace fabric::vertica::sql
 

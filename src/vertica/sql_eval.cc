@@ -191,7 +191,7 @@ Result<Value> EvalCall(const Expr& expr, const EvalContext& context) {
 
   if (fn == "HASH") {
     if (args.empty()) return InvalidArgumentError("HASH() needs arguments");
-    uint64_t h = 0x5eed5eed5eed5eedULL;
+    uint64_t h = kSegmentationHashSeed;
     for (const Value& v : args) {
       h = HashCombine(h, v.SegmentationHash());
     }
@@ -247,6 +247,11 @@ Result<bool> EvalPredicate(const Expr& expr, const EvalContext& context) {
     return InvalidArgumentError("predicate is not BOOLEAN");
   }
   return v.bool_value();
+}
+
+bool EvalPredicateLenient(const Expr& expr, const EvalContext& context) {
+  auto ok = EvalPredicate(expr, context);
+  return ok.ok() && *ok;
 }
 
 }  // namespace fabric::vertica::sql

@@ -40,6 +40,11 @@ Result<storage::Value> Eval(const Expr& expr, const EvalContext& context);
 // result filters the row out).
 Result<bool> EvalPredicate(const Expr& expr, const EvalContext& context);
 
+// UPDATE/DELETE row-matching semantics: evaluation errors count as "no
+// match" rather than failing the statement (the historical behavior of
+// the write path's row filter).
+bool EvalPredicateLenient(const Expr& expr, const EvalContext& context);
+
 // True for COUNT/SUM/AVG/MIN/MAX.
 bool IsAggregateFunction(const std::string& upper_name);
 
