@@ -1,0 +1,46 @@
+#ifndef FABRIC_CONNECTOR_FAILOVER_H_
+#define FABRIC_CONNECTOR_FAILOVER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "common/string_util.h"
+#include "obs/trace.h"
+#include "vertica/database.h"
+#include "vertica/session.h"
+
+namespace fabric::connector {
+
+// Connects to `preferred`, falling back around the ring when that node is
+// unavailable (DOWN or RECOVERING) — the connector-side half of k-safety:
+// both V2S and S2V keep working through a single Vertica node loss by
+// re-targeting their JDBC connections. Non-UNAVAILABLE errors (bad node
+// id, MaxClientSessions, a killed caller) pass through untouched; a fully
+// down cluster exhausts every node and returns the last UNAVAILABLE.
+inline Result<std::unique_ptr<vertica::Session>> ConnectWithFailover(
+    sim::Process& self, vertica::Database* db, int preferred,
+    const net::Host* client) {
+  Status last = Status::OK();
+  for (int attempt = 0; attempt < db->num_nodes(); ++attempt) {
+    int target = (preferred + attempt) % db->num_nodes();
+    Result<std::unique_ptr<vertica::Session>> session =
+        db->Connect(self, target, client);
+    if (session.ok()) {
+      if (attempt > 0) {
+        obs::TraceEvent("connector", "connect.failover",
+                        {{"preferred", preferred}, {"node", target}});
+        obs::IncrCounter("connector.connect_failovers");
+      }
+      return session;
+    }
+    if (session.status().code() != StatusCode::kUnavailable) {
+      return session.status();
+    }
+    last = session.status();
+  }
+  return last;
+}
+
+}  // namespace fabric::connector
+
+#endif  // FABRIC_CONNECTOR_FAILOVER_H_

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "connector/avro.h"
+#include "connector/failover.h"
 #include "obs/trace.h"
 #include "storage/profile.h"
 #include "vertica/copy_stream.h"
@@ -78,7 +79,8 @@ Status S2VRelation::Setup(sim::Process& driver, int num_partitions) {
   num_partitions_ = num_partitions;
   FABRIC_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
-      db_->Connect(driver, entry_node_, &cluster_->driver_host()));
+      ConnectWithFailover(driver, db_, entry_node_,
+                          &cluster_->driver_host()));
 
   // Mode checks against the current target.
   bool target_exists = db_->catalog().HasTable(target_);
@@ -253,8 +255,13 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
   // Tasks spread their connections across the Vertica nodes (the driver
   // looked all addresses up during setup, Section 3.2).
   int node = partition % db_->num_nodes();
-  FABRIC_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                          db_->Connect(self, node, &task.worker_host()));
+  // Failover: a DOWN preferred node re-targets the ring successor, so a
+  // save keeps going through a single Vertica node loss. A node killed
+  // mid-phase surfaces as UNAVAILABLE from the statement instead; Spark
+  // then retries the whole task, which reconnects here.
+  FABRIC_ASSIGN_OR_RETURN(
+      std::unique_ptr<Session> session,
+      ConnectWithFailover(self, db_, node, &task.worker_host()));
 
   // ---- Phase 1: stage the data + mark done, transactionally.
   FABRIC_RETURN_IF_ERROR(StageData(task, partition, rows, session.get()));
@@ -423,7 +430,8 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
 Status S2VRelation::Finalize(sim::Process& driver, Status job_status) {
   FABRIC_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
-      db_->Connect(driver, entry_node_, &cluster_->driver_host()));
+      ConnectWithFailover(driver, db_, entry_node_,
+                          &cluster_->driver_host()));
   FABRIC_ASSIGN_OR_RETURN(
       QueryResult final_row,
       session->Execute(driver, StrCat("SELECT finished, failed_pct FROM ",

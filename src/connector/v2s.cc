@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "connector/failover.h"
 #include "obs/trace.h"
 #include "storage/profile.h"
 #include "vertica/session.h"
@@ -55,7 +56,8 @@ Result<std::shared_ptr<V2SRelation>> V2SRelation::Create(
   }
   FABRIC_ASSIGN_OR_RETURN(
       std::unique_ptr<vertica::Session> session,
-      db->Connect(driver, entry_node, &cluster->driver_host()));
+      ConnectWithFailover(driver, db, entry_node,
+                          &cluster->driver_host()));
 
   // One snapshot epoch for every partition query: the heart of V2S's
   // consistent parallel load (Section 3.1.2).
@@ -207,59 +209,98 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
   if (partition < 0 || partition >= num_partitions_) {
     return InvalidArgumentError("bad partition index");
   }
-  // The span's begin attrs record what was pushed down; the end attrs
-  // record what actually crossed the wire — the pair is the evidence the
-  // pushdown tests assert on.
-  uint64_t span = obs::TraceBegin(
-      "v2s", "scan",
-      {{"table", table_},
-       {"partition", partition},
-       {"node", partition_nodes_[partition]},
-       {"attempt", task.attempt},
-       {"epoch", snapshot_epoch_},
-       {"count_only", push.count_only},
-       {"columns", static_cast<int64_t>(push.required_columns.size())},
-       {"filters", static_cast<int64_t>(push.filters.size())}});
-  auto fail = [&](const Status& status) {
+  // Failover loop: the partition query is idempotent (same SELECT at the
+  // same snapshot epoch), so on a node death — before, during, or after
+  // the query ran — the task re-targets the ring successor and re-issues
+  // it. The result is byte-identical wherever it is served from: every
+  // live copy answers AT EPOCH with the same rows.
+  int target = partition_nodes_[partition];
+  Status last_unavailable = Status::OK();
+  for (int tries = 0; tries <= db_->num_nodes(); ++tries) {
+    // The span's begin attrs record what was pushed down; the end attrs
+    // record what actually crossed the wire — the pair is the evidence
+    // the pushdown tests assert on.
+    uint64_t span = obs::TraceBegin(
+        "v2s", "scan",
+        {{"table", table_},
+         {"partition", partition},
+         {"node", target},
+         {"attempt", task.attempt},
+         {"epoch", snapshot_epoch_},
+         {"count_only", push.count_only},
+         {"columns", static_cast<int64_t>(push.required_columns.size())},
+         {"filters", static_cast<int64_t>(push.filters.size())}});
+    auto fail = [&](const Status& status) {
+      obs::TraceEnd(span, "v2s", "scan",
+                    {{"partition", partition}, {"ok", false}});
+      return status;
+    };
+    // UNAVAILABLE means the target node (or the connection to it) died;
+    // anything else is a real error the task should surface.
+    auto retryable = [](const Status& status) {
+      return status.code() == StatusCode::kUnavailable;
+    };
+    auto reroute = [&](const Status& status) {
+      obs::TraceEnd(span, "v2s", "scan",
+                    {{"partition", partition}, {"ok", false}});
+      obs::TraceEvent("v2s", "scan.failover",
+                      {{"partition", partition}, {"from_node", target}});
+      obs::IncrCounter("v2s.scan_failovers");
+      last_unavailable = status;
+      target = (target + 1) % db_->num_nodes();
+    };
+
+    auto connected = db_->Connect(*task.process, target,
+                                  &task.worker_host());
+    if (!connected.ok()) {
+      if (retryable(connected.status())) {
+        reroute(connected.status());
+        continue;
+      }
+      return fail(connected.status());
+    }
+    std::unique_ptr<vertica::Session> session =
+        std::move(connected).value();
+    auto executed =
+        session->Execute(*task.process, PartitionQuery(partition, push));
+    if (!executed.ok()) {
+      if (retryable(executed.status())) {
+        reroute(executed.status());
+        continue;
+      }
+      return fail(executed.status());
+    }
+    QueryResult result = std::move(executed).value();
+    Status closed = session->Close(*task.process);
+    if (!closed.ok()) return fail(closed);
+
+    int64_t rows_returned = push.count_only
+                                ? 1
+                                : static_cast<int64_t>(result.rows.size());
     obs::TraceEnd(span, "v2s", "scan",
-                  {{"partition", partition}, {"ok", false}});
-    return status;
-  };
-  auto connected = db_->Connect(*task.process, partition_nodes_[partition],
-                                &task.worker_host());
-  if (!connected.ok()) return fail(connected.status());
-  std::unique_ptr<vertica::Session> session = std::move(connected).value();
-  auto executed =
-      session->Execute(*task.process, PartitionQuery(partition, push));
-  if (!executed.ok()) return fail(executed.status());
-  QueryResult result = std::move(executed).value();
-  Status closed = session->Close(*task.process);
-  if (!closed.ok()) return fail(closed);
+                  {{"partition", partition},
+                   {"rows", rows_returned},
+                   {"ok", true}});
+    obs::IncrCounter("v2s.partitions_scanned");
+    obs::IncrCounter("v2s.rows_returned",
+                     static_cast<double>(rows_returned));
 
-  int64_t rows_returned = push.count_only
-                              ? 1
-                              : static_cast<int64_t>(result.rows.size());
-  obs::TraceEnd(span, "v2s", "scan",
-                {{"partition", partition},
-                 {"rows", rows_returned},
-                 {"ok", true}});
-  obs::IncrCounter("v2s.partitions_scanned");
-  obs::IncrCounter("v2s.rows_returned",
-                   static_cast<double>(rows_returned));
-
-  PartitionData data;
-  if (push.count_only) {
-    data.count = result.rows[0][0].int64_value();
+    PartitionData data;
+    if (push.count_only) {
+      data.count = result.rows[0][0].int64_value();
+      return data;
+    }
+    // Spark-side deserialization cost for the received rows.
+    const CostModel& cost = cluster_->cost();
+    FABRIC_RETURN_IF_ERROR(task.Compute(result.rows.size() *
+                                        cost.spark_row_process_cpu *
+                                        cost.data_scale));
+    data.count = static_cast<int64_t>(result.rows.size());
+    data.rows = std::move(result.rows);
     return data;
   }
-  // Spark-side deserialization cost for the received rows.
-  const CostModel& cost = cluster_->cost();
-  FABRIC_RETURN_IF_ERROR(task.Compute(result.rows.size() *
-                                      cost.spark_row_process_cpu *
-                                      cost.data_scale));
-  data.count = static_cast<int64_t>(result.rows.size());
-  data.rows = std::move(result.rows);
-  return data;
+  // Every node tried and unavailable: the cluster is down.
+  return last_unavailable;
 }
 
 }  // namespace fabric::connector

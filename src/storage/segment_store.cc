@@ -613,4 +613,70 @@ double SegmentStore::TotalEncodedBytes() const {
   return total;
 }
 
+double SegmentStore::RawBytesSince(Epoch epoch) const {
+  double total = 0;
+  for (const RosContainer& c : ros_) {
+    if (!c.committed() || c.commit_epoch() > epoch) total += c.raw_bytes();
+  }
+  for (const WosBatch& b : wos_) {
+    if (b.committed() && b.commit_epoch <= epoch) continue;
+    for (const Row& row : b.rows) total += RowRawSize(row);
+  }
+  return total;
+}
+
+namespace {
+
+uint64_t FoldMark(uint64_t h, const DeleteMark& mark) {
+  h = HashCombine(h, static_cast<uint64_t>(mark.state));
+  h = HashCombine(h, mark.epoch);
+  return HashCombine(h, mark.txn);
+}
+
+uint64_t FoldRow(uint64_t h, const Row& row) {
+  for (const Value& v : row) {
+    h = HashCombine(h, v.is_null() ? 0x9e3779b97f4a7c15ULL
+                                   : HashBytes(v.ToDisplayString()));
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t SegmentStore::ContentFingerprint() const {
+  // Buddy copies of one segment hold the same logical content in
+  // legitimately different physical layouts: WOS batches land in
+  // transfer-completion order and ROS container boundaries depend on
+  // moveout timing. The checksum therefore folds per-row digests with a
+  // commutative sum — it sees every row with its (commit epoch, owning
+  // txn, deletion state) and nothing about layout.
+  uint64_t total = 0;
+  auto fold_one = [&](Epoch epoch, TxnId pending_txn, const Row& row,
+                      const DeleteMark& mark) {
+    uint64_t h = HashCombine(HashInt64(static_cast<int64_t>(epoch)),
+                             pending_txn);
+    total += FoldMark(FoldRow(h, row), mark);
+  };
+  for (const RosContainer& c : ros_) {
+    Result<std::vector<Row>> rows = c.DecodeRows();
+    FABRIC_CHECK(rows.ok()) << rows.status();
+    for (size_t i = 0; i < rows->size(); ++i) {
+      fold_one(c.commit_epoch(), c.pending_txn(), (*rows)[i],
+               c.delete_marks()[i]);
+    }
+  }
+  for (const WosBatch& b : wos_) {
+    for (size_t i = 0; i < b.rows.size(); ++i) {
+      fold_one(b.commit_epoch, b.pending_txn, b.rows[i],
+               b.delete_marks[i]);
+    }
+  }
+  return total;
+}
+
+void SegmentStore::CopyContentsFrom(const SegmentStore& other) {
+  ros_ = other.ros_;
+  wos_ = other.wos_;
+}
+
 }  // namespace fabric::storage

@@ -191,6 +191,26 @@ class SegmentStore {
   int num_ros_containers() const { return static_cast<int>(ros_.size()); }
   int num_wos_batches() const { return static_cast<int>(wos_.size()); }
 
+  // ------------------------------------------------- k-safety recovery
+  // Raw bytes of content this store gained after `epoch`: containers and
+  // WOS batches committed later, plus everything still pending. This is
+  // the delta a rejoining node (last current at `epoch`) pulls from the
+  // surviving copy.
+  double RawBytesSince(Epoch epoch) const;
+
+  // Logical-content checksum: a commutative fold over every stored row
+  // with its commit epoch, pending owner and deletion state. Deliberately
+  // blind to physical layout (WOS batch order, ROS container boundaries),
+  // which differs between buddy copies written by interleaved
+  // transactions. Two copies holding the same logical content fingerprint
+  // equal; recovery tests compare primary against buddy with this.
+  uint64_t ContentFingerprint() const;
+
+  // Replaces this store's contents with a copy of `other`'s — the final,
+  // atomic step of k-safety recovery (runs in one engine step; the
+  // virtual-time transfer cost was charged separately).
+  void CopyContentsFrom(const SegmentStore& other);
+
  private:
   // Shared selection pipeline for Scan/MarkDeletedPending: visibility
   // from delete marks, min/max pruning, predicate kernels, residual.

@@ -47,6 +47,10 @@ Status CopyStream::WriteBatch(sim::Process& self,
   Database* db = session_->database();
   const CostModel& cost = db->cost();
   int initiator = session_->node();
+  if (session_->broken()) {
+    return UnavailableError(
+        StrCat("connection to ", db->node_name(initiator), " lost"));
+  }
 
   // Validate: bad rows are rejected, good rows proceed.
   std::vector<Row> good;
@@ -127,28 +131,44 @@ Status CopyStream::WriteBatch(sim::Process& self,
                     static_cast<int64_t>(rows.size() - good.size())},
                    {"txn", txn_}});
   obs::IncrCounter("vertica.copy_rows", static_cast<double>(rows.size()));
+  bool replicated = def_->segmentation.unsegmented();
   for (int n = 0; n < db->num_nodes(); ++n) {
     if (per_node[n].empty()) continue;
+    // Deliver to every live copy (k=1: primary + buddy for segmented
+    // tables, each UP replica for unsegmented); DOWN copies are caught up
+    // by recovery.
+    std::vector<Database::SegmentCopy> copies;
+    if (replicated) {
+      if (!db->node_up(n)) continue;
+      copies.push_back(Database::SegmentCopy{storage->per_node[n].get(), n});
+    } else {
+      FABRIC_ASSIGN_OR_RETURN(copies, db->WriteCopies(storage, n));
+    }
     DataProfile node_profile = ProfileRows(per_node[n]);
     node_profile.ScaleBy(scale);
-    if (n != initiator) {
-      FABRIC_RETURN_IF_ERROR(db->network()->Transfer(
-          self,
-          {db->node_host(initiator).int_egress,
-           db->node_host(n).int_ingress},
-          node_profile.raw_bytes));
-    }
-    // Sort + encode into ROS on the owner (cheap relative to parse).
-    FABRIC_RETURN_IF_ERROR(net::RunCpu(
-        self, db->network(), db->node_host(n),
-        node_profile.raw_bytes * cost.scan_cpu_per_byte));
-    if (options_.direct) {
-      FABRIC_RETURN_IF_ERROR(
-          storage->per_node[n]->InsertPendingDirect(
-              txn_, std::move(per_node[n])));
-    } else {
-      FABRIC_RETURN_IF_ERROR(storage->per_node[n]->InsertPending(
-          txn_, std::move(per_node[n])));
+    for (size_t c = 0; c < copies.size(); ++c) {
+      const Database::SegmentCopy& copy = copies[c];
+      if (copy.host != initiator) {
+        FABRIC_RETURN_IF_ERROR(db->network()->Transfer(
+            self,
+            {db->node_host(initiator).int_egress,
+             db->node_host(copy.host).int_ingress},
+            node_profile.raw_bytes));
+      }
+      // Sort + encode into ROS on the owner (cheap relative to parse).
+      FABRIC_RETURN_IF_ERROR(net::RunCpu(
+          self, db->network(), db->node_host(copy.host),
+          node_profile.raw_bytes * cost.scan_cpu_per_byte));
+      std::vector<Row> batch = c + 1 < copies.size()
+                                   ? per_node[n]
+                                   : std::move(per_node[n]);
+      if (options_.direct) {
+        FABRIC_RETURN_IF_ERROR(
+            copy.store->InsertPendingDirect(txn_, std::move(batch)));
+      } else {
+        FABRIC_RETURN_IF_ERROR(
+            copy.store->InsertPending(txn_, std::move(batch)));
+      }
     }
   }
   totals_.loaded += good_count;
@@ -160,6 +180,13 @@ Result<CopyStream::LoadResult> CopyStream::Finish(sim::Process& self) {
   finished_ = true;
   Database* db = session_->database();
   if (autocommit_) {
+    // A COPY whose node died must not commit on the dead node.
+    if (session_->broken()) {
+      db->AbortTxnInternal(txn_);
+      return UnavailableError(StrCat("connection to ",
+                                     db->node_name(session_->node()),
+                                     " lost"));
+    }
     Status commit = db->CommitTxnInternal(self, txn_);
     if (!commit.ok()) {
       db->AbortTxnInternal(txn_);

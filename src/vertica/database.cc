@@ -21,6 +21,11 @@ Database::Database(sim::Engine* engine, net::Network* network,
   }
   node_ranges_ = EvenRingPartition(options_.num_nodes);
   active_sessions_.assign(options_.num_nodes, 0);
+  node_states_.assign(options_.num_nodes, NodeState::kUp);
+  node_down_epoch_.assign(options_.num_nodes, 0);
+  node_incarnation_.assign(options_.num_nodes, 0);
+  node_sessions_.resize(options_.num_nodes);
+  state_changed_ = std::make_unique<sim::Condition>(engine_);
   if (options_.pool_concurrency > 0) {
     for (int i = 0; i < options_.num_nodes; ++i) {
       pool_slots_.push_back(std::make_unique<sim::Semaphore>(
@@ -77,6 +82,13 @@ Result<std::unique_ptr<Session>> Database::Connect(sim::Process& self,
   if (node < 0 || node >= num_nodes()) {
     return InvalidArgumentError(StrCat("no node ", node));
   }
+  if (cluster_down_) {
+    return UnavailableError("cluster is down");
+  }
+  if (!node_up(node)) {
+    return UnavailableError(StrCat(node_name(node), " is ",
+                                   NodeStateName(node_states_[node])));
+  }
   if (active_sessions_[node] >= options_.max_client_sessions) {
     return ResourceExhaustedError(
         StrCat("MaxClientSessions (", options_.max_client_sessions,
@@ -89,11 +101,23 @@ Result<std::unique_ptr<Session>> Database::Connect(sim::Process& self,
     status = net::RunCpu(self, network_, hosts_[node],
                          options_.cost.statement_overhead_cpu);
   }
+  // The node may have died during the handshake.
+  if (status.ok() && !node_up(node)) {
+    status = UnavailableError(StrCat(node_name(node), " is ",
+                                     NodeStateName(node_states_[node])));
+  }
   if (!status.ok()) {
     --active_sessions_[node];
     return status;
   }
-  return std::unique_ptr<Session>(new Session(this, node, client));
+  auto session = std::unique_ptr<Session>(new Session(this, node, client));
+  node_sessions_[node].insert(session.get());
+  return session;
+}
+
+void Database::UnregisterSession(int node, Session* session) {
+  --active_sessions_[node];
+  node_sessions_[node].erase(session);
 }
 
 double Database::NodeCpuUtilization(int node) const {
@@ -119,11 +143,21 @@ Result<Database::TableStorage*> Database::GetStorage(
 Status Database::CreateTableWithStorage(TableDef def) {
   std::string key = ToLower(def.name);
   storage::Schema schema = def.schema;
+  bool segmented = !def.segmentation.unsegmented();
   FABRIC_RETURN_IF_ERROR(catalog_.CreateTable(std::move(def)));
   TableStorage table_storage;
   for (int i = 0; i < num_nodes(); ++i) {
     table_storage.per_node.push_back(
         std::make_unique<storage::SegmentStore>(schema));
+  }
+  // k=1 buddy projection: segmented tables get a second copy of every
+  // segment on the ring-successor node. Unsegmented tables are already
+  // replicated everywhere, and a single-node cluster has no buddy.
+  if (segmented && num_nodes() > 1) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      table_storage.buddy.push_back(
+          std::make_unique<storage::SegmentStore>(schema));
+    }
   }
   storage_.emplace(key, std::move(table_storage));
   return Status::OK();
@@ -238,6 +272,9 @@ Status Database::CommitTxnInternal(sim::Process& self,
     for (auto& store : storage_it->second.per_node) {
       store->CommitTxn(txn, commit_epoch);
     }
+    for (auto& store : storage_it->second.buddy) {
+      store->CommitTxn(txn, commit_epoch);
+    }
   }
   for (const std::string& table : it->second.locked_tables) {
     TableLock& lock = locks_[table];
@@ -260,6 +297,9 @@ void Database::AbortTxnInternal(storage::TxnId txn) {
     for (auto& store : storage_it->second.per_node) {
       store->AbortTxn(txn);
     }
+    for (auto& store : storage_it->second.buddy) {
+      store->AbortTxn(txn);
+    }
   }
   for (const std::string& table : it->second.locked_tables) {
     TableLock& lock = locks_[table];
@@ -268,6 +308,245 @@ void Database::AbortTxnInternal(storage::TxnId txn) {
     lock.released->NotifyAll();
   }
   txns_.erase(it);
+}
+
+Result<Database::SegmentCopy> Database::ReadCopy(TableStorage* storage,
+                                                 int segment) const {
+  if (node_up(segment)) {
+    return SegmentCopy{storage->per_node[segment].get(), segment};
+  }
+  int buddy = buddy_node(segment);
+  if (!storage->buddy.empty() && node_up(buddy)) {
+    return SegmentCopy{storage->buddy[segment].get(), buddy};
+  }
+  return UnavailableError(
+      StrCat("both copies of segment ", segment, " are unavailable"));
+}
+
+Result<std::vector<Database::SegmentCopy>> Database::WriteCopies(
+    TableStorage* storage, int segment) const {
+  std::vector<SegmentCopy> copies;
+  // Only UP copies take writes; a RECOVERING node's copies are caught up
+  // wholesale by the final recovery clone, so routing writes to them
+  // would double-apply.
+  if (node_up(segment)) {
+    copies.push_back(SegmentCopy{storage->per_node[segment].get(), segment});
+  }
+  if (!storage->buddy.empty()) {
+    int buddy = buddy_node(segment);
+    if (node_up(buddy)) {
+      copies.push_back(SegmentCopy{storage->buddy[segment].get(), buddy});
+    }
+  }
+  if (copies.empty()) {
+    return UnavailableError(
+        StrCat("no live copy of segment ", segment, " to write"));
+  }
+  return copies;
+}
+
+Status Database::KillNode(int node) {
+  if (node < 0 || node >= num_nodes()) {
+    return InvalidArgumentError(StrCat("no node ", node));
+  }
+  if (node_states_[node] == NodeState::kDown) return Status::OK();
+  bool was_up = node_states_[node] == NodeState::kUp;
+  node_states_[node] = NodeState::kDown;
+  ++node_incarnation_[node];
+  // A node killed while RECOVERING keeps its original down epoch: it
+  // never finished catching up, so its copies are still stale from the
+  // first crash.
+  if (was_up) node_down_epoch_[node] = epoch_;
+  obs::TraceEvent("ksafety", "node.down",
+                  {{"node", node},
+                   {"node_name", node_name(node)},
+                   {"epoch", epoch_}});
+  obs::IncrCounter("ksafety.node_kills");
+  // Every session attached to the dead node is broken; the open txn (if
+  // any) aborts lazily when the in-flight statement unwinds or the client
+  // discards the session.
+  for (Session* session : node_sessions_[node]) {
+    session->MarkBroken();
+  }
+  // k=1 shutdown rule: losing both copies of any segment (two ring-
+  // adjacent nodes non-UP, or any loss on a single-node cluster) is
+  // unrecoverable — Vertica shuts the whole cluster down to protect
+  // consistency.
+  bool shutdown = num_nodes() == 1;
+  for (int s = 0; s < num_nodes() && !shutdown; ++s) {
+    if (node_states_[s] != NodeState::kUp &&
+        node_states_[buddy_node(s)] != NodeState::kUp) {
+      shutdown = true;
+    }
+  }
+  if (shutdown && !cluster_down_) {
+    cluster_down_ = true;
+    obs::TraceEvent("ksafety", "cluster.shutdown",
+                    {{"trigger_node", node}, {"epoch", epoch_}});
+    obs::IncrCounter("ksafety.cluster_shutdowns");
+    for (int n = 0; n < num_nodes(); ++n) {
+      node_states_[n] = NodeState::kDown;
+      ++node_incarnation_[n];
+      for (Session* session : node_sessions_[n]) {
+        session->MarkBroken();
+      }
+    }
+  }
+  state_changed_->NotifyAll();
+  return Status::OK();
+}
+
+Status Database::RestartNode(int node) {
+  if (node < 0 || node >= num_nodes()) {
+    return InvalidArgumentError(StrCat("no node ", node));
+  }
+  if (cluster_down_) {
+    return FailedPreconditionError(
+        "cluster is down; no surviving copy to recover from");
+  }
+  if (node_states_[node] != NodeState::kDown) {
+    return FailedPreconditionError(StrCat(
+        node_name(node), " is ", NodeStateName(node_states_[node])));
+  }
+  node_states_[node] = NodeState::kRecovering;
+  obs::TraceEvent("ksafety", "node.recovering",
+                  {{"node", node},
+                   {"node_name", node_name(node)},
+                   {"down_epoch", node_down_epoch_[node]},
+                   {"epoch", epoch_}});
+  obs::IncrCounter("ksafety.node_restarts");
+  state_changed_->NotifyAll();
+  uint64_t incarnation = node_incarnation_[node];
+  engine_->Spawn(StrCat("recovery:n", node),
+                 [this, node, incarnation](sim::Process& self) {
+                   RunRecovery(self, node, incarnation);
+                 });
+  return Status::OK();
+}
+
+void Database::RunRecovery(sim::Process& self, int node,
+                           uint64_t incarnation) {
+  uint64_t span = obs::TraceBegin(
+      "ksafety", "recovery.transfer",
+      {{"node", node}, {"down_epoch", node_down_epoch_[node]}});
+  auto abandoned = [&] {
+    return node_incarnation_[node] != incarnation ||
+           node_states_[node] != NodeState::kRecovering;
+  };
+  auto abandon = [&] {
+    obs::TraceEnd(span, "ksafety", "recovery.transfer",
+                  {{"node", node}, {"ok", false}});
+    obs::TraceEvent("ksafety", "recovery.abandoned", {{"node", node}});
+    obs::IncrCounter("ksafety.recoveries_abandoned");
+  };
+
+  // Phase 1: pull the delta each hosted copy missed since the node went
+  // down, from the surviving copy, over the internal fabric. Sources and
+  // sizes are snapshotted up front; virtual time passes during the
+  // transfers.
+  struct Pull {
+    int src = -1;       // source node (its int_egress feeds our ingress)
+    double bytes = 0;   // cost-scaled raw bytes to move
+  };
+  storage::Epoch down_epoch = node_down_epoch_[node];
+  int prev = (node - 1 + num_nodes()) % num_nodes();
+  std::vector<Pull> pulls;
+  for (auto& [name, table_storage] : storage_) {
+    double scale = EffectiveScale(name);
+    if (!table_storage.buddy.empty()) {
+      // Primary copy of segment `node` recovers from its buddy; the buddy
+      // copy of segment `prev` recovers from that segment's primary.
+      pulls.push_back(
+          Pull{buddy_node(node),
+               table_storage.buddy[node]->RawBytesSince(down_epoch) * scale});
+      pulls.push_back(
+          Pull{prev,
+               table_storage.per_node[prev]->RawBytesSince(down_epoch) *
+                   scale});
+    } else {
+      // Replicated table: any UP replica serves as the source.
+      for (int m = 0; m < num_nodes(); ++m) {
+        if (m == node || !node_up(m)) continue;
+        pulls.push_back(
+            Pull{m,
+                 table_storage.per_node[m]->RawBytesSince(down_epoch) *
+                     scale});
+        break;
+      }
+    }
+  }
+  double total_bytes = 0;
+  for (const Pull& pull : pulls) {
+    if (pull.src < 0 || pull.bytes <= 0) continue;
+    Status status = network_->Transfer(
+        self, {hosts_[pull.src].int_egress, hosts_[node].int_ingress},
+        pull.bytes);
+    if (status.ok()) {
+      // Re-sorting and re-encoding the received delta on the joiner.
+      status = net::RunCpu(self, network_, hosts_[node],
+                           pull.bytes * options_.cost.scan_cpu_per_byte);
+    }
+    if (!status.ok() || abandoned()) {
+      abandon();
+      return;
+    }
+    total_bytes += pull.bytes;
+  }
+  if (abandoned()) {
+    abandon();
+    return;
+  }
+
+  // Phase 2: atomic catch-up. Clone every hosted store from its surviving
+  // copy in one engine step — writes that landed during the transfers are
+  // included, and nothing can interleave before the node flips to UP.
+  for (auto& [name, table_storage] : storage_) {
+    if (!table_storage.buddy.empty()) {
+      if (!node_up(buddy_node(node)) || !node_up(prev)) {
+        abandon();
+        return;
+      }
+      table_storage.per_node[node]->CopyContentsFrom(
+          *table_storage.buddy[node]);
+      table_storage.buddy[prev]->CopyContentsFrom(
+          *table_storage.per_node[prev]);
+    } else {
+      int src = -1;
+      for (int m = 0; m < num_nodes(); ++m) {
+        if (m != node && node_up(m)) {
+          src = m;
+          break;
+        }
+      }
+      if (src < 0) {
+        abandon();
+        return;
+      }
+      table_storage.per_node[node]->CopyContentsFrom(
+          *table_storage.per_node[src]);
+    }
+  }
+  node_states_[node] = NodeState::kUp;
+  node_down_epoch_[node] = 0;
+  obs::TraceEnd(span, "ksafety", "recovery.transfer",
+                {{"node", node}, {"bytes", total_bytes}, {"ok", true}});
+  obs::TraceEvent("ksafety", "node.up",
+                  {{"node", node},
+                   {"node_name", node_name(node)},
+                   {"epoch", epoch_}});
+  obs::IncrCounter("ksafety.recoveries");
+  obs::IncrCounter("ksafety.recovery_bytes", total_bytes);
+  state_changed_->NotifyAll();
+}
+
+Status Database::WaitForNodeState(sim::Process& self, int node,
+                                  NodeState state) {
+  if (node < 0 || node >= num_nodes()) {
+    return InvalidArgumentError(StrCat("no node ", node));
+  }
+  return state_changed_->WaitUntil(self, [this, node, state] {
+    return node_states_[node] == state;
+  });
 }
 
 Status Database::PoolAdmit(sim::Process& self, int node) {

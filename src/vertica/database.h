@@ -19,6 +19,7 @@
 #include "storage/segment_store.h"
 #include "vertica/catalog.h"
 #include "vertica/dfs.h"
+#include "vertica/ksafety/ksafety.h"
 #include "vertica/sql_eval.h"
 
 namespace fabric::vertica {
@@ -110,6 +111,35 @@ class Database {
 
   int active_sessions(int node) const { return active_sessions_[node]; }
 
+  // ----------------------------------------------------------- k-safety
+  // The fabric runs k=1: every segment of a segmented table has a buddy
+  // copy on the ring-successor node, so the cluster survives any single
+  // node loss. Unsegmented tables are already replicated on every node.
+  NodeState node_state(int node) const { return node_states_[node]; }
+  bool node_up(int node) const {
+    return node_states_[node] == NodeState::kUp;
+  }
+  // True once both copies of some segment were lost (two adjacent nodes
+  // down with k=1) — Vertica's automatic cluster shutdown. Terminal for
+  // the simulated database.
+  bool cluster_is_down() const { return cluster_down_; }
+  // Node hosting the buddy copy of `segment` (ring successor).
+  int buddy_node(int segment) const {
+    return (segment + 1) % num_nodes();
+  }
+
+  // Crash injection: marks `node` DOWN instantly (host-side, callable
+  // from engine callbacks — see ksafety::NodeFailureSchedule). Sessions
+  // connected to the node break; its segments fail over to the buddy
+  // copies. Idempotent on an already-DOWN node.
+  Status KillNode(int node);
+  // Rejoin: DOWN -> RECOVERING, then a spawned recovery process pulls the
+  // missed delta from the buddy copies over the internal fabric and
+  // atomically promotes the node back to UP.
+  Status RestartNode(int node);
+  // Blocks until `node` reaches `state` (test/driver convenience).
+  Status WaitForNodeState(sim::Process& self, int node, NodeState state);
+
   // -------------------------------------------------------- telemetry
   // Fraction of the node's CPU in use (Table 2's CPU%).
   double NodeCpuUtilization(int node) const;
@@ -124,7 +154,27 @@ class Database {
     // One store per node. Unsegmented tables are replicated: every node
     // holds the full copy and serves reads locally.
     std::vector<std::unique_ptr<storage::SegmentStore>> per_node;
+    // k=1 buddy copies for segmented tables: buddy[s] is the second copy
+    // of segment s, resident on node (s+1) % N. Empty for unsegmented
+    // tables (already replicated) and single-node clusters.
+    std::vector<std::unique_ptr<storage::SegmentStore>> buddy;
   };
+
+  // One physical copy of a segment: the store plus the node whose CPU and
+  // NICs serve it.
+  struct SegmentCopy {
+    storage::SegmentStore* store = nullptr;
+    int host = -1;
+  };
+
+  // The copy serving reads of `segment`: the primary when its node is UP,
+  // else the buddy. UNAVAILABLE when both copies are lost.
+  Result<SegmentCopy> ReadCopy(TableStorage* storage, int segment) const;
+  // The live copies (primary and/or buddy) a write to `segment` must
+  // reach; copies on non-UP nodes are skipped and caught up by recovery.
+  // UNAVAILABLE when no copy is live.
+  Result<std::vector<SegmentCopy>> WriteCopies(TableStorage* storage,
+                                               int segment) const;
 
   Result<TableStorage*> GetStorage(const std::string& table);
   Status CreateTableWithStorage(TableDef def);
@@ -157,7 +207,9 @@ class Database {
   Status PoolAdmit(sim::Process& self, int node);
   void PoolRelease(int node);
 
-  void ReleaseSession(int node) { --active_sessions_[node]; }
+  // Connect registers each session so KillNode can break every session
+  // attached to the dying node; Session::Abandon unregisters.
+  void UnregisterSession(int node, Session* session);
 
   // The UDx resolver bound to this database (for sql::EvalContext).
   const sql::UdxResolver& udx_resolver() const { return udx_resolver_; }
@@ -191,6 +243,22 @@ class Database {
   sql::UdxResolver udx_resolver_;
   std::vector<int> active_sessions_;
   std::vector<std::unique_ptr<sim::Semaphore>> pool_slots_;
+
+  // ----------------------------------------------------------- k-safety
+  // Recovery catch-up for `node`, run as a spawned process. `incarnation`
+  // is the node's incarnation at RestartNode time: a concurrent KillNode
+  // bumps it, telling an in-flight recovery to abandon (node stays DOWN).
+  void RunRecovery(sim::Process& self, int node, uint64_t incarnation);
+
+  std::vector<NodeState> node_states_;
+  // Epoch the node was last current at (set on kill; recovery pulls the
+  // delta committed after it).
+  std::vector<storage::Epoch> node_down_epoch_;
+  // Bumped on every KillNode; guards recovery against a re-kill.
+  std::vector<uint64_t> node_incarnation_;
+  bool cluster_down_ = false;
+  std::vector<std::set<Session*>> node_sessions_;
+  std::unique_ptr<sim::Condition> state_changed_;
 };
 
 }  // namespace fabric::vertica

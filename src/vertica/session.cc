@@ -245,7 +245,7 @@ void Session::Abandon() {
     db_->AbortTxnInternal(txn_);
     txn_ = 0;
   }
-  db_->ReleaseSession(node_);
+  db_->UnregisterSession(node_, this);
 }
 
 Status Session::Close(sim::Process& self) {
@@ -260,6 +260,10 @@ Status Session::Close(sim::Process& self) {
 Result<QueryResult> Session::Execute(sim::Process& self,
                                      std::string_view sql_text) {
   if (closed_) return FailedPreconditionError("session closed");
+  if (broken_ || db_->cluster_is_down()) {
+    return UnavailableError(
+        StrCat("connection to ", db_->node_name(node_), " lost"));
+  }
   FABRIC_RETURN_IF_ERROR(self.CheckAlive());
   // Per-statement observability state: a statement killed before its
   // dispatcher runs must not leave the previous statement's outcome
@@ -271,7 +275,7 @@ Result<QueryResult> Session::Execute(sim::Process& self,
   FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
                                      db_->node_host(node_),
                                      db_->cost().statement_overhead_cpu));
-  return std::visit(
+  Result<QueryResult> result = std::visit(
       [&](auto&& stmt) -> Result<QueryResult> {
         using T = std::decay_t<decltype(stmt)>;
         if constexpr (std::is_same_v<T, sql::SelectStmt>) {
@@ -297,6 +301,14 @@ Result<QueryResult> Session::Execute(sim::Process& self,
         }
       },
       statement);
+  // The node died while the statement was in flight: whatever the server
+  // did (including a commit that reached durability just before the
+  // kill), the client never hears the outcome.
+  if (result.ok() && broken_) {
+    return UnavailableError(
+        StrCat("connection to ", db_->node_name(node_), " lost"));
+  }
+  return result;
 }
 
 Result<QueryResult> Session::ExecuteSelectInternal(
@@ -313,6 +325,12 @@ Session::WriteTxn Session::EnsureWriteTxn() {
 
 Status Session::FinishWriteTxn(sim::Process& self, const WriteTxn& wt,
                                Status status) {
+  // If the node died under the statement, the write never reaches
+  // durability — abort instead of committing on a dead node.
+  if (status.ok() && broken_) {
+    status = UnavailableError(
+        StrCat("connection to ", db_->node_name(node_), " lost"));
+  }
   if (!wt.autocommit) {
     // Explicit transaction: statement failure aborts the whole txn (the
     // Vertica behaviour connector code relies on for conditional
@@ -347,6 +365,12 @@ Result<QueryResult> Session::ExecTxn(sim::Process& self,
     case sql::TxnStmt::Kind::kCommit: {
       last_commit_epoch_ = 0;
       if (txn_ == 0) return result;
+      if (broken_) {
+        db_->AbortTxnInternal(txn_);
+        txn_ = 0;
+        return UnavailableError(
+            StrCat("connection to ", db_->node_name(node_), " lost"));
+      }
       TxnId txn = txn_;
       Status commit = db_->CommitTxnInternal(self, txn);
       if (!commit.ok()) {
@@ -458,6 +482,9 @@ Result<QueryResult> Session::ExecTruncate(sim::Process& self,
   for (auto& store : storage->per_node) {
     store = std::make_unique<storage::SegmentStore>(def->schema);
   }
+  for (auto& store : storage->buddy) {
+    store = std::make_unique<storage::SegmentStore>(def->schema);
+  }
   return QueryResult{};
 }
 
@@ -545,27 +572,44 @@ Result<QueryResult> Session::ExecInsert(sim::Process& self,
         per_node[owner].push_back(row);
       }
     }
+    bool replicated = def->segmentation.unsegmented();
     for (int n = 0; n < db_->num_nodes(); ++n) {
       if (per_node[n].empty()) continue;
+      // Every live copy of the segment takes the rows: replicated tables
+      // write each UP replica, segmented tables write the primary and the
+      // buddy (whichever are UP); DOWN copies catch up during recovery.
+      std::vector<Database::SegmentCopy> copies;
+      if (replicated) {
+        if (!db_->node_up(n)) continue;
+        copies.push_back(
+            Database::SegmentCopy{storage->per_node[n].get(), n});
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(copies, db_->WriteCopies(storage, n));
+      }
       DataProfile node_profile = ProfileRows(per_node[n]);
       node_profile.ScaleBy(scale);
-      if (n != node_) {
-        FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
-            self,
-            {db_->node_host(node_).int_egress,
-             db_->node_host(n).int_ingress},
-            node_profile.raw_bytes));
-      }
-      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
-                                         db_->node_host(n),
-                                         node_profile.CopyParseCpu(cost)));
-      if (stmt.direct) {
-        FABRIC_RETURN_IF_ERROR(storage->per_node[n]->InsertPendingDirect(
-            wt.txn, std::move(per_node[n])));
-      } else {
+      for (size_t c = 0; c < copies.size(); ++c) {
+        const Database::SegmentCopy& copy = copies[c];
+        if (copy.host != node_) {
+          FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
+              self,
+              {db_->node_host(node_).int_egress,
+               db_->node_host(copy.host).int_ingress},
+              node_profile.raw_bytes));
+        }
         FABRIC_RETURN_IF_ERROR(
-            storage->per_node[n]->InsertPending(wt.txn,
-                                                std::move(per_node[n])));
+            net::RunCpu(self, db_->network(), db_->node_host(copy.host),
+                        node_profile.CopyParseCpu(cost)));
+        std::vector<Row> batch = c + 1 < copies.size()
+                                     ? per_node[n]
+                                     : std::move(per_node[n]);
+        if (stmt.direct) {
+          FABRIC_RETURN_IF_ERROR(
+              copy.store->InsertPendingDirect(wt.txn, std::move(batch)));
+        } else {
+          FABRIC_RETURN_IF_ERROR(
+              copy.store->InsertPending(wt.txn, std::move(batch)));
+        }
       }
     }
     return Status::OK();
@@ -633,20 +677,32 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
     }
     spec.residual_columns = &residual_columns;
 
+    bool counted_replicated = false;
     for (int n = 0; n < db_->num_nodes(); ++n) {
-      storage::SegmentStore* store = storage->per_node[n].get();
-      // Scan cost over the node's visible rows (all columns, as the
+      // Replicated: every UP replica applies the update in place.
+      // Segmented: the scan reads the segment's serving copy (primary, or
+      // buddy when the primary's node is down) and the delete + reinsert
+      // hit every live copy.
+      if (replicated && !db_->node_up(n)) continue;
+      Database::SegmentCopy read_copy;
+      if (replicated) {
+        read_copy = Database::SegmentCopy{storage->per_node[n].get(), n};
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(read_copy, db_->ReadCopy(storage, n));
+      }
+      // Scan cost over the segment's visible rows (all columns, as the
       // row-store UPDATE reads full rows to build replacements).
       storage::ScanSpec node_spec = spec;
       node_spec.cost_columns = &all_columns;
       storage::ScanStats stats;
       FABRIC_ASSIGN_OR_RETURN(std::vector<Row> matched,
-                              store->Scan(node_spec, &stats));
+                              read_copy.store->Scan(node_spec, &stats));
       DataProfile scanned = stats.visible_profile;
       scanned.ScaleBy(db_->EffectiveScale(def->name));
-      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
-                                         db_->node_host(n),
-                                         scanned.ScanCpu(cost)));
+      FABRIC_RETURN_IF_ERROR(
+          net::RunCpu(self, db_->network(),
+                      db_->node_host(read_copy.host),
+                      scanned.ScanCpu(cost)));
       std::vector<Row> replacements;
       replacements.reserve(matched.size());
       for (const Row& row : matched) {
@@ -662,33 +718,60 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
         FABRIC_RETURN_IF_ERROR(ValidateRow(schema, updated));
         replacements.push_back(std::move(updated));
       }
-      // Same selection pipeline as the Scan above, so both pick exactly
-      // the same rows.
-      FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
-                              store->MarkDeletedPending(spec));
-      FABRIC_CHECK(deleted == static_cast<int64_t>(replacements.size()));
-      if (!replicated || n == 0) affected += deleted;
-      // Reinsert new versions. Replicated tables keep replicas aligned by
-      // updating in place on each node; segmented tables re-route by the
-      // (possibly changed) segmentation hash.
+      // Same selection pipeline as the Scan above, so every copy picks
+      // exactly the same rows.
       if (replicated) {
+        FABRIC_ASSIGN_OR_RETURN(
+            int64_t deleted, read_copy.store->MarkDeletedPending(spec));
+        FABRIC_CHECK(deleted == static_cast<int64_t>(replacements.size()));
+        // Count each logical row once, from the first replica that is
+        // actually UP (node 0's replica may be down).
+        if (!counted_replicated) {
+          affected += deleted;
+          counted_replicated = true;
+        }
         if (!replacements.empty()) {
-          FABRIC_RETURN_IF_ERROR(
-              store->InsertPending(wt.txn, std::move(replacements)));
+          FABRIC_RETURN_IF_ERROR(read_copy.store->InsertPending(
+              wt.txn, std::move(replacements)));
         }
       } else {
+        FABRIC_ASSIGN_OR_RETURN(std::vector<Database::SegmentCopy> writes,
+                                db_->WriteCopies(storage, n));
+        int64_t deleted = -1;
+        for (const Database::SegmentCopy& copy : writes) {
+          FABRIC_ASSIGN_OR_RETURN(int64_t d,
+                                  copy.store->MarkDeletedPending(spec));
+          if (deleted < 0) {
+            deleted = d;
+          } else {
+            FABRIC_CHECK(d == deleted) << "buddy copies diverged";
+          }
+        }
+        FABRIC_CHECK(deleted == static_cast<int64_t>(replacements.size()));
+        affected += deleted;
+        // Re-route new versions by the (possibly changed) segmentation
+        // hash, into every live copy of the owning segment.
         for (Row& row : replacements) {
           int owner = db_->OwnerNode(*def, row);
-          if (owner != n) {
-            FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
-                self,
-                {db_->node_host(n).int_egress,
-                 db_->node_host(owner).int_ingress},
-                ProfileRow(row).raw_bytes *
-                    db_->EffectiveScale(def->name)));
+          FABRIC_ASSIGN_OR_RETURN(
+              std::vector<Database::SegmentCopy> owner_writes,
+              db_->WriteCopies(storage, owner));
+          double row_bytes =
+              ProfileRow(row).raw_bytes * db_->EffectiveScale(def->name);
+          for (size_t c = 0; c < owner_writes.size(); ++c) {
+            const Database::SegmentCopy& copy = owner_writes[c];
+            if (copy.host != read_copy.host) {
+              FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
+                  self,
+                  {db_->node_host(read_copy.host).int_egress,
+                   db_->node_host(copy.host).int_ingress},
+                  row_bytes));
+            }
+            Row replica = c + 1 < owner_writes.size() ? row
+                                                      : std::move(row);
+            FABRIC_RETURN_IF_ERROR(
+                copy.store->InsertPending(wt.txn, {std::move(replica)}));
           }
-          FABRIC_RETURN_IF_ERROR(storage->per_node[owner]->InsertPending(
-              wt.txn, {std::move(row)}));
         }
       }
     }
@@ -755,19 +838,56 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
     }
     spec.residual_columns = &residual_columns;
 
+    bool counted_replicated = false;
     for (int n = 0; n < db_->num_nodes(); ++n) {
-      storage::SegmentStore* store = storage->per_node[n].get();
-      FABRIC_ASSIGN_OR_RETURN(int64_t visible_count,
-                              store->CountVisible(snapshot, wt.txn));
-      DataProfile scanned;
-      scanned.rows = static_cast<double>(visible_count);
-      scanned.ScaleBy(db_->EffectiveScale(def->name));
-      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
-                                         db_->node_host(n),
-                                         scanned.ScanCpu(cost)));
-      FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
-                              store->MarkDeletedPending(spec));
-      if (!replicated || n == 0) affected += deleted;
+      if (replicated) {
+        // Every UP replica applies the delete; count each logical row
+        // once, from the first replica that is actually UP.
+        if (!db_->node_up(n)) continue;
+        storage::SegmentStore* store = storage->per_node[n].get();
+        FABRIC_ASSIGN_OR_RETURN(int64_t visible_count,
+                                store->CountVisible(snapshot, wt.txn));
+        DataProfile scanned;
+        scanned.rows = static_cast<double>(visible_count);
+        scanned.ScaleBy(db_->EffectiveScale(def->name));
+        FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                           db_->node_host(n),
+                                           scanned.ScanCpu(cost)));
+        FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
+                                store->MarkDeletedPending(spec));
+        if (!counted_replicated) {
+          affected += deleted;
+          counted_replicated = true;
+        }
+      } else {
+        // Scan cost on the segment's serving copy; the delete marks land
+        // on every live copy.
+        FABRIC_ASSIGN_OR_RETURN(Database::SegmentCopy read_copy,
+                                db_->ReadCopy(storage, n));
+        FABRIC_ASSIGN_OR_RETURN(
+            int64_t visible_count,
+            read_copy.store->CountVisible(snapshot, wt.txn));
+        DataProfile scanned;
+        scanned.rows = static_cast<double>(visible_count);
+        scanned.ScaleBy(db_->EffectiveScale(def->name));
+        FABRIC_RETURN_IF_ERROR(
+            net::RunCpu(self, db_->network(),
+                        db_->node_host(read_copy.host),
+                        scanned.ScanCpu(cost)));
+        FABRIC_ASSIGN_OR_RETURN(std::vector<Database::SegmentCopy> writes,
+                                db_->WriteCopies(storage, n));
+        int64_t deleted = -1;
+        for (const Database::SegmentCopy& copy : writes) {
+          FABRIC_ASSIGN_OR_RETURN(int64_t d,
+                                  copy.store->MarkDeletedPending(spec));
+          if (deleted < 0) {
+            deleted = d;
+          } else {
+            FABRIC_CHECK(d == deleted) << "buddy copies diverged";
+          }
+        }
+        affected += deleted;
+      }
     }
     return Status::OK();
   }();
@@ -950,11 +1070,14 @@ Result<QueryResult> Session::SystemTable(
   if (lower_name == "v_catalog.nodes") {
     result.schema = Schema({{"node_id", DataType::kInt64},
                             {"node_name", DataType::kVarchar},
-                            {"node_address", DataType::kVarchar}});
+                            {"node_address", DataType::kVarchar},
+                            {"state", DataType::kVarchar}});
     for (int i = 0; i < db_->num_nodes(); ++i) {
-      result.rows.push_back({Value::Int64(i),
-                             Value::Varchar(db_->node_name(i)),
-                             Value::Varchar(db_->node_address(i))});
+      result.rows.push_back(
+          {Value::Int64(i), Value::Varchar(db_->node_name(i)),
+           Value::Varchar(db_->node_address(i)),
+           Value::Varchar(std::string(
+               NodeStateName(db_->node_state(i))))});
     }
     return result;
   }
@@ -964,7 +1087,9 @@ Result<QueryResult> Session::SystemTable(
                             {"node_id", DataType::kInt64},
                             {"node_name", DataType::kVarchar},
                             {"segment_lower", DataType::kInt64},
-                            {"segment_upper", DataType::kInt64}});
+                            {"segment_upper", DataType::kInt64},
+                            {"buddy_node_id", DataType::kInt64},
+                            {"buddy_node_name", DataType::kVarchar}});
     for (const std::string& table : db_->catalog().TableNames()) {
       auto def = db_->catalog().GetTable(table);
       if (!def.ok() || (*def)->segmentation.unsegmented()) continue;
@@ -974,11 +1099,19 @@ Result<QueryResult> Session::SystemTable(
                           ? Value::Null()
                           : Value::Int64(sql::RingHashToSigned(
                                 ranges[n].upper));
+        // k=1 buddy placement: single-node clusters keep no buddy copy.
+        Value buddy_id = db_->num_nodes() > 1
+                             ? Value::Int64(db_->buddy_node(n))
+                             : Value::Null();
+        Value buddy_name =
+            db_->num_nodes() > 1
+                ? Value::Varchar(db_->node_name(db_->buddy_node(n)))
+                : Value::Null();
         result.rows.push_back(
             {Value::Varchar(table), Value::Int64(n),
              Value::Varchar(db_->node_name(n)),
              Value::Int64(sql::RingHashToSigned(ranges[n].lower)),
-             upper});
+             upper, buddy_id, buddy_name});
       }
     }
     return result;
@@ -1330,11 +1463,39 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   state->producers_left = static_cast<int>(nodes.size());
   state->progress = std::make_unique<sim::Condition>(db_->engine());
 
+  // Resolve each participating segment to its serving copy: the primary
+  // when its node is UP, else the buddy (k-safety failover reroute).
+  struct ScanTarget {
+    int segment;
+    storage::SegmentStore* store;
+    int host;
+  };
+  std::vector<ScanTarget> targets;
   for (int n : nodes) {
-    storage::SegmentStore* store = table_storage->per_node[n].get();
+    if (def->segmentation.unsegmented()) {
+      targets.push_back(
+          ScanTarget{n, table_storage->per_node[n].get(), n});
+      continue;
+    }
+    FABRIC_ASSIGN_OR_RETURN(Database::SegmentCopy copy,
+                            db_->ReadCopy(table_storage, n));
+    if (copy.host != n) {
+      obs::TraceEvent("ksafety", "scan.reroute",
+                      {{"table", select.from},
+                       {"segment", n},
+                       {"to_node", copy.host}});
+      obs::IncrCounter("ksafety.scan_reroutes");
+    }
+    targets.push_back(ScanTarget{n, copy.store, copy.host});
+  }
+
+  for (const ScanTarget& target : targets) {
+    storage::SegmentStore* store = target.store;
+    const int n = target.segment;
+    const int scan_host = target.host;
     db_->engine()->Spawn(
         StrCat("vscan:", select.from, ":n", n),
-        [state, store, n](sim::Process& scan) {
+        [state, store, n, scan_host](sim::Process& scan) {
           Status status = [&]() -> Status {
             Database* db = state->db;
             // Vectorized scan: predicate kernels run directly on encoded
@@ -1404,12 +1565,12 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
             int chunks = static_cast<int>(std::ceil(
                 std::max(scanned.raw_bytes, 1.0) / state->chunk_bytes));
             chunks = std::clamp(chunks, 1, 512);
-            const net::Host& host = db->node_host(n);
+            const net::Host& host = db->node_host(scan_host);
             const net::Host& initiator = db->node_host(state->initiator);
             for (int c = 0; c < chunks; ++c) {
               FABRIC_RETURN_IF_ERROR(net::RunCpu(scan, db->network(),
                                                  host, scan_cpu / chunks));
-              if (n != state->initiator && internal > 0) {
+              if (scan_host != state->initiator && internal > 0) {
                 FABRIC_RETURN_IF_ERROR(db->network()->Transfer(
                     scan, {host.int_egress, initiator.int_ingress},
                     internal / chunks));

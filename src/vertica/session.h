@@ -44,6 +44,13 @@ class Session {
   Database* database() const { return db_; }
   bool in_transaction() const { return txn_ != 0; }
 
+  // True once the node this session was attached to died. A broken
+  // session fails every further statement with UNAVAILABLE; its open
+  // transaction aborts when the in-flight statement unwinds (or on
+  // Abandon/Close). Set by Database::KillNode.
+  bool broken() const { return broken_; }
+  void MarkBroken() { broken_ = true; }
+
   // Observability aids (the server's view of this session's last write,
   // exposed so instrumented clients can distinguish "commit durable, ack
   // lost to a kill" from "commit never happened" — the Section 2.2.2
@@ -120,6 +127,7 @@ class Session {
   storage::Epoch last_commit_epoch_ = 0;
   int64_t last_update_affected_ = -1;
   bool closed_ = false;
+  bool broken_ = false;
 };
 
 }  // namespace fabric::vertica

@@ -49,6 +49,19 @@ TEST(ParserTest, QualifiedSystemTableName) {
   EXPECT_EQ(std::get<SelectStmt>(*statement).from, "v_catalog.nodes");
 }
 
+TEST(ParserTest, KSafetyCatalogColumns) {
+  // The k-safety columns (nodes.state, segments.buddy_node_id/_name)
+  // are ordinary projections to the parser.
+  auto nodes = Parse("SELECT node_name, state FROM v_catalog.nodes");
+  ASSERT_TRUE(nodes.ok());
+  EXPECT_EQ(std::get<SelectStmt>(*nodes).items.size(), 2u);
+  auto segments = Parse(
+      "SELECT buddy_node_id, buddy_node_name FROM v_catalog.segments "
+      "WHERE table_name = 't' ORDER BY node_id");
+  ASSERT_TRUE(segments.ok()) << segments.status();
+  EXPECT_EQ(std::get<SelectStmt>(*segments).from, "v_catalog.segments");
+}
+
 TEST(ParserTest, HashRangePredicate) {
   auto statement = Parse(
       "SELECT * FROM t WHERE HASH(a, b) >= -100 AND HASH(a, b) < 200");

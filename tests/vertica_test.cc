@@ -443,11 +443,21 @@ TEST_F(VerticaTest, SystemCatalogExposesSegments) {
          "CREATE TABLE t (id INTEGER) SEGMENTED BY HASH(id) ALL NODES");
     QueryResult nodes = Exec(self, s, "SELECT * FROM v_catalog.nodes");
     EXPECT_EQ(nodes.rows.size(), 4u);
+    // Every node reports its k-safety state.
+    QueryResult states =
+        Exec(self, s, "SELECT state FROM v_catalog.nodes");
+    for (const Row& row : states.rows) {
+      EXPECT_EQ(row[0].varchar_value(), "UP");
+    }
     QueryResult segments = Exec(
         self, s,
-        "SELECT node_id, segment_lower, segment_upper FROM "
-        "v_catalog.segments WHERE table_name = 't' ORDER BY node_id");
+        "SELECT node_id, segment_lower, segment_upper, buddy_node_id "
+        "FROM v_catalog.segments WHERE table_name = 't' ORDER BY node_id");
     ASSERT_EQ(segments.rows.size(), 4u);
+    // k=1 buddy placement: the second copy lives on the ring successor.
+    for (const Row& row : segments.rows) {
+      EXPECT_EQ(row[3].int64_value(), (row[0].int64_value() + 1) % 4);
+    }
     // Bounds chain: each segment's lower is the previous one's upper; the
     // final upper is NULL (wrap).
     for (int n = 1; n < 4; ++n) {
