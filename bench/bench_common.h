@@ -44,6 +44,9 @@ struct FabricOptions {
   CostModel cost;  // data_scale is derived below
   bool with_hdfs = false;
   int hdfs_nodes = 4;
+  // Tuple Mover knobs for the Vertica cluster (bench_tm contrasts the
+  // managed and unmanaged storage paths).
+  vertica::TupleMoverConfig tuple_mover;
 };
 
 // One self-contained simulated fabric.
@@ -63,6 +66,7 @@ class Fabric {
     vertica::Database::Options vopts;
     vopts.num_nodes = options_.vertica_nodes;
     vopts.cost = options_.cost;
+    vopts.tuple_mover = options_.tuple_mover;
     db_ = std::make_unique<vertica::Database>(engine_.get(),
                                               network_.get(), vopts);
     spark::SparkCluster::Options sopts;

@@ -1,0 +1,250 @@
+// Tuple Mover: what background storage management buys and costs. Two
+// experiments, both contrasting the service on vs off:
+//
+//  1. Sustained trickle ingest (WOS path): throughput of a back-to-back
+//     INSERT stream, plus where the storage ends up — with the TM off
+//     the WOS grows without bound; with it on, moveout drains the WOS
+//     (stalling the writer at the hard cap when it must) and mergeout
+//     keeps the ROS container count flat.
+//
+//  2. Scan latency vs container count: many small DIRECT loads fragment
+//     the ROS; each container opened costs CPU on the scan path, so the
+//     same SELECT gets slower as containers pile up. Mergeout folds them
+//     back down and the scan recovers.
+
+#include "bench/bench_common.h"
+
+#include "storage/segment_store.h"
+#include "vertica/tm/tuple_mover.h"
+
+namespace {
+
+using fabric::StrCat;
+using fabric::bench::Fabric;
+using fabric::bench::FabricOptions;
+
+// Aggressive service intervals so short bench runs see many passes.
+fabric::vertica::TupleMoverConfig FastTm() {
+  fabric::vertica::TupleMoverConfig tm;
+  tm.moveout_interval = 0.05;
+  tm.mergeout_interval = 0.1;
+  tm.strata_min_containers = 2;
+  tm.ahm_interval = 0.25;
+  tm.retention_epochs = 8;
+  return tm;
+}
+
+fabric::vertica::TupleMoverConfig TmOff() {
+  fabric::vertica::TupleMoverConfig tm;
+  tm.enabled = false;
+  return tm;
+}
+
+// Worst-case storage state across every copy of `table`.
+struct StorageShape {
+  int max_wos_batches = 0;
+  int max_ros_containers = 0;
+};
+
+StorageShape ShapeOf(Fabric& fabric, const std::string& table) {
+  StorageShape shape;
+  auto storage = fabric.db()->GetStorage(table);
+  FABRIC_CHECK_OK(storage.status());
+  auto visit = [&shape](const fabric::storage::SegmentStore* store) {
+    shape.max_wos_batches =
+        std::max(shape.max_wos_batches, store->num_wos_batches());
+    shape.max_ros_containers =
+        std::max(shape.max_ros_containers, store->num_ros_containers());
+  };
+  for (const auto& store : (*storage)->per_node) visit(store.get());
+  for (const auto& store : (*storage)->buddy) {
+    if (store != nullptr) visit(store.get());
+  }
+  return shape;
+}
+
+// Trickle-ingests `batches` x `rows_per_batch` over one persistent
+// session and returns the virtual seconds the stream took.
+double TrickleIngest(Fabric& fabric, int batches, int rows_per_batch) {
+  return fabric.RunTimed([&](fabric::sim::Process& driver) {
+    auto session = fabric.db()->Connect(driver, 0, nullptr);
+    FABRIC_CHECK_OK(session.status());
+    FABRIC_CHECK_OK(
+        (*session)
+            ->Execute(driver,
+                      "CREATE TABLE trickle (id INTEGER, score FLOAT) "
+                      "SEGMENTED BY HASH(id) ALL NODES")
+            .status());
+    int next_id = 0;
+    for (int b = 0; b < batches; ++b) {
+      std::string values;
+      for (int i = 0; i < rows_per_batch; ++i, ++next_id) {
+        values += StrCat(i ? ", " : "", "(", next_id, ", ",
+                         next_id % 9, ".25)");
+      }
+      FABRIC_CHECK_OK(
+          (*session)
+              ->Execute(driver,
+                        StrCat("INSERT INTO trickle VALUES ", values))
+              .status());
+    }
+    FABRIC_CHECK_OK((*session)->Close(driver));
+  });
+}
+
+// Loads `loads` small DIRECT batches into `frag` (each lands as its own
+// ROS container per copy), then times the same full scan `reps` times and
+// returns the mean latency.
+double FragmentThenScan(Fabric& fabric, int loads, int rows_per_load,
+                        double settle_seconds, double* scan_seconds) {
+  double load_seconds = fabric.RunTimed([&](fabric::sim::Process& driver) {
+    auto session = fabric.db()->Connect(driver, 0, nullptr);
+    FABRIC_CHECK_OK(session.status());
+    FABRIC_CHECK_OK(
+        (*session)
+            ->Execute(driver,
+                      "CREATE TABLE frag (id INTEGER, score FLOAT) "
+                      "SEGMENTED BY HASH(id) ALL NODES")
+            .status());
+    int next_id = 0;
+    for (int b = 0; b < loads; ++b) {
+      std::string values;
+      for (int i = 0; i < rows_per_load; ++i, ++next_id) {
+        values += StrCat(i ? ", " : "", "(", next_id, ", ",
+                         next_id % 9, ".25)");
+      }
+      FABRIC_CHECK_OK(
+          (*session)
+              ->Execute(driver, StrCat("INSERT /*+ DIRECT */ INTO frag "
+                                       "VALUES ",
+                                       values))
+              .status());
+    }
+    if (settle_seconds > 0) {
+      FABRIC_CHECK_OK(driver.Sleep(settle_seconds));
+    }
+    FABRIC_CHECK_OK((*session)->Close(driver));
+  });
+  *scan_seconds = fabric.RunTimed([&](fabric::sim::Process& driver) {
+    auto session = fabric.db()->Connect(driver, 0, nullptr);
+    FABRIC_CHECK_OK(session.status());
+    for (int rep = 0; rep < 3; ++rep) {
+      auto scanned = (*session)->Execute(
+          driver, "SELECT COUNT(*) FROM frag WHERE score >= 0");
+      FABRIC_CHECK_OK(scanned.status());
+    }
+    FABRIC_CHECK_OK((*session)->Close(driver));
+  }) / 3.0;
+  return load_seconds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace fabric;
+  using namespace fabric::bench;
+
+  PrintHeader("Tuple Mover: sustained ingest and scan vs fragmentation",
+              "Vertica's moveout/mergeout/AHM service (not a paper "
+              "figure; the storage management the loads in Section 4 "
+              "lean on)");
+
+  BenchReport report("tm");
+
+  // --- sustained trickle ingest: TM off vs on -------------------------
+  constexpr int kBatches = 80;
+  constexpr int kRowsPerBatch = 50;
+  std::printf("%-14s %12s %14s %10s %12s %12s\n", "tuple mover",
+              "ingest (s)", "rows/s (virt)", "wos max", "ros max",
+              "stall (ms)");
+  struct IngestConfig {
+    const char* label;
+    fabric::vertica::TupleMoverConfig tm;
+  };
+  // The capped variant forces backpressure: a hard cap the trickle
+  // stream overruns, drained by a deliberately sluggish moveout.
+  fabric::vertica::TupleMoverConfig capped = FastTm();
+  capped.wos_hard_cap_batches = 2;
+  capped.moveout_interval = 4.0;
+  const IngestConfig kConfigs[] = {
+      {"off", TmOff()}, {"on", FastTm()}, {"on (capped)", capped}};
+  double ingest_off = 0, ingest_on = 0;
+  for (const IngestConfig& config : kConfigs) {
+    FabricOptions options;
+    options.tuple_mover = config.tm;
+    Fabric fabric(options);
+    double seconds = TrickleIngest(fabric, kBatches, kRowsPerBatch);
+    if (config.tm.enabled && config.tm.wos_hard_cap_batches > 2) {
+      ingest_on = seconds;
+    } else if (!config.tm.enabled) {
+      ingest_off = seconds;
+    }
+    StorageShape shape = ShapeOf(fabric, "trickle");
+    double paper_rows =
+        kBatches * kRowsPerBatch * fabric.data_scale();
+    double stall_ms =
+        fabric.tracer()->metrics().counter("vertica.wos_stall_ms");
+    std::printf("%-14s %12.3f %14.0f %10d %12d %12.1f\n", config.label,
+                seconds, paper_rows / seconds, shape.max_wos_batches,
+                shape.max_ros_containers, stall_ms);
+    report.AddSample(
+        fabric,
+        {{"tm_enabled", config.tm.enabled ? 1.0 : 0.0},
+         {"wos_hard_cap",
+          static_cast<double>(config.tm.wos_hard_cap_batches)},
+         {"ingest_seconds", seconds},
+         {"ingest_paper_rows_per_sec", paper_rows / seconds},
+         {"max_wos_batches", static_cast<double>(shape.max_wos_batches)},
+         {"max_ros_containers",
+          static_cast<double>(shape.max_ros_containers)},
+         {"wos_stall_ms", stall_ms}});
+  }
+  std::printf("ingest slowdown with TM on = %.2fx\n\n",
+              ingest_on / ingest_off);
+
+  // --- scan latency vs container count --------------------------------
+  // Scale 1 for this experiment: the per-container open cost is a real
+  // (unscaled) quantity, so the fragmentation penalty shows at its true
+  // magnitude instead of vanishing under scaled per-byte scan costs.
+  constexpr int kLoads = 96;
+  constexpr int kRowsPerLoad = 25;
+  std::printf("%-22s %12s %14s\n", "storage state", "containers",
+              "scan (s)");
+  double scan_frag = 0, scan_merged = 0;
+  int containers_frag = 0, containers_merged = 0;
+  {
+    FabricOptions options;
+    options.paper_rows = options.real_rows;  // data_scale = 1
+    options.tuple_mover = TmOff();
+    Fabric fabric(options);
+    FragmentThenScan(fabric, kLoads, kRowsPerLoad, 0.0, &scan_frag);
+    containers_frag = ShapeOf(fabric, "frag").max_ros_containers;
+    std::printf("%-22s %12d %14.4f\n", "fragmented (TM off)",
+                containers_frag, scan_frag);
+    report.AddSample(fabric,
+                     {{"tm_enabled", 0.0},
+                      {"ros_containers",
+                       static_cast<double>(containers_frag)},
+                      {"scan_seconds", scan_frag}});
+  }
+  {
+    FabricOptions options;
+    options.paper_rows = options.real_rows;  // data_scale = 1
+    options.tuple_mover = FastTm();
+    Fabric fabric(options);
+    // Idle long enough after the loads for every armed mergeout pass.
+    FragmentThenScan(fabric, kLoads, kRowsPerLoad, 5.0, &scan_merged);
+    containers_merged = ShapeOf(fabric, "frag").max_ros_containers;
+    std::printf("%-22s %12d %14.4f\n", "merged (TM on)",
+                containers_merged, scan_merged);
+    report.AddSample(fabric,
+                     {{"tm_enabled", 1.0},
+                      {"ros_containers",
+                       static_cast<double>(containers_merged)},
+                      {"scan_seconds", scan_merged}});
+  }
+  std::printf("\nmergeout: %d -> %d containers, scan %.2fx faster\n",
+              containers_frag, containers_merged,
+              scan_frag / scan_merged);
+  return 0;
+}

@@ -39,6 +39,12 @@ struct CostModel {
   // ----------------------------------------------- scans and streaming
   double scan_cpu_per_byte = 1.2e-9;   // decompress + evaluate, per raw byte
   double scan_cpu_per_row = 0.15e-6;
+  // Fixed cost of opening one ROS container during a scan (catalog
+  // lookup, fds, per-container column headers). This is what makes
+  // container fragmentation expensive and the Tuple Mover's mergeout
+  // worthwhile; not multiplied by data_scale (container count is a real,
+  // not scaled, quantity).
+  double ros_container_open_cpu = 1.5e-4;
   // Per-JDBC-connection result serialization: the stream moves at most
   // stream_bytes_per_sec of wire data, and each row additionally costs
   // stream_row_overhead (these two produce the Fig. 9 shape).

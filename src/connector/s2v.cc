@@ -264,7 +264,32 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
       ConnectWithFailover(self, db_, node, &task.worker_host()));
 
   // ---- Phase 1: stage the data + mark done, transactionally.
-  FABRIC_RETURN_IF_ERROR(StageData(task, partition, rows, session.get()));
+  Status staged = StageData(task, partition, rows, session.get());
+  if (staged.code() == StatusCode::kNotFound) {
+    // Overwrite promotion renames the staging table away, so a retry of
+    // a task killed inside the promote/ack window finds nothing to COPY
+    // into. The permanent job record settles what that means: if the
+    // finished flag is durably TRUE the save already published and this
+    // retry has nothing left to do; otherwise surface the error.
+    FABRIC_RETURN_IF_ERROR(session->Execute(self, "ROLLBACK").status());
+    FABRIC_ASSIGN_OR_RETURN(
+        QueryResult final_row,
+        session->Execute(self, StrCat("SELECT finished FROM ",
+                                      kFinalStatusTable, " WHERE job = '",
+                                      job_name_, "'")));
+    bool finished = !final_row.rows.empty() &&
+                    !final_row.rows[0][0].is_null() &&
+                    final_row.rows[0][0].bool_value();
+    if (finished) {
+      obs::TraceEvent("s2v", "phase1.already_promoted",
+                      {{"job", job_name_},
+                       {"partition", partition},
+                       {"attempt", task.attempt}});
+      return session->Close(self);
+    }
+    return staged;
+  }
+  FABRIC_RETURN_IF_ERROR(staged);
 
   // ---- Phase 2: are all tasks done?
   FABRIC_ASSIGN_OR_RETURN(

@@ -121,6 +121,31 @@ Result<std::vector<Row>> RosContainer::DecodeRows() const {
   return rows;
 }
 
+void RosContainer::AdoptRowEpochs(std::vector<Epoch> epochs) {
+  FABRIC_CHECK(epochs.size() == num_rows_)
+      << "row epoch vector must cover every row";
+  pending_txn_ = 0;
+  if (epochs.empty()) {
+    commit_epoch_ = 0;
+    min_epoch_ = 0;
+    row_epochs_.clear();
+    return;
+  }
+  Epoch lo = epochs.front();
+  Epoch hi = epochs.front();
+  for (Epoch e : epochs) {
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+  }
+  commit_epoch_ = hi;
+  min_epoch_ = lo;
+  if (lo == hi) {
+    row_epochs_.clear();  // uniform: the scalar epoch suffices
+  } else {
+    row_epochs_ = std::move(epochs);
+  }
+}
+
 bool VersionVisible(TxnId owner_txn, Epoch commit_epoch,
                     const DeleteMark& mark, Epoch as_of, TxnId txn) {
   // Insert visibility.
@@ -174,7 +199,7 @@ Result<int64_t> SegmentStore::DeletePending(
     auto& marks = container.mutable_delete_marks();
     for (uint32_t i = 0; i < rows.size(); ++i) {
       if (!VersionVisible(container.committed() ? 0 : container.pending_txn(),
-                          container.commit_epoch(), marks[i], as_of, txn)) {
+                          container.row_epoch(i), marks[i], as_of, txn)) {
         continue;
       }
       if (!pred(rows[i])) continue;
@@ -252,12 +277,12 @@ Status SegmentStore::ScanVisible(
   for (const RosContainer& container : ros_) {
     // Skip containers wholly invisible to the snapshot.
     if (!container.committed() && container.pending_txn() != txn) continue;
-    if (container.committed() && container.commit_epoch() > as_of) continue;
+    if (container.committed() && container.min_epoch() > as_of) continue;
     FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows, container.DecodeRows());
     const auto& marks = container.delete_marks();
     for (uint32_t i = 0; i < rows.size(); ++i) {
       if (!VersionVisible(container.committed() ? 0 : container.pending_txn(),
-                          container.commit_epoch(), marks[i], as_of, txn)) {
+                          container.row_epoch(i), marks[i], as_of, txn)) {
         continue;
       }
       FABRIC_RETURN_IF_ERROR(fn(rows[i]));
@@ -293,10 +318,12 @@ Result<int64_t> SegmentStore::CountVisible(Epoch as_of, TxnId txn) const {
   int64_t count = 0;
   for (const RosContainer& container : ros_) {
     if (!container.committed() && container.pending_txn() != txn) continue;
-    if (container.committed() && container.commit_epoch() > as_of) continue;
+    if (container.committed() && container.min_epoch() > as_of) continue;
     TxnId owner = container.committed() ? 0 : container.pending_txn();
-    for (const DeleteMark& mark : container.delete_marks()) {
-      if (VersionVisible(owner, container.commit_epoch(), mark, as_of, txn)) {
+    const auto& marks = container.delete_marks();
+    for (uint32_t i = 0; i < marks.size(); ++i) {
+      if (VersionVisible(owner, container.row_epoch(i), marks[i], as_of,
+                         txn)) {
         ++count;
       }
     }
@@ -321,7 +348,7 @@ Result<std::vector<uint32_t>> SegmentStore::SelectRosRows(
   if (!container.committed() && container.pending_txn() != spec.txn) {
     return sel;
   }
-  if (container.committed() && container.commit_epoch() > spec.as_of) {
+  if (container.committed() && container.min_epoch() > spec.as_of) {
     ++stats->containers_pruned_epoch;
     return sel;
   }
@@ -331,7 +358,7 @@ Result<std::vector<uint32_t>> SegmentStore::SelectRosRows(
   const auto& marks = container.delete_marks();
   sel.reserve(container.num_rows());
   for (uint32_t i = 0; i < container.num_rows(); ++i) {
-    if (VersionVisible(owner, container.commit_epoch(), marks[i],
+    if (VersionVisible(owner, container.row_epoch(i), marks[i],
                        spec.as_of, spec.txn)) {
       sel.push_back(i);
     }
@@ -563,36 +590,151 @@ Result<int64_t> SegmentStore::MarkDeletedPending(const ScanSpec& spec) {
 }
 
 Status SegmentStore::Moveout() {
-  // Merging batches with distinct commit epochs into one container would
-  // corrupt AT EPOCH reads, so moveout builds one ROS container per
-  // distinct commit epoch present in the WOS. Delete marks move with
-  // their rows.
+  // One ROS container absorbs every committed WOS batch; per-row commit
+  // epochs keep AT EPOCH reads exact even though the batches committed at
+  // different epochs. Delete marks move with their rows (including marks
+  // still pending under an open transaction — CommitTxn/AbortTxn walk all
+  // containers, so they resolve in their new home).
   std::vector<WosBatch> kept;
-  std::map<Epoch, std::pair<std::vector<Row>, std::vector<DeleteMark>>>
-      by_epoch;
+  std::vector<Row> rows;
+  std::vector<DeleteMark> marks;
+  std::vector<Epoch> epochs;
   for (WosBatch& batch : wos_) {
     if (!batch.committed()) {
       kept.push_back(std::move(batch));
       continue;
     }
-    auto& [rows, marks] = by_epoch[batch.commit_epoch];
     for (size_t i = 0; i < batch.rows.size(); ++i) {
       rows.push_back(std::move(batch.rows[i]));
       marks.push_back(batch.delete_marks[i]);
+      epochs.push_back(batch.commit_epoch);
     }
   }
+  if (rows.empty() && kept.size() == wos_.size()) return Status::OK();
   wos_.swap(kept);
-  for (auto& [epoch, group] : by_epoch) {
-    auto& [rows, marks] = group;
-    // Temporary txn id 1 satisfies Create's pending contract; the
-    // container is committed immediately at the original epoch.
-    FABRIC_ASSIGN_OR_RETURN(RosContainer container,
-                            RosContainer::Create(schema_, rows, /*txn=*/1));
-    container.MarkCommitted(epoch);
-    container.mutable_delete_marks() = std::move(marks);
-    ros_.push_back(std::move(container));
-  }
+  if (rows.empty()) return Status::OK();
+  // Temporary txn id 1 satisfies Create's pending contract; AdoptRowEpochs
+  // commits the container at the original per-row epochs.
+  FABRIC_ASSIGN_OR_RETURN(RosContainer container,
+                          RosContainer::Create(schema_, rows, /*txn=*/1));
+  container.AdoptRowEpochs(std::move(epochs));
+  container.mutable_delete_marks() = std::move(marks);
+  ros_.push_back(std::move(container));
   return Status::OK();
+}
+
+Result<double> SegmentStore::MergeRosContainers(
+    const std::vector<int>& indices) {
+  if (indices.size() < 2) return 0.0;  // nothing to merge
+  std::vector<int> sorted = indices;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t k = 0; k < sorted.size(); ++k) {
+    int idx = sorted[k];
+    if (idx < 0 || idx >= static_cast<int>(ros_.size())) {
+      return InvalidArgumentError(
+          StrCat("mergeout index ", idx, " out of range"));
+    }
+    if (k > 0 && sorted[k - 1] == idx) {
+      return InvalidArgumentError(StrCat("duplicate mergeout index ", idx));
+    }
+    if (!ros_[idx].committed()) {
+      return FailedPreconditionError(
+          StrCat("mergeout of uncommitted container ", idx));
+    }
+  }
+  std::vector<Row> rows;
+  std::vector<DeleteMark> marks;
+  std::vector<Epoch> epochs;
+  double bytes = 0;
+  for (int idx : sorted) {
+    const RosContainer& c = ros_[idx];
+    FABRIC_ASSIGN_OR_RETURN(std::vector<Row> decoded, c.DecodeRows());
+    bytes += c.raw_bytes();
+    for (uint32_t i = 0; i < c.num_rows(); ++i) {
+      rows.push_back(std::move(decoded[i]));
+      marks.push_back(c.delete_marks()[i]);
+      epochs.push_back(c.row_epoch(i));
+    }
+  }
+  FABRIC_ASSIGN_OR_RETURN(RosContainer merged,
+                          RosContainer::Create(schema_, rows, /*txn=*/1));
+  merged.AdoptRowEpochs(std::move(epochs));
+  merged.mutable_delete_marks() = std::move(marks);
+  int insert_at = sorted.front();
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    ros_.erase(ros_.begin() + *it);
+  }
+  ros_.insert(ros_.begin() + insert_at, std::move(merged));
+  return bytes;
+}
+
+Result<int64_t> SegmentStore::PurgeDeletedRows(Epoch ahm) {
+  int64_t purged = 0;
+  auto purgeable = [ahm](const DeleteMark& mark) {
+    return mark.state == DeleteMark::State::kCommitted && mark.epoch <= ahm;
+  };
+  for (size_t k = 0; k < ros_.size();) {
+    RosContainer& c = ros_[k];
+    bool any = false;
+    if (c.committed()) {
+      for (const DeleteMark& mark : c.delete_marks()) {
+        if (purgeable(mark)) {
+          any = true;
+          break;
+        }
+      }
+    }
+    if (!any) {
+      ++k;
+      continue;
+    }
+    FABRIC_ASSIGN_OR_RETURN(std::vector<Row> decoded, c.DecodeRows());
+    std::vector<Row> rows;
+    std::vector<DeleteMark> marks;
+    std::vector<Epoch> epochs;
+    for (uint32_t i = 0; i < c.num_rows(); ++i) {
+      if (purgeable(c.delete_marks()[i])) {
+        ++purged;
+        continue;
+      }
+      rows.push_back(std::move(decoded[i]));
+      marks.push_back(c.delete_marks()[i]);
+      epochs.push_back(c.row_epoch(i));
+    }
+    if (rows.empty()) {
+      ros_.erase(ros_.begin() + static_cast<long>(k));
+      continue;
+    }
+    FABRIC_ASSIGN_OR_RETURN(RosContainer rebuilt,
+                            RosContainer::Create(schema_, rows, /*txn=*/1));
+    rebuilt.AdoptRowEpochs(std::move(epochs));
+    rebuilt.mutable_delete_marks() = std::move(marks);
+    ros_[k] = std::move(rebuilt);
+    ++k;
+  }
+  for (WosBatch& batch : wos_) {
+    if (!batch.committed()) continue;
+    size_t out = 0;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      if (purgeable(batch.delete_marks[i])) {
+        ++purged;
+        continue;
+      }
+      if (out != i) {
+        batch.rows[out] = std::move(batch.rows[i]);
+        batch.delete_marks[out] = batch.delete_marks[i];
+      }
+      ++out;
+    }
+    batch.rows.resize(out);
+    batch.delete_marks.resize(out);
+  }
+  wos_.erase(std::remove_if(wos_.begin(), wos_.end(),
+                            [](const WosBatch& b) {
+                              return b.committed() && b.rows.empty();
+                            }),
+             wos_.end());
+  return purged;
 }
 
 double SegmentStore::TotalRawBytes() const {
@@ -613,10 +755,60 @@ double SegmentStore::TotalEncodedBytes() const {
   return total;
 }
 
+int SegmentStore::num_committed_wos_batches() const {
+  int count = 0;
+  for (const WosBatch& b : wos_) {
+    if (b.committed()) ++count;
+  }
+  return count;
+}
+
+double SegmentStore::CommittedWosRawBytes() const {
+  double total = 0;
+  for (const WosBatch& b : wos_) {
+    if (!b.committed()) continue;
+    for (const Row& row : b.rows) total += RowRawSize(row);
+  }
+  return total;
+}
+
+std::vector<ContainerStats> SegmentStore::RosStats() const {
+  std::vector<ContainerStats> stats;
+  stats.reserve(ros_.size());
+  for (const RosContainer& c : ros_) {
+    ContainerStats s;
+    s.committed = c.committed();
+    s.pending_txn = c.pending_txn();
+    s.min_epoch = c.min_epoch();
+    s.max_epoch = c.commit_epoch();
+    s.rows = static_cast<int64_t>(c.num_rows());
+    for (const DeleteMark& mark : c.delete_marks()) {
+      if (mark.state == DeleteMark::State::kCommitted) ++s.deleted_rows;
+    }
+    s.raw_bytes = c.raw_bytes();
+    s.encoded_bytes = c.encoded_bytes();
+    stats.push_back(s);
+  }
+  return stats;
+}
+
 double SegmentStore::RawBytesSince(Epoch epoch) const {
   double total = 0;
   for (const RosContainer& c : ros_) {
-    if (!c.committed() || c.commit_epoch() > epoch) total += c.raw_bytes();
+    if (!c.committed() || c.min_epoch() > epoch) {
+      total += c.raw_bytes();
+    } else if (c.commit_epoch() > epoch && c.num_rows() > 0) {
+      // Mixed-epoch container (moveout/mergeout output): charge the
+      // recovering node's pull proportionally to the rows it is missing.
+      // This is a cost-model approximation only — the atomic clone at the
+      // end of recovery copies full contents regardless.
+      uint32_t newer = 0;
+      for (uint32_t i = 0; i < c.num_rows(); ++i) {
+        if (c.row_epoch(i) > epoch) ++newer;
+      }
+      total += c.raw_bytes() * static_cast<double>(newer) /
+               static_cast<double>(c.num_rows());
+    }
   }
   for (const WosBatch& b : wos_) {
     if (b.committed() && b.commit_epoch <= epoch) continue;
@@ -661,8 +853,8 @@ uint64_t SegmentStore::ContentFingerprint() const {
     Result<std::vector<Row>> rows = c.DecodeRows();
     FABRIC_CHECK(rows.ok()) << rows.status();
     for (size_t i = 0; i < rows->size(); ++i) {
-      fold_one(c.commit_epoch(), c.pending_txn(), (*rows)[i],
-               c.delete_marks()[i]);
+      fold_one(c.row_epoch(static_cast<uint32_t>(i)), c.pending_txn(),
+               (*rows)[i], c.delete_marks()[i]);
     }
   }
   for (const WosBatch& b : wos_) {

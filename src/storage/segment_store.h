@@ -47,6 +47,24 @@ class RosContainer {
   double raw_bytes() const { return raw_bytes_; }
   double encoded_bytes() const;
 
+  // Commit epoch of row `i`. Containers written by a single transaction
+  // carry one epoch for every row; containers produced by moveout or
+  // mergeout fold rows committed at different epochs and keep a per-row
+  // epoch vector so AT EPOCH visibility survives compaction.
+  Epoch row_epoch(uint32_t i) const {
+    return row_epochs_.empty() ? commit_epoch_ : row_epochs_[i];
+  }
+  // Smallest row epoch in the container — the container-level epoch-
+  // pruning bound (commit_epoch() is the largest).
+  Epoch min_epoch() const {
+    return row_epochs_.empty() ? commit_epoch_ : min_epoch_;
+  }
+
+  // Installs per-row commit epochs (the moveout/mergeout path) and marks
+  // the container committed with commit_epoch() = max(epochs) and
+  // min_epoch() = min(epochs). Must match num_rows().
+  void AdoptRowEpochs(std::vector<Epoch> epochs);
+
   // Per-column min/max (null Values when the column had no non-null
   // rows) — used for scan pruning.
   const Value& min_value(int col) const { return min_values_[col]; }
@@ -75,6 +93,8 @@ class RosContainer {
   uint32_t num_rows_ = 0;
   TxnId pending_txn_ = 0;
   Epoch commit_epoch_ = 0;
+  Epoch min_epoch_ = 0;             // meaningful only with row_epochs_
+  std::vector<Epoch> row_epochs_;   // empty => every row at commit_epoch_
   double raw_bytes_ = 0;
   std::vector<ColumnChunk> columns_;
   std::vector<Value> min_values_;
@@ -108,6 +128,19 @@ struct ScanSpec {
   const std::vector<int>* residual_columns = nullptr;
   const std::vector<int>* cost_columns = nullptr;   // null => none
   const std::vector<int>* projection = nullptr;     // null => all columns
+};
+
+// Per-container statistics snapshot (v_monitor.storage_containers and the
+// Tuple Mover's mergeout stratum policy read these).
+struct ContainerStats {
+  bool committed = false;
+  TxnId pending_txn = 0;
+  Epoch min_epoch = 0;
+  Epoch max_epoch = 0;
+  int64_t rows = 0;
+  int64_t deleted_rows = 0;  // rows with a committed delete mark
+  double raw_bytes = 0;
+  double encoded_bytes = 0;
 };
 
 // Scan outcome counters and cost-model profiles. `visible_profile` is
@@ -181,15 +214,34 @@ class SegmentStore {
 
   Result<int64_t> CountVisible(Epoch as_of, TxnId txn = 0) const;
 
-  // Folds committed WOS batches into a single new ROS container (Vertica's
-  // moveout / Tuple Mover). Pending batches stay in the WOS.
+  // Folds every committed WOS batch into a single new ROS container with
+  // per-row commit epochs (Vertica's moveout / Tuple Mover). Pending
+  // batches stay in the WOS. No-op when nothing is committed.
   Status Moveout();
 
-  // Storage statistics (cost model / tests).
+  // Merges the committed ROS containers at `indices` into one container
+  // with per-row epochs and the delete marks carried over (the Tuple
+  // Mover's mergeout). The merged container replaces the first merged
+  // index, preserving relative storage order. Returns the raw bytes
+  // rewritten (the cost-model size of the merge). Fails on out-of-range,
+  // duplicate, or uncommitted indices.
+  Result<double> MergeRosContainers(const std::vector<int>& indices);
+
+  // Rewrites committed containers and WOS batches dropping every row
+  // whose delete mark committed at an epoch <= `ahm` (the Ancient History
+  // Mark): such rows are invisible at every snapshot >= ahm, so removing
+  // them cannot change any legal read. Containers/batches left empty are
+  // dropped. Returns the number of rows purged.
+  Result<int64_t> PurgeDeletedRows(Epoch ahm);
+
+  // Storage statistics (cost model / tests / Tuple Mover policy).
   double TotalRawBytes() const;
   double TotalEncodedBytes() const;
   int num_ros_containers() const { return static_cast<int>(ros_.size()); }
   int num_wos_batches() const { return static_cast<int>(wos_.size()); }
+  int num_committed_wos_batches() const;
+  double CommittedWosRawBytes() const;
+  std::vector<ContainerStats> RosStats() const;
 
   // ------------------------------------------------- k-safety recovery
   // Raw bytes of content this store gained after `epoch`: containers and

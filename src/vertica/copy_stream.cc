@@ -166,6 +166,11 @@ Status CopyStream::WriteBatch(sim::Process& self,
         FABRIC_RETURN_IF_ERROR(
             copy.store->InsertPendingDirect(txn_, std::move(batch)));
       } else {
+        // Trickle COPY lands in the WOS: stall admission while this
+        // store sits at the Tuple Mover's hard cap instead of letting
+        // the WOS grow without bound.
+        FABRIC_RETURN_IF_ERROR(db->tuple_mover()->AdmitWos(
+            self, def_->name, copy.store, copy.host));
         FABRIC_RETURN_IF_ERROR(
             copy.store->InsertPending(txn_, std::move(batch)));
       }

@@ -1,5 +1,7 @@
 #include "vertica/database.h"
 
+#include <limits>
+
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
@@ -42,6 +44,7 @@ Database::Database(sim::Engine* engine, net::Network* network,
     }
     return it->second(args, parameters);
   };
+  tm_ = std::make_unique<TupleMover>(this, options_.tuple_mover);
 }
 
 Database::~Database() = default;
@@ -198,7 +201,12 @@ int Database::OwnerNode(const TableDef& def,
 
 storage::TxnId Database::BeginTxnInternal() {
   storage::TxnId txn = next_txn_++;
-  txns_.emplace(txn, TxnState{});
+  TxnState state;
+  // The open transaction reads at its begin epoch; pin it so the AHM (and
+  // with it the purge) cannot pass the snapshot while the txn runs.
+  state.snapshot_epoch = epoch_;
+  PinEpoch(state.snapshot_epoch);
+  txns_.emplace(txn, std::move(state));
   obs::TraceEvent("vertica", "txn.begin", {{"txn", txn}});
   obs::IncrCounter("vertica.txns_begun");
   return txn;
@@ -262,6 +270,7 @@ Status Database::CommitTxnInternal(sim::Process& self,
   // Commit latency: group-commit style fixed cost.
   FABRIC_RETURN_IF_ERROR(self.Sleep(options_.cost.commit_overhead));
   storage::Epoch commit_epoch = ++epoch_;
+  ++epoch_commits_[commit_epoch];
   obs::TraceEvent("vertica", "epoch.advance", {{"epoch", commit_epoch}});
   obs::TraceEvent("vertica", "txn.commit",
                   {{"txn", txn}, {"epoch", commit_epoch}});
@@ -282,7 +291,11 @@ Status Database::CommitTxnInternal(sim::Process& self,
     lock.insert_owners.erase(txn);
     lock.released->NotifyAll();
   }
+  UnpinEpoch(it->second.snapshot_epoch);
   txns_.erase(it);
+  // The commit created drainable WOS batches / ROS containers and
+  // advanced the epoch: arm the Tuple Mover's background ticks.
+  tm_->NotifyCommit();
   return Status::OK();
 }
 
@@ -307,7 +320,65 @@ void Database::AbortTxnInternal(storage::TxnId txn) {
     lock.insert_owners.erase(txn);
     lock.released->NotifyAll();
   }
+  UnpinEpoch(it->second.snapshot_epoch);
   txns_.erase(it);
+}
+
+std::vector<Database::HostedStore> Database::HostedStores(int node) {
+  std::vector<HostedStore> hosted;
+  int prev = (node - 1 + num_nodes()) % num_nodes();
+  for (auto& [name, table_storage] : storage_) {
+    hosted.push_back(HostedStore{name, table_storage.per_node[node].get(),
+                                 node, /*is_buddy=*/false});
+    if (!table_storage.buddy.empty()) {
+      // buddy[s] lives on the ring successor of s, so node hosts the
+      // buddy copy of its predecessor's segment.
+      hosted.push_back(HostedStore{name, table_storage.buddy[prev].get(),
+                                   prev, /*is_buddy=*/true});
+    }
+  }
+  return hosted;
+}
+
+void Database::UnpinEpoch(storage::Epoch epoch) {
+  auto it = pinned_epochs_.find(epoch);
+  FABRIC_CHECK(it != pinned_epochs_.end()) << "unpin of unpinned epoch";
+  if (--it->second == 0) pinned_epochs_.erase(it);
+}
+
+storage::Epoch Database::MinPinnedEpoch() const {
+  if (pinned_epochs_.empty()) {
+    return std::numeric_limits<storage::Epoch>::max();
+  }
+  return pinned_epochs_.begin()->first;
+}
+
+storage::Epoch Database::MinNodeDownEpoch() const {
+  storage::Epoch min = std::numeric_limits<storage::Epoch>::max();
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (node_states_[n] != NodeState::kUp) {
+      min = std::min(min, node_down_epoch_[n]);
+    }
+  }
+  return min;
+}
+
+void Database::TrimEpochBookkeeping(storage::Epoch ahm) {
+  epoch_commits_.erase(epoch_commits_.begin(),
+                       epoch_commits_.lower_bound(ahm));
+}
+
+int64_t Database::TotalWosBatches() const {
+  int64_t total = 0;
+  for (const auto& [name, table_storage] : storage_) {
+    for (const auto& store : table_storage.per_node) {
+      total += store->num_wos_batches();
+    }
+    for (const auto& store : table_storage.buddy) {
+      total += store->num_wos_batches();
+    }
+  }
+  return total;
 }
 
 Result<Database::SegmentCopy> Database::ReadCopy(TableStorage* storage,
@@ -393,6 +464,9 @@ Status Database::KillNode(int node) {
     }
   }
   state_changed_->NotifyAll();
+  // Wake writers stalled on WOS backpressure against the dead node and
+  // let the Tuple Mover drop it from its rotation.
+  tm_->NotifyTopology();
   return Status::OK();
 }
 
@@ -537,6 +611,9 @@ void Database::RunRecovery(sim::Process& self, int node,
   obs::IncrCounter("ksafety.recoveries");
   obs::IncrCounter("ksafety.recovery_bytes", total_bytes);
   state_changed_->NotifyAll();
+  // The node is UP again: resume Tuple Mover passes over its stores and
+  // recompute the AHM (its down-epoch no longer bounds history).
+  tm_->NotifyTopology();
 }
 
 Status Database::WaitForNodeState(sim::Process& self, int node,

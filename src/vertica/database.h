@@ -21,6 +21,7 @@
 #include "vertica/dfs.h"
 #include "vertica/ksafety/ksafety.h"
 #include "vertica/sql_eval.h"
+#include "vertica/tm/tuple_mover.h"
 
 namespace fabric::vertica {
 
@@ -50,6 +51,9 @@ class Database {
     // Concurrent queries admitted per node by the resource pool; 0 means
     // unlimited (excess queries queue, as Vertica pools do).
     int pool_concurrency = 0;
+    // Tuple Mover (background moveout/mergeout/AHM) knobs; enabled by
+    // default so default-configured clusters drain their WOS.
+    TupleMoverConfig tuple_mover;
   };
 
   Database(sim::Engine* engine, net::Network* network, Options options);
@@ -75,6 +79,12 @@ class Database {
   Dfs& dfs() { return dfs_; }
 
   storage::Epoch current_epoch() const { return epoch_; }
+
+  // The background storage-management service (always constructed; obeys
+  // options().tuple_mover.enabled).
+  TupleMover* tuple_mover() { return tm_.get(); }
+  // Ancient History Mark: AT EPOCH below this fails with HISTORY_PURGED.
+  storage::Epoch ahm() const { return tm_->ahm(); }
 
   // Ring ranges per node for a table segmented across all nodes.
   const std::vector<HashRange>& node_ranges() const { return node_ranges_; }
@@ -177,6 +187,35 @@ class Database {
                                                int segment) const;
 
   Result<TableStorage*> GetStorage(const std::string& table);
+
+  // Every physical segment-store copy whose serving CPU and NICs belong
+  // to `node`: per_node[node] of every table, plus — for segmented tables
+  // — the buddy copy whose ring successor is `node`. The Tuple Mover and
+  // v_monitor.storage_containers walk stores through this.
+  struct HostedStore {
+    std::string table;
+    storage::SegmentStore* store = nullptr;
+    int segment = -1;      // segment index (== node for primaries)
+    bool is_buddy = false;
+  };
+  std::vector<HostedStore> HostedStores(int node);
+
+  // ------------------------------------------- epoch pins / bookkeeping
+  // Snapshot pins keep the AHM at or below every running statement's and
+  // open transaction's snapshot epoch (refcounted).
+  void PinEpoch(storage::Epoch epoch) { ++pinned_epochs_[epoch]; }
+  void UnpinEpoch(storage::Epoch epoch);
+  storage::Epoch MinPinnedEpoch() const;
+  // Oldest down-epoch over non-UP nodes (max Epoch when all UP): a node
+  // that must still recover pins history at its last current epoch.
+  storage::Epoch MinNodeDownEpoch() const;
+  // Per-epoch commit bookkeeping, GC'd below the AHM by the Tuple Mover.
+  void TrimEpochBookkeeping(storage::Epoch ahm);
+  const std::map<storage::Epoch, int64_t>& epoch_commits() const {
+    return epoch_commits_;
+  }
+  // Cluster-wide WOS batch count (the vertica.wos_batches gauge).
+  int64_t TotalWosBatches() const;
   Status CreateTableWithStorage(TableDef def);
   Status DropTableWithStorage(const std::string& name);
   Status RenameTableWithStorage(const std::string& from,
@@ -218,6 +257,7 @@ class Database {
   struct TxnState {
     std::set<std::string> locked_tables;
     std::set<std::string> touched_tables;
+    storage::Epoch snapshot_epoch = 0;  // pinned while the txn is open
   };
 
   struct TableLock {
@@ -236,6 +276,9 @@ class Database {
   storage::Epoch epoch_ = 1;
   storage::TxnId next_txn_ = 1;
   std::map<storage::TxnId, TxnState> txns_;
+  std::map<storage::Epoch, int> pinned_epochs_;     // epoch -> pin count
+  std::map<storage::Epoch, int64_t> epoch_commits_;  // epoch -> commits
+  std::unique_ptr<TupleMover> tm_;
   std::map<std::string, TableLock> locks_;
   std::map<std::string, TableStorage> storage_;
   std::set<std::string> scale_exempt_;

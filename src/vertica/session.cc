@@ -607,6 +607,10 @@ Result<QueryResult> Session::ExecInsert(sim::Process& self,
           FABRIC_RETURN_IF_ERROR(
               copy.store->InsertPendingDirect(wt.txn, std::move(batch)));
         } else {
+          // WOS backpressure: stall admission while this store's
+          // committed WOS batches sit at the Tuple Mover's hard cap.
+          FABRIC_RETURN_IF_ERROR(db_->tuple_mover()->AdmitWos(
+              self, def->name, copy.store, copy.host));
           FABRIC_RETURN_IF_ERROR(
               copy.store->InsertPending(wt.txn, std::move(batch)));
         }
@@ -702,7 +706,9 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
       FABRIC_RETURN_IF_ERROR(
           net::RunCpu(self, db_->network(),
                       db_->node_host(read_copy.host),
-                      scanned.ScanCpu(cost)));
+                      scanned.ScanCpu(cost) +
+                          static_cast<double>(stats.containers_scanned) *
+                              cost.ros_container_open_cpu));
       std::vector<Row> replacements;
       replacements.reserve(matched.size());
       for (const Row& row : matched) {
@@ -1118,10 +1124,75 @@ Result<QueryResult> Session::SystemTable(
   }
   if (lower_name == "v_catalog.epochs") {
     result.schema = Schema({{"current_epoch", DataType::kInt64},
-                            {"last_good_epoch", DataType::kInt64}});
+                            {"last_good_epoch", DataType::kInt64},
+                            {"ahm_epoch", DataType::kInt64},
+                            {"retained_epochs", DataType::kInt64}});
     result.rows.push_back(
         {Value::Int64(static_cast<int64_t>(db_->current_epoch())),
-         Value::Int64(static_cast<int64_t>(db_->current_epoch()))});
+         Value::Int64(static_cast<int64_t>(db_->current_epoch())),
+         Value::Int64(static_cast<int64_t>(db_->ahm())),
+         Value::Int64(static_cast<int64_t>(db_->epoch_commits().size()))});
+    return result;
+  }
+  if (lower_name == "v_monitor.tuple_mover") {
+    TupleMover* tm = db_->tuple_mover();
+    result.schema = Schema({{"node_id", DataType::kInt64},
+                            {"node_name", DataType::kVarchar},
+                            {"operation", DataType::kVarchar},
+                            {"runs", DataType::kInt64},
+                            {"bytes", DataType::kFloat64},
+                            {"is_armed", DataType::kBool}});
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      const TupleMover::TaskStats& mo = tm->moveout_stats(n);
+      const TupleMover::TaskStats& me = tm->mergeout_stats(n);
+      result.rows.push_back({Value::Int64(n),
+                             Value::Varchar(db_->node_name(n)),
+                             Value::Varchar("moveout"),
+                             Value::Int64(mo.runs), Value::Float64(mo.bytes),
+                             Value::Bool(mo.armed)});
+      result.rows.push_back({Value::Int64(n),
+                             Value::Varchar(db_->node_name(n)),
+                             Value::Varchar("mergeout"),
+                             Value::Int64(me.runs), Value::Float64(me.bytes),
+                             Value::Bool(me.armed)});
+    }
+    // Cluster-wide AHM/purge row: runs = AHM advances, bytes = purged rows.
+    result.rows.push_back(
+        {Value::Int64(-1), Value::Varchar("cluster"), Value::Varchar("ahm"),
+         Value::Int64(tm->ahm_advances()),
+         Value::Float64(static_cast<double>(tm->purged_rows())),
+         Value::Bool(false)});
+    return result;
+  }
+  if (lower_name == "v_monitor.storage_containers") {
+    result.schema = Schema({{"table_name", DataType::kVarchar},
+                            {"node_id", DataType::kInt64},
+                            {"copy", DataType::kVarchar},
+                            {"container_id", DataType::kInt64},
+                            {"rows", DataType::kInt64},
+                            {"deleted_rows", DataType::kInt64},
+                            {"raw_bytes", DataType::kFloat64},
+                            {"encoded_bytes", DataType::kFloat64},
+                            {"min_epoch", DataType::kInt64},
+                            {"max_epoch", DataType::kInt64},
+                            {"is_committed", DataType::kBool}});
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      for (const Database::HostedStore& hs : db_->HostedStores(n)) {
+        std::vector<storage::ContainerStats> stats = hs.store->RosStats();
+        for (size_t i = 0; i < stats.size(); ++i) {
+          const storage::ContainerStats& s = stats[i];
+          result.rows.push_back(
+              {Value::Varchar(hs.table), Value::Int64(n),
+               Value::Varchar(hs.is_buddy ? "buddy" : "primary"),
+               Value::Int64(static_cast<int64_t>(i)), Value::Int64(s.rows),
+               Value::Int64(s.deleted_rows), Value::Float64(s.raw_bytes),
+               Value::Float64(s.encoded_bytes),
+               Value::Int64(static_cast<int64_t>(s.min_epoch)),
+               Value::Int64(static_cast<int64_t>(s.max_epoch)),
+               Value::Bool(s.committed)});
+        }
+      }
+    }
     return result;
   }
   if (lower_name == "v_catalog.tables") {
@@ -1337,10 +1408,26 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
       return OutOfRangeError(
           StrCat("epoch ", select.at_epoch, " is in the future"));
     }
+    if (static_cast<Epoch>(select.at_epoch) < db_->ahm()) {
+      // History at or below the Ancient History Mark may already be
+      // purged (rows deleted <= AHM are physically gone), so the read
+      // cannot be answered exactly.
+      return OutOfRangeError(StrCat(
+          "HISTORY_PURGED: epoch ", select.at_epoch,
+          " predates the ancient history mark ", db_->ahm()));
+    }
     snapshot = static_cast<Epoch>(select.at_epoch);
   } else {
     snapshot = db_->current_epoch();
   }
+  // Pin the snapshot for the duration of the statement so the AHM (and
+  // the purge behind it) cannot overtake a running scan.
+  db_->PinEpoch(snapshot);
+  struct EpochPin {
+    Database* db;
+    Epoch epoch;
+    ~EpochPin() { db->UnpinEpoch(epoch); }
+  } epoch_pin{db_, snapshot};
 
   // Columns this query touches (column-store pruning).
   std::set<int> referenced;
@@ -1559,7 +1646,12 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
             // Chunked pipeline: scan CPU, intra-cluster shuffle when the
             // segment is remote from the initiator, then publish to the
             // client stream.
-            double scan_cpu = scanned.ScanCpu(state->cost);
+            // Each scanned container costs a fixed open (headers, fds):
+            // fragmentation hurts until the Tuple Mover merges it away.
+            double scan_cpu =
+                scanned.ScanCpu(state->cost) +
+                static_cast<double>(stats.containers_scanned) *
+                    state->cost.ros_container_open_cpu;
             double wire = produced.JdbcWireBytes(state->cost);
             double internal = produced.raw_bytes;
             int chunks = static_cast<int>(std::ceil(

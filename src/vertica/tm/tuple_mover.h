@@ -1,0 +1,128 @@
+#ifndef FABRIC_VERTICA_TM_TUPLE_MOVER_H_
+#define FABRIC_VERTICA_TM_TUPLE_MOVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sim/waitable.h"
+#include "storage/segment_store.h"
+
+namespace fabric::vertica {
+
+class Database;
+
+// Knobs for the Tuple Mover background service. Intervals are virtual
+// seconds; byte thresholds are raw (unscaled) bytes, since container
+// counts and layouts are real quantities in the simulation.
+struct TupleMoverConfig {
+  bool enabled = true;
+
+  // ---- moveout (WOS -> ROS), triggered by WOS pressure.
+  double moveout_interval = 0.1;
+  // Committed WOS batches in a store before a pass bothers draining it.
+  int moveout_min_batches = 1;
+  // Hard WOS cap: INSERT/COPY admission into a store stalls while its
+  // committed WOS batch count is at or above this. 0 disables the cap.
+  // Only committed batches count — they are what moveout can drain, so a
+  // single large transaction can never stall itself.
+  int wos_hard_cap_batches = 64;
+
+  // ---- mergeout: size-tiered ROS compaction. Containers are bucketed
+  // into geometric strata by raw size (stratum 0 holds containers below
+  // strata_base_bytes, stratum k below base * ratio^k); when a stratum
+  // accumulates strata_min_containers, one merge of up to strata_max_fanin
+  // oldest members runs per stratum per pass.
+  double mergeout_interval = 0.25;
+  int strata_min_containers = 4;
+  int strata_max_fanin = 16;
+  double strata_base_bytes = 256e3;
+  double strata_ratio = 4.0;
+
+  // ---- AHM advancement, delete purge and epoch GC. The Ancient History
+  // Mark is min(current_epoch - retention_epochs, oldest pinned snapshot,
+  // oldest down-node epoch); it only moves forward. AT EPOCH below the
+  // AHM fails with HISTORY_PURGED.
+  double ahm_interval = 0.5;
+  uint64_t retention_epochs = 1000;
+  bool purge = true;  // rewrite containers dropping rows deleted <= AHM
+};
+
+// Vertica's Tuple Mover: the always-on storage-management service that
+// keeps WOS batch counts and ROS container counts bounded under sustained
+// ingest. Runs as demand-driven background tasks on the sim engine's
+// virtual clock — a commit arms per-node moveout/mergeout ticks and a
+// cluster AHM tick; each tick sleeps its interval, does bounded host-side
+// work, charges the CPU to its node, and re-arms only while eligible work
+// remains, so an idle database quiesces and Engine::Run() terminates.
+//
+// Crash coordination: ticks skip nodes that are not UP (a RECOVERING
+// store's content is owned by the recovery process), and purge is applied
+// to all UP copies of a table in one engine step so buddy pairs never
+// diverge by a purge. Moveout/mergeout are content-preserving, so the
+// layout-blind ContentFingerprint is invariant under them and divergent
+// buddy compaction is harmless to recovery.
+class TupleMover {
+ public:
+  TupleMover(Database* db, TupleMoverConfig config);
+
+  const TupleMoverConfig& config() const { return config_; }
+  storage::Epoch ahm() const { return ahm_; }
+
+  // Called by Database::CommitTxnInternal after an epoch advances: arms
+  // the background ticks that will drain the new work.
+  void NotifyCommit();
+  // Called on node kill and on recovery completion: wakes writers stalled
+  // on WOS backpressure (their predicate re-checks node state) and
+  // re-arms ticks, since AHM inputs and hosted-store sets changed.
+  void NotifyTopology();
+
+  // WOS admission control, called by INSERT/COPY before InsertPending
+  // into `store` hosted on `host`. Blocks while the store's committed WOS
+  // batch count is at or above the hard cap; the stall is accounted to
+  // the vertica.wos_stall_ms counter.
+  Status AdmitWos(sim::Process& self, const std::string& table,
+                  storage::SegmentStore* store, int host);
+
+  // ------------------------------------------------ v_monitor.tuple_mover
+  struct TaskStats {
+    bool armed = false;
+    int64_t runs = 0;
+    double bytes = 0;
+  };
+  const TaskStats& moveout_stats(int node) const { return moveout_[node]; }
+  const TaskStats& mergeout_stats(int node) const { return mergeout_[node]; }
+  int64_t ahm_advances() const { return ahm_advances_; }
+  int64_t purged_rows() const { return purged_rows_; }
+
+ private:
+  void ArmMoveout(int node);
+  void ArmMergeout(int node);
+  void ArmAhm();
+  void RunMoveout(sim::Process& self, int node);
+  void RunMergeout(sim::Process& self, int node);
+  void RunAhm(sim::Process& self);
+  // True when some hosted store of `node` has enough committed WOS
+  // batches / a mergeable stratum.
+  bool MoveoutWorkPending(int node) const;
+  bool MergeoutWorkPending(int node) const;
+  void UpdateWosGauge();
+
+  Database* db_;
+  TupleMoverConfig config_;
+  std::vector<TaskStats> moveout_;
+  std::vector<TaskStats> mergeout_;
+  bool ahm_armed_ = false;
+  storage::Epoch ahm_ = 0;
+  int64_t ahm_advances_ = 0;
+  int64_t purged_rows_ = 0;
+  // Writers stalled on the WOS hard cap; notified after every moveout
+  // pass and on topology changes.
+  std::unique_ptr<sim::Condition> wos_relief_;
+};
+
+}  // namespace fabric::vertica
+
+#endif  // FABRIC_VERTICA_TM_TUPLE_MOVER_H_

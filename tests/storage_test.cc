@@ -370,7 +370,9 @@ TEST_F(SegmentStoreTest, MoveoutPreservesEpochVisibility) {
   // txn 12 still pending through moveout.
   ASSERT_TRUE(store_.Moveout().ok());
   EXPECT_EQ(store_.num_wos_batches(), 1);      // the pending batch stays
-  EXPECT_EQ(store_.num_ros_containers(), 2);   // one per commit epoch
+  // Both committed batches fold into one container; per-row epochs keep
+  // AT EPOCH visibility exact.
+  EXPECT_EQ(store_.num_ros_containers(), 1);
   EXPECT_EQ(store_.CountVisible(5).value(), 1);
   EXPECT_EQ(store_.CountVisible(8).value(), 2);
   EXPECT_EQ(store_.CountVisible(8, 12).value(), 3);
@@ -390,6 +392,70 @@ TEST_F(SegmentStoreTest, MoveoutKeepsDeleteMarks) {
   ASSERT_TRUE(store_.Moveout().ok());
   EXPECT_EQ(store_.CountVisible(5).value(), 2);
   EXPECT_EQ(store_.CountVisible(6).value(), 1);
+}
+
+TEST_F(SegmentStoreTest, MergeRosContainersPreservesEpochVisibility) {
+  // Two DIRECT loads committed at different epochs, one later delete.
+  ASSERT_TRUE(
+      store_.InsertPendingDirect(10, {MakeRow(1, 1.0, "a", true)}).ok());
+  store_.CommitTxn(10, 5);
+  ASSERT_TRUE(
+      store_.InsertPendingDirect(11, {MakeRow(2, 2.0, "b", false)}).ok());
+  store_.CommitTxn(11, 8);
+  ASSERT_TRUE(store_.DeletePending(12, 8, [](const Row& row) {
+                     return row[0].int64_value() == 1;
+                   }).ok());
+  store_.CommitTxn(12, 9);
+  uint64_t fingerprint = store_.ContentFingerprint();
+  auto merged = store_.MergeRosContainers({0, 1});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_GT(*merged, 0.0);
+  EXPECT_EQ(store_.num_ros_containers(), 1);
+  // Mergeout is content-preserving: the layout-blind fingerprint and all
+  // AT EPOCH reads are unchanged.
+  EXPECT_EQ(store_.ContentFingerprint(), fingerprint);
+  EXPECT_EQ(store_.CountVisible(5).value(), 1);
+  EXPECT_EQ(store_.CountVisible(8).value(), 2);
+  EXPECT_EQ(store_.CountVisible(9).value(), 1);
+}
+
+TEST_F(SegmentStoreTest, MergeRejectsUncommittedContainers) {
+  ASSERT_TRUE(
+      store_.InsertPendingDirect(10, {MakeRow(1, 1.0, "a", true)}).ok());
+  store_.CommitTxn(10, 5);
+  ASSERT_TRUE(
+      store_.InsertPendingDirect(11, {MakeRow(2, 2.0, "b", false)}).ok());
+  EXPECT_FALSE(store_.MergeRosContainers({0, 1}).ok());
+}
+
+TEST_F(SegmentStoreTest, PurgeDropsOnlyAncientDeletes) {
+  ASSERT_TRUE(store_.InsertPending(10, {MakeRow(1, 1.0, "a", true),
+                                        MakeRow(2, 2.0, "b", false)})
+                  .ok());
+  store_.CommitTxn(10, 5);
+  ASSERT_TRUE(store_.Moveout().ok());
+  ASSERT_TRUE(store_.DeletePending(11, 5, [](const Row& row) {
+                     return row[0].int64_value() == 1;
+                   }).ok());
+  store_.CommitTxn(11, 6);
+  ASSERT_TRUE(store_.DeletePending(12, 8, [](const Row& row) {
+                     return row[0].int64_value() == 2;
+                   }).ok());
+  store_.CommitTxn(12, 9);
+  // AHM = 7: only the delete committed at epoch 6 is ancient history.
+  auto purged = store_.PurgeDeletedRows(7);
+  ASSERT_TRUE(purged.ok());
+  EXPECT_EQ(*purged, 1);
+  // Every read at or above the AHM is unchanged by the purge.
+  EXPECT_EQ(store_.CountVisible(7).value(), 1);
+  EXPECT_EQ(store_.CountVisible(8).value(), 1);
+  EXPECT_EQ(store_.CountVisible(9).value(), 0);
+  // Raising the AHM past the second delete reclaims the last row; the
+  // empty container is dropped.
+  purged = store_.PurgeDeletedRows(9);
+  ASSERT_TRUE(purged.ok());
+  EXPECT_EQ(*purged, 1);
+  EXPECT_EQ(store_.num_ros_containers(), 0);
 }
 
 TEST_F(SegmentStoreTest, SnapshotRowsMaterializesVisibleRows) {
