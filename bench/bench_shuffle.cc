@@ -1,0 +1,100 @@
+// Shuffle vs. aggregate pushdown: the same distributed GROUP BY over a
+// V2S scan, once with the aggregation pushed into Vertica (the scan
+// returns finished group rows, no shuffle) and once computed Spark-side
+// through the shuffle service. Not a paper figure — the paper's
+// connector (Section 3.2) predates aggregate pushdown — but it
+// quantifies the design argument: when the grouping collapses many rows
+// into few groups, shipping group rows beats shipping the table; when
+// the grouping barely reduces, the two paths converge because the data
+// crosses the wire either way.
+
+#include "bench/bench_common.h"
+
+namespace {
+
+using namespace fabric;
+using namespace fabric::bench;
+
+// CREATE + batched INSERTs through SQL so the table is segmented by the
+// grouping column — the covering condition the pushdown planner needs.
+void FillGroupedTable(Fabric& fabric, int rows, int groups) {
+  fabric.RunTimed([&](sim::Process& driver) {
+    auto session = fabric.db()->Connect(driver, 0, nullptr);
+    FABRIC_CHECK_OK(session.status());
+    FABRIC_CHECK_OK(
+        (*session)
+            ->Execute(driver,
+                      "CREATE TABLE t (k INTEGER, v FLOAT) "
+                      "SEGMENTED BY HASH(k) ALL NODES")
+            .status());
+    constexpr int kBatch = 500;
+    for (int base = 0; base < rows; base += kBatch) {
+      std::string values;
+      for (int i = base; i < std::min(rows, base + kBatch); ++i) {
+        values += StrCat(i > base ? ", " : "", "(", i % groups, ", ",
+                         (i % 1000) / 4.0, ")");
+      }
+      FABRIC_CHECK_OK(
+          (*session)
+              ->Execute(driver, StrCat("INSERT INTO t VALUES ", values))
+              .status());
+    }
+    FABRIC_CHECK_OK((*session)->Close(driver));
+  });
+}
+
+double RunGroupBy(Fabric& fabric, bool pushdown, int expected_groups) {
+  return fabric.RunTimed([&](sim::Process& driver) {
+    auto df = fabric.spark()
+                  ->Read()
+                  .Format(connector::kVerticaSourceName)
+                  .Option("table", "t")
+                  .Option("numpartitions", 16)
+                  .Option("aggregate_pushdown", pushdown ? "true" : "false")
+                  .Load(driver);
+    FABRIC_CHECK_OK(df.status());
+    auto agg = df->GroupBy({"k"})->Agg(
+        {spark::AggCount(), spark::AggSum("v"), spark::AggAvg("v")});
+    FABRIC_CHECK_OK(agg.status());
+    auto rows = agg->Collect(driver);
+    FABRIC_CHECK_OK(rows.status());
+    FABRIC_CHECK(static_cast<int>(rows->size()) == expected_groups)
+        << rows->size() << " groups, expected " << expected_groups;
+  });
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Distributed GROUP BY: aggregate pushdown vs. shuffle",
+              "V2S aggregate pushdown (extends Section 3.2's predicate "
+              "pushdown to whole GROUP BYs)");
+
+  BenchReport report("shuffle");
+  constexpr int kRows = 20000;
+
+  std::printf("%-10s %-10s %12s %16s %14s\n", "groups", "path",
+              "query (s)", "shuffle bytes", "agg pushed");
+  for (int groups : {8, 64, 2048}) {
+    for (bool pushdown : {true, false}) {
+      FabricOptions options;
+      Fabric fabric(options);
+      FillGroupedTable(fabric, kRows, groups);
+      double seconds = RunGroupBy(fabric, pushdown, groups);
+      double shuffle_bytes =
+          fabric.tracer()->metrics().counter("spark.shuffle.bytes");
+      double pushed =
+          fabric.tracer()->metrics().counter("v2s.agg_pushdowns");
+      std::printf("%-10d %-10s %12.3f %16.0f %14.0f\n", groups,
+                  pushdown ? "pushdown" : "shuffle", seconds,
+                  shuffle_bytes, pushed);
+      report.AddSample(fabric,
+                       {{"groups", static_cast<double>(groups)},
+                        {"pushdown", pushdown ? 1.0 : 0.0},
+                        {"query_seconds", seconds},
+                        {"shuffle_bytes", shuffle_bytes},
+                        {"agg_pushdowns", pushed}});
+    }
+  }
+  return 0;
+}

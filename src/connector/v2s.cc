@@ -42,6 +42,8 @@ Result<std::shared_ptr<V2SRelation>> V2SRelation::Create(
   relation->db_ = db;
   relation->cluster_ = cluster;
   FABRIC_ASSIGN_OR_RETURN(relation->table_, options.Get("table"));
+  relation->aggregate_pushdown_enabled_ = !EqualsIgnoreCase(
+      options.GetOr("aggregate_pushdown", "true"), "false");
   relation->num_partitions_ = static_cast<int>(
       options.GetIntOr("numpartitions", 4 * db->num_nodes()));
   if (relation->num_partitions_ <= 0) {
@@ -164,10 +166,54 @@ Result<std::shared_ptr<V2SRelation>> V2SRelation::Create(
   return relation;
 }
 
+bool V2SRelation::SupportsAggregatePushdown(
+    const spark::AggregatePushDown& agg) const {
+  if (!aggregate_pushdown_enabled_) return false;
+  // Soundness: the per-partition GROUP BY results concatenate without a
+  // merge only when no group can straddle two partitions. Partitions are
+  // disjoint slices of HASH(segmentation columns), so it suffices that
+  // the grouping determines the segmentation hash — i.e. covers every
+  // segmentation column — or that there is only one partition.
+  if (num_partitions_ > 1) {
+    for (const std::string& seg : segmentation_columns_) {
+      bool covered = false;
+      for (const std::string& g : agg.group_columns) {
+        if (EqualsIgnoreCase(g, seg)) {
+          covered = true;
+          break;
+        }
+      }
+      if (!covered) return false;
+    }
+  }
+  for (const std::string& g : agg.group_columns) {
+    if (!schema_.IndexOf(g).ok()) return false;
+  }
+  for (const spark::AggregateCall& call : agg.calls) {
+    if (!call.column.empty() && !schema_.IndexOf(call.column).ok()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 std::string V2SRelation::PartitionQuery(int partition,
                                         const PushDown& push) const {
   std::string select_list;
-  if (push.count_only) {
+  std::string group_by;
+  if (push.aggregate.has_value()) {
+    // The whole GROUP BY runs inside Vertica; Spark receives finished
+    // group rows (keys first, then one column per aggregate call).
+    std::vector<std::string> items = push.aggregate->group_columns;
+    for (const spark::AggregateCall& call : push.aggregate->calls) {
+      items.push_back(call.ToSqlExpr());
+    }
+    select_list = Join(items, ", ");
+    if (!push.aggregate->group_columns.empty()) {
+      group_by = StrCat(" GROUP BY ", Join(push.aggregate->group_columns,
+                                           ", "));
+    }
+  } else if (push.count_only) {
     select_list = "COUNT(*)";
   } else if (push.required_columns.empty()) {
     select_list = "*";
@@ -200,8 +246,15 @@ std::string V2SRelation::PartitionQuery(int partition,
   }
   obs::IncrCounter("v2s.pushdown_conjuncts",
                    static_cast<double>(pushed_conjuncts));
+  std::string tail = group_by;
+  // LIMIT renders only for row scans: `SELECT COUNT(*) ... LIMIT 0`
+  // would return zero rows and break the count read, and the driver
+  // already applies the global cap, so exactness is preserved without it.
+  if (push.limit >= 0 && !push.count_only && !push.aggregate.has_value()) {
+    tail += StrCat(" LIMIT ", push.limit);
+  }
   return StrCat("SELECT ", select_list, " FROM ", table_, " WHERE ", where,
-                " AT EPOCH ", snapshot_epoch_);
+                tail, " AT EPOCH ", snapshot_epoch_);
 }
 
 Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
@@ -228,6 +281,8 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
          {"attempt", task.attempt},
          {"epoch", snapshot_epoch_},
          {"count_only", push.count_only},
+         {"aggregate", push.aggregate.has_value()},
+         {"limit", push.limit},
          {"columns", static_cast<int64_t>(push.required_columns.size())},
          {"filters", static_cast<int64_t>(push.filters.size())}});
     auto fail = [&](const Status& status) {
@@ -284,6 +339,11 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
     obs::IncrCounter("v2s.partitions_scanned");
     obs::IncrCounter("v2s.rows_returned",
                      static_cast<double>(rows_returned));
+    if (push.aggregate.has_value()) obs::IncrCounter("v2s.agg_pushdowns");
+    if (push.limit >= 0 && !push.count_only &&
+        !push.aggregate.has_value()) {
+      obs::IncrCounter("v2s.limit_pushdowns");
+    }
 
     PartitionData data;
     if (push.count_only) {

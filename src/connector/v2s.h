@@ -19,7 +19,9 @@ namespace fabric::connector {
 // pushes projections, filters and COUNT down into Vertica.
 //
 // Options: table, host, user, password, numpartitions, at_epoch
-// (optional override; default = the current epoch at load time).
+// (optional override; default = the current epoch at load time),
+// aggregate_pushdown ("false" disables grouped-aggregate pushdown; the
+// DataFrame then aggregates through the Spark shuffle instead).
 class V2SRelation : public spark::ScanRelation {
  public:
   // Driver-side construction: resolves schema, segment layout and the
@@ -30,6 +32,16 @@ class V2SRelation : public spark::ScanRelation {
 
   const storage::Schema& schema() const override { return schema_; }
   int num_partitions() const override { return num_partitions_; }
+
+  // A grouped aggregate may run inside Vertica only when each partition
+  // (a disjoint slice of the segmentation hash ring) holds complete,
+  // disjoint group sets: the grouping must cover every segmentation
+  // column (or there must be a single partition).
+  bool SupportsAggregatePushdown(
+      const spark::AggregatePushDown& agg) const override;
+  // LIMIT always pushes: each partition needs at most `limit` rows, and
+  // the Vertica scan stops early once it has them.
+  bool SupportsLimitPushdown() const override { return true; }
 
   Result<PartitionData> ReadPartition(spark::TaskContext& task,
                                       int partition,
@@ -55,6 +67,7 @@ class V2SRelation : public spark::ScanRelation {
   bool is_view_ = false;
   storage::Schema schema_;
   std::vector<std::string> segmentation_columns_;  // synthetic for views
+  bool aggregate_pushdown_enabled_ = true;
   int num_partitions_ = 0;
   int64_t snapshot_epoch_ = 0;
   std::vector<vertica::HashRange> partition_ranges_;

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
+#include "spark/shuffle/shuffle.h"
 
 namespace fabric::spark {
 
@@ -49,12 +50,18 @@ SparkCluster::SparkCluster(sim::Engine* engine, net::Network* network,
                          options_.cost.nic_bandwidth, 0,
                          options_.cost.spark_cores_per_worker);
   for (int i = 0; i < options_.num_workers; ++i) {
+    // Workers carry a local disk: shuffle map outputs are written to and
+    // served from it (vertica nodes model theirs the same way).
     workers_.push_back(net::AddHost(
         network_, StrCat("spark-worker", i), options_.cost.nic_bandwidth, 0,
-        options_.cost.spark_cores_per_worker));
+        options_.cost.spark_cores_per_worker,
+        options_.cost.disk_write_bandwidth));
   }
   slots_ = std::make_unique<sim::Semaphore>(engine_, total_slots());
+  shuffle_ = std::make_unique<shuffle::ShuffleManager>(this);
 }
+
+SparkCluster::~SparkCluster() = default;
 
 struct SparkCluster::JobState {
   SparkCluster* cluster = nullptr;

@@ -20,6 +20,10 @@ namespace fabric::spark {
 
 class SparkCluster;
 
+namespace shuffle {
+class ShuffleManager;
+}  // namespace shuffle
+
 // Context handed to the body of a running task attempt.
 struct TaskContext {
   SparkCluster* cluster = nullptr;
@@ -104,6 +108,16 @@ class SparkCluster {
     double speculation_quantile = 0.75;
     double speculation_multiplier = 1.5;
     int max_task_failures = 4;
+    // How many times a reducer re-polls a missing/lost shuffle block
+    // before surfacing a fetch failure (which triggers map-stage
+    // re-execution), and the backoff between polls.
+    int shuffle_fetch_retries = 3;
+    double shuffle_fetch_backoff = 0.05;
+    // Deterministic transient fetch-failure injection: each fetch
+    // attempt fails with this probability (seeded), exercising the
+    // per-fetch retry path without losing any blocks.
+    double shuffle_flaky_fetch_rate = 0;
+    uint64_t shuffle_flaky_fetch_seed = 7;
   };
 
   // Result of one job.
@@ -116,6 +130,7 @@ class SparkCluster {
   };
 
   SparkCluster(sim::Engine* engine, net::Network* network, Options options);
+  ~SparkCluster();
 
   sim::Engine* engine() const { return engine_; }
   net::Network* network() const { return network_; }
@@ -146,6 +161,9 @@ class SparkCluster {
   // Telemetry across all jobs.
   int64_t total_attempts() const { return total_attempts_; }
 
+  // The cluster-wide shuffle block store (map outputs + fetch service).
+  shuffle::ShuffleManager* shuffle_manager() const { return shuffle_.get(); }
+
  private:
   struct JobState;
 
@@ -160,6 +178,7 @@ class SparkCluster {
   net::Host driver_;
   std::vector<net::Host> workers_;
   std::unique_ptr<sim::Semaphore> slots_;
+  std::unique_ptr<shuffle::ShuffleManager> shuffle_;
   FailureInjector* injector_ = nullptr;
   int64_t total_attempts_ = 0;
   int64_t job_counter_ = 0;

@@ -10,6 +10,7 @@
 #include "common/result.h"
 #include "spark/cluster.h"
 #include "spark/datasource.h"
+#include "spark/shuffle/aggregate.h"
 #include "spark/types.h"
 #include "storage/schema.h"
 
@@ -17,6 +18,7 @@ namespace fabric::spark {
 
 class SparkSession;
 class DataFrameWriter;
+class GroupedDataFrame;
 
 // Immutable logical plan node (the RDD lineage). DataFrames are cheap
 // handles onto shared plans; transformations build new plans, actions
@@ -31,6 +33,10 @@ struct Plan {
     kSelect,           // column pruning (pushable)
     kUnion,
     kCoalesce,         // merge partitions without shuffle
+    kExchange,         // shuffle boundary (hash repartitioning)
+    kHashAggregate,    // merge+finalize of shuffled aggregate partials
+    kHashJoin,         // equi-join of two co-partitioned exchanges
+    kLimit,            // per-partition row cap (global cap at the driver)
   };
 
   Kind kind;
@@ -49,6 +55,18 @@ struct Plan {
   std::function<Result<storage::Row>(const storage::Row&)> map_fn;
   std::vector<int> select_indices;  // kSelect
   int target_partitions = 0;        // kCoalesce
+  // kExchange: how rows are hash-partitioned across the shuffle (and
+  // optionally combined map-side). Shared between plan rewrites so the
+  // assigned shuffle id (hence the committed blocks) is reused across
+  // actions on the same lineage.
+  std::shared_ptr<shuffle::ExchangeSpec> exchange;
+  // kHashAggregate: the reduce-side merge+finalize. Its child is always
+  // the kExchange carrying this aggregation's partials.
+  std::shared_ptr<const shuffle::AggPlan> agg;
+  // kHashJoin: key positions in the left (child) / right (other) rows.
+  std::vector<int> join_left_keys;
+  std::vector<int> join_right_keys;
+  int64_t limit = -1;  // kLimit
 
   int NumPartitions() const;
   // Computes one partition inside a task (lineage recomputation: safe to
@@ -57,6 +75,30 @@ struct Plan {
   Result<std::vector<storage::Row>> Compute(TaskContext& task,
                                             int partition) const;
 };
+
+// One aggregate a GroupBy().Agg() asks for; build with the AggCount /
+// AggSum / AggAvg / AggMin / AggMax helpers below.
+struct AggregateRequest {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string column;  // empty: COUNT(*)
+};
+
+inline AggregateRequest AggCount() { return {AggregateFn::kCount, ""}; }
+inline AggregateRequest AggCount(std::string column) {
+  return {AggregateFn::kCount, std::move(column)};
+}
+inline AggregateRequest AggSum(std::string column) {
+  return {AggregateFn::kSum, std::move(column)};
+}
+inline AggregateRequest AggAvg(std::string column) {
+  return {AggregateFn::kAvg, std::move(column)};
+}
+inline AggregateRequest AggMin(std::string column) {
+  return {AggregateFn::kMin, std::move(column)};
+}
+inline AggregateRequest AggMax(std::string column) {
+  return {AggregateFn::kMax, std::move(column)};
+}
 
 // Spark DataFrame: schema'd, immutable, lazily evaluated.
 class DataFrame {
@@ -77,9 +119,19 @@ class DataFrame {
   DataFrame Map(std::function<Result<storage::Row>(const storage::Row&)> fn,
                 storage::Schema out_schema) const;
   Result<DataFrame> Union(const DataFrame& other) const;
-  // Coalesces to fewer partitions without shuffling; widening is only
-  // possible on driver-local data (kParallelize roots).
+  // Coalesces to fewer partitions without shuffling. Widening reslices
+  // driver-local data in place and inserts a shuffle (kExchange over all
+  // columns) for everything else.
   Result<DataFrame> Repartition(int num_partitions) const;
+  // Wide transformations (each inserts a shuffle boundary; see
+  // src/spark/shuffle/). GroupBy keys a hash aggregation; Join is an
+  // inner equi-join on left_on = right_on; Limit caps the row count.
+  Result<GroupedDataFrame> GroupBy(
+      const std::vector<std::string>& columns) const;
+  Result<DataFrame> Join(const DataFrame& other,
+                         const std::vector<std::string>& left_on,
+                         const std::vector<std::string>& right_on) const;
+  Result<DataFrame> Limit(int64_t n) const;
 
   // --------------------------------------------------------- actions
   Result<std::vector<storage::Row>> Collect(sim::Process& driver) const;
@@ -94,6 +146,21 @@ class DataFrame {
  private:
   SparkSession* session_ = nullptr;
   std::shared_ptr<const Plan> plan_;
+};
+
+// df.GroupBy(...) result: holds the grouping keys until Agg() names the
+// aggregates and produces the grouped DataFrame (keys first, then one
+// column per aggregate, named like "count(*)" / "sum(v)").
+class GroupedDataFrame {
+ public:
+  GroupedDataFrame(DataFrame frame, std::vector<int> key_indices)
+      : frame_(std::move(frame)), key_indices_(std::move(key_indices)) {}
+
+  Result<DataFrame> Agg(const std::vector<AggregateRequest>& aggs) const;
+
+ private:
+  DataFrame frame_;
+  std::vector<int> key_indices_;
 };
 
 // df.read()-style builder (Table 1's LOAD column).
@@ -192,8 +259,11 @@ class SparkSession {
 };
 
 // Collapses pushable Filter/Select chains into the underlying scan node
-// (the planner pass behind the External Data Source API's pushdown).
-// Returns the original plan when nothing can be pushed.
+// (the planner pass behind the External Data Source API's pushdown),
+// fuses a HashAggregate(Exchange(Scan)) stack into the scan when the
+// source advertises aggregate pushdown (elides the whole shuffle), and
+// pushes Limit into sources that honor per-partition row caps. Returns
+// the original plan when nothing can be pushed.
 std::shared_ptr<const Plan> PushDownPass(std::shared_ptr<const Plan> plan);
 
 }  // namespace fabric::spark

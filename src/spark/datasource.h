@@ -30,6 +30,18 @@ class ScanRelation {
   // the user options; called on the driver.
   virtual int num_partitions() const = 0;
 
+  // Whether the source can evaluate `agg` itself (one result row per
+  // group out of ReadPartition). Only sources whose partitions hold
+  // disjoint group sets may say yes — the planner concatenates the
+  // per-partition results without a merge.
+  virtual bool SupportsAggregatePushdown(const AggregatePushDown& agg) const {
+    (void)agg;
+    return false;
+  }
+
+  // Whether the source honors `push.limit` (a per-partition row cap).
+  virtual bool SupportsLimitPushdown() const { return false; }
+
   // Reads one partition from within a task. With `push.count_only`, rows
   // stays empty and `count` carries the partition's row count.
   struct PartitionData {

@@ -1,0 +1,224 @@
+#include "spark/shuffle/aggregate.h"
+
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace fabric::spark::shuffle {
+namespace {
+
+using storage::Row;
+using storage::Value;
+
+// Running accumulator for one aggregate call within one group. `count`
+// is the number of non-null inputs, so "any input seen" is count > 0
+// (matching the Vertica engine's AggPartial).
+struct Partial {
+  int64_t count = 0;
+  double sum = 0;
+  Value min;
+  Value max;
+};
+
+Status UpdatePartial(const AggCall& call, const Row& row, Partial* p) {
+  // COUNT(*) counts rows: a synthetic non-null input per row.
+  const Value v = call.column < 0 ? Value::Int64(1) : row[call.column];
+  if (v.is_null()) return Status::OK();  // SQL aggregates skip NULLs
+  ++p->count;
+  switch (call.fn) {
+    case AggregateFn::kCount:
+      break;
+    case AggregateFn::kSum:
+    case AggregateFn::kAvg: {
+      FABRIC_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      p->sum += d;
+      break;
+    }
+    case AggregateFn::kMin: {
+      if (p->min.is_null()) {
+        p->min = v;
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(int c, v.Compare(p->min));
+        if (c < 0) p->min = v;
+      }
+      break;
+    }
+    case AggregateFn::kMax: {
+      if (p->max.is_null()) {
+        p->max = v;
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(int c, v.Compare(p->max));
+        if (c > 0) p->max = v;
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Status MergePartialInto(const Partial& in, Partial* out) {
+  out->count += in.count;
+  out->sum += in.sum;
+  if (!in.min.is_null()) {
+    if (out->min.is_null()) {
+      out->min = in.min;
+    } else {
+      FABRIC_ASSIGN_OR_RETURN(int c, in.min.Compare(out->min));
+      if (c < 0) out->min = in.min;
+    }
+  }
+  if (!in.max.is_null()) {
+    if (out->max.is_null()) {
+      out->max = in.max;
+    } else {
+      FABRIC_ASSIGN_OR_RETURN(int c, in.max.Compare(out->max));
+      if (c > 0) out->max = in.max;
+    }
+  }
+  return Status::OK();
+}
+
+Value FinalizePartial(const AggCall& call, const Partial& p) {
+  switch (call.fn) {
+    case AggregateFn::kCount:
+      return Value::Int64(p.count);
+    case AggregateFn::kSum:
+      return p.count > 0 ? Value::Float64(p.sum) : Value::Null();
+    case AggregateFn::kAvg:
+      return p.count > 0 ? Value::Float64(p.sum / p.count) : Value::Null();
+    case AggregateFn::kMin:
+      return p.min;
+    case AggregateFn::kMax:
+      return p.max;
+  }
+  return Value::Null();
+}
+
+// Ordered group table: encoded key -> (key values, one Partial per call).
+// std::map iteration gives the canonical sorted-by-key output order.
+using GroupMap = std::map<std::string, std::pair<Row, std::vector<Partial>>>;
+
+std::pair<Row, std::vector<Partial>>* FindOrInsertGroup(
+    GroupMap* groups, const std::string& key, const Row& row,
+    const std::vector<int>& key_columns, size_t num_calls) {
+  auto [it, inserted] = groups->try_emplace(key);
+  if (inserted) {
+    for (int k : key_columns) it->second.first.push_back(row[k]);
+    it->second.second.resize(num_calls);
+  }
+  return &it->second;
+}
+
+}  // namespace
+
+storage::Schema PartialSchema(const AggPlan& plan) {
+  std::vector<storage::ColumnDef> defs;
+  for (int k : plan.keys) defs.push_back(plan.in_schema.column(k));
+  for (size_t i = 0; i < plan.calls.size(); ++i) {
+    const AggCall& call = plan.calls[i];
+    storage::DataType arg_type =
+        call.column < 0 ? storage::DataType::kInt64
+                        : plan.in_schema.column(call.column).type;
+    defs.push_back({StrCat("p", i, "_count"), storage::DataType::kInt64});
+    defs.push_back({StrCat("p", i, "_sum"), storage::DataType::kFloat64});
+    defs.push_back({StrCat("p", i, "_min"), arg_type});
+    defs.push_back({StrCat("p", i, "_max"), arg_type});
+  }
+  return storage::Schema(std::move(defs));
+}
+
+std::string GroupKeyOf(const Row& row, const std::vector<int>& keys) {
+  // Same encoding as the Vertica engine's GROUP BY key: \x01 marks NULL
+  // (distinct from any display string), \x02 separates columns.
+  std::string key;
+  for (int c : keys) {
+    key += row[c].is_null() ? std::string("\x01") : row[c].ToDisplayString();
+    key.push_back('\x02');
+  }
+  return key;
+}
+
+Result<std::vector<Row>> CombineToPartials(const std::vector<Row>& rows,
+                                           const AggPlan& plan) {
+  GroupMap groups;
+  for (const Row& row : rows) {
+    auto* group = FindOrInsertGroup(&groups, GroupKeyOf(row, plan.keys), row,
+                                    plan.keys, plan.calls.size());
+    for (size_t i = 0; i < plan.calls.size(); ++i) {
+      FABRIC_RETURN_IF_ERROR(
+          UpdatePartial(plan.calls[i], row, &group->second[i]));
+    }
+  }
+  std::vector<Row> out;
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    Row row = std::move(group.first);
+    for (const Partial& p : group.second) {
+      row.push_back(Value::Int64(p.count));
+      row.push_back(Value::Float64(p.sum));
+      row.push_back(p.min);
+      row.push_back(p.max);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,
+                                       const AggPlan& plan) {
+  const int k = static_cast<int>(plan.keys.size());
+  std::vector<int> key_positions(k);
+  std::iota(key_positions.begin(), key_positions.end(), 0);
+  GroupMap groups;
+  for (const Row& prow : partials) {
+    auto* group =
+        FindOrInsertGroup(&groups, GroupKeyOf(prow, key_positions), prow,
+                          key_positions, plan.calls.size());
+    for (size_t i = 0; i < plan.calls.size(); ++i) {
+      const int base = k + static_cast<int>(4 * i);
+      Partial in;
+      in.count = prow[base].int64_value();
+      in.sum = prow[base + 1].float64_value();
+      in.min = prow[base + 2];
+      in.max = prow[base + 3];
+      FABRIC_RETURN_IF_ERROR(MergePartialInto(in, &group->second[i]));
+    }
+  }
+  std::vector<Row> out;
+  if (groups.empty() && plan.keys.empty()) {
+    // SQL: an aggregate without GROUP BY yields one row even for empty
+    // input (COUNT 0, SUM/AVG NULL, ...).
+    Row row;
+    for (const AggCall& call : plan.calls) {
+      row.push_back(FinalizePartial(call, Partial()));
+    }
+    out.push_back(std::move(row));
+    return out;
+  }
+  out.reserve(groups.size());
+  for (auto& [key, group] : groups) {
+    Row row = std::move(group.first);
+    for (size_t i = 0; i < plan.calls.size(); ++i) {
+      row.push_back(FinalizePartial(plan.calls[i], group.second[i]));
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+int PartitionOf(const Row& row, const std::vector<int>& keys,
+                int num_partitions) {
+  uint64_t hash;
+  if (keys.empty()) {
+    std::vector<int> all(row.size());
+    std::iota(all.begin(), all.end(), 0);
+    hash = storage::RowSegmentationHash(row, all);
+  } else {
+    hash = storage::RowSegmentationHash(row, keys);
+  }
+  return static_cast<int>(hash % static_cast<uint64_t>(num_partitions));
+}
+
+}  // namespace fabric::spark::shuffle

@@ -1,0 +1,84 @@
+#ifndef FABRIC_SPARK_SHUFFLE_AGGREGATE_H_
+#define FABRIC_SPARK_SHUFFLE_AGGREGATE_H_
+
+// Hash-aggregation machinery shared by the shuffle map side (partial
+// combine) and reduce side (merge + finalize). The semantics mirror the
+// Vertica SQL engine's aggregate evaluation exactly — NULL inputs are
+// skipped, COUNT(*) counts rows, SUM/AVG of zero non-null inputs is NULL,
+// group keys encode NULL distinctly, output is sorted by encoded key —
+// so a plan computed through the Spark shuffle and the same plan pushed
+// into Vertica return byte-identical rows.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "spark/types.h"
+#include "storage/schema.h"
+
+namespace fabric::spark::shuffle {
+
+// One aggregate over a column of the input schema (`column` < 0 means
+// COUNT(*): counts every row).
+struct AggCall {
+  AggregateFn fn = AggregateFn::kCount;
+  int column = -1;
+};
+
+// A grouped aggregation: group by `keys` (indices into `in_schema`),
+// evaluate `calls`, emit rows of `out_schema` (key columns first, then
+// one column per call).
+struct AggPlan {
+  std::vector<int> keys;
+  std::vector<AggCall> calls;
+  storage::Schema in_schema;
+  storage::Schema out_schema;
+};
+
+// Rows flowing between map-side combine and reduce-side merge carry the
+// group keys followed by four accumulator fields per call:
+// [count INTEGER, sum FLOAT, min <col type>, max <col type>]. `count` is
+// the number of non-null inputs (for COUNT(*), of rows), so "any input
+// seen" is exactly count > 0.
+storage::Schema PartialSchema(const AggPlan& plan);
+
+// Group-key encoding shared with Vertica's GROUP BY: display string per
+// key column, NULL marked distinctly, columns separated unambiguously.
+// Sorting rows by this key is the canonical aggregate output order.
+std::string GroupKeyOf(const storage::Row& row, const std::vector<int>& keys);
+
+// Map-side combine: folds raw input rows into one partial row per group,
+// sorted by encoded group key.
+Result<std::vector<storage::Row>> CombineToPartials(
+    const std::vector<storage::Row>& rows, const AggPlan& plan);
+
+// Reduce-side merge: merges partial rows (keys at positions 0..k-1) and
+// finalizes each call — COUNT -> INTEGER, SUM/AVG -> FLOAT or NULL when
+// no non-null input, MIN/MAX -> the extremal value. Output is sorted by
+// encoded group key. With no group keys, emits exactly one row (the SQL
+// aggregate-without-GROUP-BY convention) even for empty input.
+Result<std::vector<storage::Row>> MergePartials(
+    const std::vector<storage::Row>& partials, const AggPlan& plan);
+
+// The shuffle partition a row hashes to. `keys` empty means hash over
+// all columns (pure repartitioning).
+int PartitionOf(const storage::Row& row, const std::vector<int>& keys,
+                int num_partitions);
+
+// Describes one exchange (shuffle boundary) in a plan. When `combine` is
+// set the map side pre-aggregates, and the rows crossing the wire are
+// PartialSchema rows whose group keys sit at positions 0..k-1.
+struct ExchangeSpec {
+  std::vector<int> keys;  // in the rows crossing this exchange
+  int num_partitions = 0;
+  std::shared_ptr<const AggPlan> combine;
+  // Shuffle id assigned by the executor on first materialization; reused
+  // by later actions on the same plan (blocks are served from the block
+  // store until an executor loss invalidates them).
+  mutable int shuffle_id = -1;
+};
+
+}  // namespace fabric::spark::shuffle
+
+#endif  // FABRIC_SPARK_SHUFFLE_AGGREGATE_H_

@@ -1,0 +1,139 @@
+#include "spark/shuffle/exec.h"
+
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "obs/trace.h"
+#include "spark/shuffle/aggregate.h"
+#include "spark/shuffle/shuffle.h"
+#include "storage/profile.h"
+
+namespace fabric::spark::shuffle {
+namespace {
+
+// Bounds stage re-execution rounds: each round either finishes the job
+// or re-runs map tasks lost to an executor kill; the bound only trips if
+// executors keep dying faster than stages complete.
+constexpr int kMaxStageRounds = 12;
+
+void CollectExchangesPostOrder(const Plan* plan,
+                               std::vector<const Plan*>* out) {
+  if (plan == nullptr) return;
+  CollectExchangesPostOrder(plan->child.get(), out);
+  CollectExchangesPostOrder(plan->other.get(), out);
+  if (plan->kind == Plan::Kind::kExchange) out->push_back(plan);
+}
+
+// Runs (or re-runs) the map stage of one exchange: every map whose
+// output was never committed or was lost with its executor recomputes
+// its input partition from lineage, hash-partitions (and optionally
+// map-side combines) it, spills the blocks to local disk and commits
+// them to the block store.
+Status RunMapStage(sim::Process& driver, SparkCluster* cluster,
+                   const Plan* node) {
+  ShuffleManager* manager = cluster->shuffle_manager();
+  const std::shared_ptr<ExchangeSpec>& spec = node->exchange;
+  if (spec->shuffle_id < 0) {
+    spec->shuffle_id =
+        manager->Register(node->child->NumPartitions(), spec->num_partitions);
+  }
+  const int sid = spec->shuffle_id;
+  auto missing =
+      std::make_shared<const std::vector<int>>(manager->MissingMaps(sid));
+  if (missing->empty()) return Status::OK();
+  uint64_t span = obs::TraceBegin(
+      "spark", "stage",
+      {{"kind", "map"},
+       {"shuffle", sid},
+       {"tasks", static_cast<int>(missing->size())}});
+  std::shared_ptr<const Plan> child = node->child;
+  auto result = cluster->RunJob(
+      driver, StrCat("shuffle-map-s", sid),
+      static_cast<int>(missing->size()),
+      [child, spec, missing, manager, sid](TaskContext& task) -> Status {
+        const int map = (*missing)[task.task];
+        FABRIC_ASSIGN_OR_RETURN(std::vector<storage::Row> rows,
+                                child->Compute(task, map));
+        const CostModel& cost = task.cluster->cost();
+        // Hashing every row (plus the map-side combine when present).
+        FABRIC_RETURN_IF_ERROR(task.Compute(
+            rows.size() * cost.spark_row_process_cpu * cost.data_scale));
+        if (spec->combine != nullptr) {
+          FABRIC_ASSIGN_OR_RETURN(rows,
+                                  CombineToPartials(rows, *spec->combine));
+        }
+        const double bytes = storage::ProfileRows(rows)
+                                 .ScaleBy(cost.data_scale)
+                                 .raw_bytes;
+        std::vector<std::vector<storage::Row>> blocks(spec->num_partitions);
+        for (storage::Row& row : rows) {
+          blocks[PartitionOf(row, spec->keys, spec->num_partitions)]
+              .push_back(std::move(row));
+        }
+        if (bytes > 0 && task.worker_host().has_disk()) {
+          FABRIC_RETURN_IF_ERROR(task.cluster->network()->Transfer(
+              *task.process, {task.worker_host().disk}, bytes));
+        }
+        manager->CommitMapOutput(sid, map, task.worker, std::move(blocks));
+        return Status::OK();
+      });
+  obs::TraceEnd(span, "spark", "stage");
+  return result.ok() ? Status::OK() : result.status();
+}
+
+// Materializes every missing map output under `plan`, inner exchanges
+// first. A fetch failure inside a map stage (its input reads an inner
+// shuffle that lost blocks mid-stage) restarts the sweep.
+Status PrepareShuffles(sim::Process& driver, SparkCluster* cluster,
+                       const std::shared_ptr<const Plan>& plan) {
+  std::vector<const Plan*> exchanges;
+  CollectExchangesPostOrder(plan.get(), &exchanges);
+  if (exchanges.empty()) return Status::OK();
+  Status last = Status::OK();
+  for (int round = 0; round < kMaxStageRounds; ++round) {
+    bool resubmit = false;
+    for (const Plan* node : exchanges) {
+      Status status = RunMapStage(driver, cluster, node);
+      if (status.ok()) continue;
+      if (!IsFetchFailure(status)) return status;
+      last = status;
+      resubmit = true;
+      obs::IncrCounter("spark.shuffle.stage_resubmits");
+      obs::TraceEvent("spark", "stage.resubmit",
+                      {{"shuffle", node->exchange->shuffle_id}});
+      break;
+    }
+    if (!resubmit) return Status::OK();
+  }
+  return last;
+}
+
+}  // namespace
+
+bool HasExchange(const Plan& plan) {
+  if (plan.kind == Plan::Kind::kExchange) return true;
+  if (plan.child != nullptr && HasExchange(*plan.child)) return true;
+  return plan.other != nullptr && HasExchange(*plan.other);
+}
+
+Result<SparkCluster::JobStats> RunPlanJob(
+    sim::Process& driver, SparkCluster* cluster, const std::string& name,
+    const std::shared_ptr<const Plan>& plan, int num_tasks,
+    std::function<Status(TaskContext&)> body) {
+  if (!HasExchange(*plan)) {
+    return cluster->RunJob(driver, name, num_tasks, std::move(body));
+  }
+  Status last = Status::OK();
+  for (int round = 0; round < kMaxStageRounds; ++round) {
+    FABRIC_RETURN_IF_ERROR(PrepareShuffles(driver, cluster, plan));
+    auto job = cluster->RunJob(driver, name, num_tasks, body);
+    if (job.ok() || !IsFetchFailure(job.status())) return job;
+    last = job.status();
+    obs::IncrCounter("spark.shuffle.stage_resubmits");
+    obs::TraceEvent("spark", "stage.resubmit", {{"job", name}});
+  }
+  return last;
+}
+
+}  // namespace fabric::spark::shuffle

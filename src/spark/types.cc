@@ -105,6 +105,27 @@ std::string ColumnPredicate::ToSqlCondition() const {
   return "";
 }
 
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kAvg:
+      return "AVG";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+  }
+  return "?";
+}
+
+std::string AggregateCall::ToSqlExpr() const {
+  return StrCat(AggregateFnName(fn), "(", column.empty() ? "*" : column,
+                ")");
+}
+
 const char* SaveModeName(SaveMode mode) {
   switch (mode) {
     case SaveMode::kOverwrite:

@@ -2,6 +2,7 @@
 #define FABRIC_SPARK_TYPES_H_
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,12 +55,42 @@ struct ColumnPredicate {
   std::string ToSqlCondition() const;
 };
 
-// What an action pushed into a scan source: column pruning, filters, and
-// whether only the row count is needed.
+// Aggregate functions a source may evaluate on the DataFrame's behalf.
+// The set mirrors what both the Spark-side shuffle aggregation and the
+// Vertica SQL engine implement, so a pushed and an unpushed plan agree.
+enum class AggregateFn { kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggregateFnName(AggregateFn fn);  // "COUNT", "SUM", ...
+
+// One aggregate call over a source column. An empty `column` means
+// COUNT(*) (counts rows, including NULLs).
+struct AggregateCall {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string column;
+
+  // Renders as a SQL select item ("SUM(score)", "COUNT(*)") for sources
+  // that push down by query rewriting.
+  std::string ToSqlExpr() const;
+};
+
+// A grouped aggregation pushed whole into the source: the source returns
+// one row per group (keys first, then the finalized aggregates).
+struct AggregatePushDown {
+  std::vector<std::string> group_columns;
+  std::vector<AggregateCall> calls;
+};
+
+// What an action pushed into a scan source: column pruning, filters,
+// whether only the row count is needed, a row limit, and optionally a
+// whole grouped aggregation.
 struct PushDown {
   std::vector<std::string> required_columns;  // empty: all
   std::vector<ColumnPredicate> filters;
   bool count_only = false;
+  // Per-partition row cap (< 0: none). Sound because a global LIMIT n
+  // needs at most n rows from every partition.
+  int64_t limit = -1;
+  std::optional<AggregatePushDown> aggregate;
 };
 
 enum class SaveMode { kOverwrite, kAppend, kErrorIfExists };

@@ -506,7 +506,12 @@ Result<std::vector<uint32_t>> SegmentStore::SelectRosRows(
 Result<std::vector<Row>> SegmentStore::Scan(const ScanSpec& spec,
                                             ScanStats* stats) const {
   std::vector<Row> out;
+  auto at_limit = [&] {
+    return spec.limit >= 0 &&
+           static_cast<int64_t>(out.size()) >= spec.limit;
+  };
   for (const RosContainer& container : ros_) {
+    if (at_limit()) break;
     FABRIC_RETURN_IF_ERROR(
         SelectRosRows(container, spec, stats, &out).status());
   }
@@ -518,10 +523,11 @@ Result<std::vector<Row>> SegmentStore::Scan(const ScanSpec& spec,
     projection = &all;
   }
   for (const WosBatch& batch : wos_) {
+    if (at_limit()) break;
     if (!batch.committed() && batch.pending_txn != spec.txn) continue;
     if (batch.committed() && batch.commit_epoch > spec.as_of) continue;
     TxnId owner = batch.committed() ? 0 : batch.pending_txn;
-    for (size_t i = 0; i < batch.rows.size(); ++i) {
+    for (size_t i = 0; i < batch.rows.size() && !at_limit(); ++i) {
       if (!VersionVisible(owner, batch.commit_epoch, batch.delete_marks[i],
                           spec.as_of, spec.txn)) {
         continue;
@@ -544,6 +550,12 @@ Result<std::vector<Row>> SegmentStore::Scan(const ScanSpec& spec,
       for (int c : *projection) masked[c] = row[c];
       out.push_back(std::move(masked));
     }
+  }
+  // A ROS container crossing the cap emits its full selection; trim the
+  // overshoot so every caller sees exactly `limit` rows.
+  if (spec.limit >= 0 && static_cast<int64_t>(out.size()) > spec.limit) {
+    stats->rows_emitted -= static_cast<int64_t>(out.size()) - spec.limit;
+    out.resize(static_cast<size_t>(spec.limit));
   }
   stats->visible_profile.rows = static_cast<double>(stats->rows_visible);
   stats->output_profile.rows = static_cast<double>(stats->rows_emitted);

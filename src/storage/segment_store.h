@@ -128,6 +128,11 @@ struct ScanSpec {
   const std::vector<int>* residual_columns = nullptr;
   const std::vector<int>* cost_columns = nullptr;   // null => none
   const std::vector<int>* projection = nullptr;     // null => all columns
+  // Stop after emitting this many rows (< 0: unlimited). Containers and
+  // WOS rows past the cap are never visited — they contribute nothing to
+  // the stats — which is what makes a pushed-down LIMIT cheap, not just
+  // small. Honored by Scan only (never by MarkDeletedPending).
+  int64_t limit = -1;
 };
 
 // Per-container statistics snapshot (v_monitor.storage_containers and the

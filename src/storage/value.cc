@@ -148,7 +148,15 @@ std::string Value::ToSqlLiteral() const {
     case DataType::kFloat64: {
       char buf[64];
       std::snprintf(buf, sizeof(buf), "%.17g", float64_value());
-      return buf;
+      std::string out = buf;
+      // %.17g drops the point for integral values ("2", not "2.0") and
+      // the lexer would hand that back as an Int64 literal; force a
+      // float marker when the rendering is digits-only (inf/nan
+      // spellings are left alone).
+      if (out.find_first_not_of("-0123456789") == std::string::npos) {
+        out += ".0";
+      }
+      return out;
     }
     case DataType::kVarchar: {
       std::string out = "'";

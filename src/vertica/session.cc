@@ -1499,6 +1499,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     Epoch snapshot;
     TxnId txn;
     bool aggregate;
+    int64_t scan_limit = -1;  // per-node row cap (LIMIT pushed into Scan)
     std::vector<int> group_cols;
     const sql::UdxResolver* udx;
     Database* db;
@@ -1536,6 +1537,13 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   state->snapshot = snapshot;
   state->txn = txn_;
   state->aggregate = aggregate;
+  // LIMIT n without ORDER BY or aggregation caps each node's scan at n:
+  // every node's emitted rows stay a prefix of what the uncapped scan
+  // emits, so the initiator's global LIMIT picks exactly the same rows
+  // while the storage layer skips the containers past the cap.
+  if (!aggregate && select.order_by.empty() && select.limit >= 0) {
+    state->scan_limit = select.limit;
+  }
   for (const std::string& g : select.group_by) {
     state->group_cols.push_back(*schema.IndexOf(g));
   }
@@ -1612,6 +1620,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
             }
             spec.cost_columns = &state->cost_columns;
             spec.projection = &state->projection;
+            spec.limit = state->scan_limit;
             storage::ScanStats stats;
             FABRIC_ASSIGN_OR_RETURN(std::vector<Row> passed,
                                     store->Scan(spec, &stats));

@@ -60,7 +60,9 @@ std::string Expr::ToSql() const {
       return column;
     case Kind::kUnary:
       if (op == "NOT") return StrCat("(NOT ", args[0]->ToSql(), ")");
-      return StrCat("(", op, args[0]->ToSql(), ")");
+      // The space matters: "-" directly against a negative literal would
+      // render "--5", which the lexer treats as a line comment.
+      return StrCat("(", op, " ", args[0]->ToSql(), ")");
     case Kind::kBinary:
       return StrCat("(", args[0]->ToSql(), " ", op, " ", args[1]->ToSql(),
                     ")");
@@ -70,6 +72,7 @@ std::string Expr::ToSql() const {
     case Kind::kCall: {
       std::string out = function;
       out += "(";
+      if (op == "*") out += "*";  // COUNT(*) carries no argument exprs
       for (size_t i = 0; i < args.size(); ++i) {
         if (i > 0) out += ", ";
         out += args[i]->ToSql();
