@@ -1,0 +1,216 @@
+// Approximate distinct counting across the fabric: the same
+// per-group COUNT DISTINCT answered three ways at growing simulated
+// cardinalities —
+//   pushed-sketch    V2S aggregate pushdown; Vertica's
+//                    APPROXIMATE_COUNT_DISTINCT UDx runs inside the
+//                    scan and only finished group rows cross the wire,
+//   shuffled-sketch  Spark-side HLL aggregation; map-side combine
+//                    merges partial sketches so the shuffle carries one
+//                    register array per (group, map partition),
+//   shuffled-exact   exact distinct via two shuffles (dedup on (k, v),
+//                    then count) — the wire carries every distinct row.
+// The sketch paths' wire cost is bounded by #groups x sketch size and
+// never grows with the cardinality; the exact path's grows linearly.
+// Register-max merging makes the two sketch paths byte-identical, which
+// the bench checks before timing anything.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/hll.h"
+
+namespace {
+
+using namespace fabric;
+using namespace fabric::bench;
+
+constexpr int kRealRows = 10000;
+constexpr int kGroups = 8;
+constexpr int kPrecision = 12;
+
+// CREATE + batched INSERTs through SQL so the table is segmented by the
+// grouping column (the pushdown covering condition). Every row carries
+// a distinct v, so the table's real cardinality is kRealRows and its
+// simulated cardinality is kRealRows x data_scale.
+void FillDistinctTable(Fabric& fabric) {
+  fabric.RunTimed([&](sim::Process& driver) {
+    auto session = fabric.db()->Connect(driver, 0, nullptr);
+    FABRIC_CHECK_OK(session.status());
+    FABRIC_CHECK_OK(
+        (*session)
+            ->Execute(driver,
+                      "CREATE TABLE t (k INTEGER, v INTEGER) "
+                      "SEGMENTED BY HASH(k) ALL NODES")
+            .status());
+    constexpr int kBatch = 500;
+    for (int base = 0; base < kRealRows; base += kBatch) {
+      std::string values;
+      for (int i = base; i < std::min(kRealRows, base + kBatch); ++i) {
+        values += StrCat(i > base ? ", " : "", "(", i % kGroups, ", ",
+                         i, ")");
+      }
+      FABRIC_CHECK_OK(
+          (*session)
+              ->Execute(driver, StrCat("INSERT INTO t VALUES ", values))
+              .status());
+    }
+    FABRIC_CHECK_OK((*session)->Close(driver));
+  });
+}
+
+Result<spark::DataFrame> LoadV2S(Fabric& fabric, sim::Process& driver,
+                                 bool pushdown) {
+  return fabric.spark()
+      ->Read()
+      .Format(connector::kVerticaSourceName)
+      .Option("table", "t")
+      .Option("numpartitions", 16)
+      .Option("aggregate_pushdown", pushdown ? "true" : "false")
+      .Load(driver);
+}
+
+// Canonical rendering of the result rows so the sketch paths' promised
+// byte-identity is checked, not assumed.
+std::string Rendered(std::vector<storage::Row> rows) {
+  std::vector<std::string> lines;
+  for (const storage::Row& row : rows) {
+    std::string line;
+    for (const storage::Value& v : row) {
+      line += v.is_null() ? "<null>" : v.ToDisplayString();
+      line += "|";
+    }
+    lines.push_back(std::move(line));
+  }
+  std::sort(lines.begin(), lines.end());
+  std::string out;
+  for (std::string& line : lines) out += line + "\n";
+  return out;
+}
+
+// GroupBy(k).Agg(APPROXIMATE_COUNT_DISTINCT(v)) through the sketch
+// paths; `pushdown` picks V2S-pushed vs Spark-shuffled.
+double RunSketch(Fabric& fabric, bool pushdown, std::string* rendered) {
+  return fabric.RunTimed([&](sim::Process& driver) {
+    auto df = LoadV2S(fabric, driver, pushdown);
+    FABRIC_CHECK_OK(df.status());
+    auto agg = df->GroupBy({"k"})->Agg(
+        {spark::AggApproxCountDistinct("v", kPrecision)});
+    FABRIC_CHECK_OK(agg.status());
+    auto rows = agg->Collect(driver);
+    FABRIC_CHECK_OK(rows.status());
+    FABRIC_CHECK(static_cast<int>(rows->size()) == kGroups)
+        << rows->size() << " groups, expected " << kGroups;
+    *rendered = Rendered(std::move(*rows));
+  });
+}
+
+// Exact distinct: dedup on (k, v) through one shuffle, then count the
+// surviving rows per k through a second. Every distinct row crosses the
+// wire — this is the path the sketch exists to avoid.
+double RunExact(Fabric& fabric) {
+  return fabric.RunTimed([&](sim::Process& driver) {
+    auto df = LoadV2S(fabric, driver, /*pushdown=*/false);
+    FABRIC_CHECK_OK(df.status());
+    auto dedup = df->GroupBy({"k", "v"})->Agg({spark::AggCount()});
+    FABRIC_CHECK_OK(dedup.status());
+    auto counts = dedup->GroupBy({"k"})->Agg({spark::AggCount()});
+    FABRIC_CHECK_OK(counts.status());
+    auto rows = counts->Collect(driver);
+    FABRIC_CHECK_OK(rows.status());
+    FABRIC_CHECK(static_cast<int>(rows->size()) == kGroups)
+        << rows->size() << " groups, expected " << kGroups;
+  });
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader(
+      "APPROXIMATE_COUNT_DISTINCT: pushed sketch vs. shuffled sketch "
+      "vs. exact distinct shuffle",
+      "mergeable HLL sketches over the Section 3.2 connector (sketch "
+      "wire cost is O(groups), exact distinct is O(cardinality))");
+
+  BenchReport report("hll");
+  // One serialized sketch: "HLL1:<pp>:" + 2 hex chars per register.
+  const double sketch_bytes = static_cast<double>(
+      (*hll::Sketch::Create(kPrecision)).Serialize().size());
+
+  std::printf("%-14s %-16s %12s %16s %16s\n", "cardinality", "path",
+              "query (s)", "wire bytes", "vs exact");
+  for (double cardinality : {1e4, 1e6, 1e8}) {
+    FabricOptions options;
+    options.real_rows = kRealRows;
+    options.paper_rows = cardinality;  // every real row is distinct
+
+    double seconds[3];    // pushed-sketch, shuffled-sketch, shuffled-exact
+    double wire_bytes[3];
+    std::string pushed_rows, shuffled_rows;
+    // The exact-path fabric outlives the loop so its metrics snapshot
+    // (the expensive run) lands in the report sample.
+    std::unique_ptr<Fabric> kept;
+    for (int path = 0; path < 3; ++path) {
+      // Destroy the previous fabric before constructing the next:
+      // ScopedTracer installs nest, so the new fabric's tracer must not
+      // be installed while the old one is still registered.
+      kept.reset();
+      kept = std::make_unique<Fabric>(options);
+      Fabric& fabric = *kept;
+      FillDistinctTable(fabric);
+      switch (path) {
+        case 0:
+          seconds[0] = RunSketch(fabric, /*pushdown=*/true, &pushed_rows);
+          // The pushdown elides the shuffle; what crosses the wire per
+          // group is at most one sketch (it is actually the finished
+          // 8-byte estimate — the sketch size is the honest upper bound
+          // for a consumer that wants the mergeable state, as S2V's
+          // HLL_SKETCH writers do).
+          wire_bytes[0] = kGroups * sketch_bytes;
+          FABRIC_CHECK(
+              fabric.tracer()->metrics().counter("v2s.agg_pushdowns") > 0)
+              << "aggregate pushdown did not engage";
+          FABRIC_CHECK(
+              fabric.tracer()->metrics().counter("spark.shuffle.bytes") ==
+              0)
+              << "pushed path still shuffled";
+          break;
+        case 1:
+          seconds[1] =
+              RunSketch(fabric, /*pushdown=*/false, &shuffled_rows);
+          wire_bytes[1] =
+              fabric.tracer()->metrics().counter("spark.shuffle.bytes");
+          break;
+        case 2:
+          seconds[2] = RunExact(fabric);
+          wire_bytes[2] =
+              fabric.tracer()->metrics().counter("spark.shuffle.bytes");
+          break;
+      }
+    }
+    FABRIC_CHECK(pushed_rows == shuffled_rows)
+        << "pushed and shuffled sketch estimates diverged";
+
+    const char* names[3] = {"pushed-sketch", "shuffled-sketch",
+                            "shuffled-exact"};
+    for (int path = 0; path < 3; ++path) {
+      std::printf("%-14.0f %-16s %12.3f %16.0f %15.1fx\n", cardinality,
+                  names[path], seconds[path], wire_bytes[path],
+                  wire_bytes[2] / wire_bytes[path]);
+    }
+    report.AddSample(
+        *kept,
+        {{"cardinality", cardinality},
+         {"groups", static_cast<double>(kGroups)},
+         {"precision", static_cast<double>(kPrecision)},
+         {"sketch_bytes", sketch_bytes},
+         {"pushed_sketch_seconds", seconds[0]},
+         {"shuffled_sketch_seconds", seconds[1]},
+         {"shuffled_exact_seconds", seconds[2]},
+         {"pushed_sketch_wire_bytes", wire_bytes[0]},
+         {"shuffled_sketch_wire_bytes", wire_bytes[1]},
+         {"shuffled_exact_wire_bytes", wire_bytes[2]},
+         {"exact_over_pushed_wire_ratio", wire_bytes[2] / wire_bytes[0]}});
+  }
+  return 0;
+}

@@ -267,9 +267,11 @@ std::shared_ptr<const Plan> PushDownPass(std::shared_ptr<const Plan> plan) {
         }
         for (const shuffle::AggCall& call : plan->agg->calls) {
           spec.calls.push_back(
-              {call.fn, call.column < 0
-                            ? std::string()
-                            : plan->agg->in_schema.column(call.column).name});
+              {call.fn,
+               call.column < 0
+                   ? std::string()
+                   : plan->agg->in_schema.column(call.column).name,
+               call.precision});
         }
         if (inner->relation->SupportsAggregatePushdown(spec)) {
           auto fused = std::make_shared<Plan>(*inner);
@@ -428,15 +430,25 @@ Result<DataFrame> GroupedDataFrame::Agg(
     } else {
       FABRIC_ASSIGN_OR_RETURN(col, in_schema.IndexOf(req.column));
     }
-    agg_plan->calls.push_back({req.fn, col});
+    if (IsSketchFn(req.fn) && !hll::ValidPrecision(req.precision)) {
+      return InvalidArgumentError(
+          StrCat(AggregateFnName(req.fn), " precision must be in [",
+                 hll::kMinPrecision, ", ", hll::kMaxPrecision, "], got ",
+                 req.precision));
+    }
+    agg_plan->calls.push_back({req.fn, col, req.precision});
     storage::DataType out_type;
     switch (req.fn) {
       case AggregateFn::kCount:
+      case AggregateFn::kApproxCountDistinct:
         out_type = storage::DataType::kInt64;
         break;
       case AggregateFn::kSum:
       case AggregateFn::kAvg:
         out_type = storage::DataType::kFloat64;
+        break;
+      case AggregateFn::kHllSketch:
+        out_type = storage::DataType::kVarchar;
         break;
       default:
         out_type = in_schema.column(col).type;

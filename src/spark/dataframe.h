@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/hll.h"
 #include "common/result.h"
 #include "spark/cluster.h"
 #include "spark/datasource.h"
@@ -77,10 +78,13 @@ struct Plan {
 };
 
 // One aggregate a GroupBy().Agg() asks for; build with the AggCount /
-// AggSum / AggAvg / AggMin / AggMax helpers below.
+// AggSum / AggAvg / AggMin / AggMax / AggApproxCountDistinct /
+// AggHllSketch helpers below.
 struct AggregateRequest {
   AggregateFn fn = AggregateFn::kCount;
   std::string column;  // empty: COUNT(*)
+  // HLL precision for the sketch aggregates (hll::ValidPrecision).
+  int precision = 0;
 };
 
 inline AggregateRequest AggCount() { return {AggregateFn::kCount, ""}; }
@@ -98,6 +102,20 @@ inline AggregateRequest AggMin(std::string column) {
 }
 inline AggregateRequest AggMax(std::string column) {
   return {AggregateFn::kMax, std::move(column)};
+}
+// HyperLogLog distinct-count estimate (common/hll.h). Map-side combine
+// merges partial sketches, so only registers cross the shuffle — and an
+// eligible V2S scan evaluates the whole call inside Vertica with an
+// estimate byte-identical to the shuffled path.
+inline AggregateRequest AggApproxCountDistinct(
+    std::string column, int precision = hll::kDefaultPrecision) {
+  return {AggregateFn::kApproxCountDistinct, std::move(column), precision};
+}
+// Same state, finalized to the versioned serialized sketch (VARCHAR) so
+// it can be stored via S2V and merged later with HLL_UNION_AGG.
+inline AggregateRequest AggHllSketch(
+    std::string column, int precision = hll::kDefaultPrecision) {
+  return {AggregateFn::kHllSketch, std::move(column), precision};
 }
 
 // Spark DataFrame: schema'd, immutable, lazily evaluated.

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <utility>
 
+#include "common/hll.h"
 #include "common/string_util.h"
 
 namespace fabric::spark::shuffle {
@@ -20,6 +21,9 @@ struct Partial {
   double sum = 0;
   Value min;
   Value max;
+  // Sketch-call state; invalid until the first update/merge so the
+  // precision comes from the call (or the incoming partial).
+  hll::Sketch sketch;
 };
 
 Status UpdatePartial(const AggCall& call, const Row& row, Partial* p) {
@@ -30,6 +34,15 @@ Status UpdatePartial(const AggCall& call, const Row& row, Partial* p) {
   switch (call.fn) {
     case AggregateFn::kCount:
       break;
+    case AggregateFn::kApproxCountDistinct:
+    case AggregateFn::kHllSketch: {
+      if (!p->sketch.valid()) {
+        FABRIC_ASSIGN_OR_RETURN(p->sketch,
+                                hll::Sketch::Create(call.precision));
+      }
+      p->sketch.AddHash(v.DistinctHash());
+      break;
+    }
     case AggregateFn::kSum:
     case AggregateFn::kAvg: {
       FABRIC_ASSIGN_OR_RETURN(double d, v.AsDouble());
@@ -61,6 +74,13 @@ Status UpdatePartial(const AggCall& call, const Row& row, Partial* p) {
 Status MergePartialInto(const Partial& in, Partial* out) {
   out->count += in.count;
   out->sum += in.sum;
+  if (in.sketch.valid()) {
+    if (!out->sketch.valid()) {
+      out->sketch = in.sketch;
+    } else {
+      FABRIC_RETURN_IF_ERROR(out->sketch.Merge(in.sketch));
+    }
+  }
   if (!in.min.is_null()) {
     if (out->min.is_null()) {
       out->min = in.min;
@@ -80,7 +100,7 @@ Status MergePartialInto(const Partial& in, Partial* out) {
   return Status::OK();
 }
 
-Value FinalizePartial(const AggCall& call, const Partial& p) {
+Result<Value> FinalizePartial(const AggCall& call, const Partial& p) {
   switch (call.fn) {
     case AggregateFn::kCount:
       return Value::Int64(p.count);
@@ -92,8 +112,31 @@ Value FinalizePartial(const AggCall& call, const Partial& p) {
       return p.min;
     case AggregateFn::kMax:
       return p.max;
+    case AggregateFn::kApproxCountDistinct:
+    case AggregateFn::kHllSketch: {
+      hll::Sketch sketch = p.sketch;
+      if (!sketch.valid()) {
+        // Zero non-null inputs: an empty sketch (estimate 0), matching
+        // the Vertica UDx's init-state finalize.
+        FABRIC_ASSIGN_OR_RETURN(sketch, hll::Sketch::Create(call.precision));
+      }
+      if (call.fn == AggregateFn::kApproxCountDistinct) {
+        return Value::Int64(sketch.Estimate());
+      }
+      return Value::Varchar(sketch.Serialize());
+    }
   }
   return Value::Null();
+}
+
+// Serialized form of a call's sketch state for the partial row; empty
+// states serialize as the empty sketch so the reduce side can always
+// deserialize.
+Result<Value> SketchPartialValue(const AggCall& call, const Partial& p) {
+  if (p.sketch.valid()) return Value::Varchar(p.sketch.Serialize());
+  FABRIC_ASSIGN_OR_RETURN(hll::Sketch empty,
+                          hll::Sketch::Create(call.precision));
+  return Value::Varchar(empty.Serialize());
 }
 
 // Ordered group table: encoded key -> (key values, one Partial per call).
@@ -118,6 +161,11 @@ storage::Schema PartialSchema(const AggPlan& plan) {
   for (int k : plan.keys) defs.push_back(plan.in_schema.column(k));
   for (size_t i = 0; i < plan.calls.size(); ++i) {
     const AggCall& call = plan.calls[i];
+    if (IsSketchFn(call.fn)) {
+      defs.push_back({StrCat("p", i, "_sketch"),
+                      storage::DataType::kVarchar});
+      continue;
+    }
     storage::DataType arg_type =
         call.column < 0 ? storage::DataType::kInt64
                         : plan.in_schema.column(call.column).type;
@@ -128,6 +176,8 @@ storage::Schema PartialSchema(const AggPlan& plan) {
   }
   return storage::Schema(std::move(defs));
 }
+
+int PartialWidth(const AggCall& call) { return IsSketchFn(call.fn) ? 1 : 4; }
 
 std::string GroupKeyOf(const Row& row, const std::vector<int>& keys) {
   // Same encoding as the Vertica engine's GROUP BY key: \x01 marks NULL
@@ -155,7 +205,14 @@ Result<std::vector<Row>> CombineToPartials(const std::vector<Row>& rows,
   out.reserve(groups.size());
   for (auto& [key, group] : groups) {
     Row row = std::move(group.first);
-    for (const Partial& p : group.second) {
+    for (size_t i = 0; i < plan.calls.size(); ++i) {
+      const AggCall& call = plan.calls[i];
+      const Partial& p = group.second[i];
+      if (IsSketchFn(call.fn)) {
+        FABRIC_ASSIGN_OR_RETURN(Value sketch, SketchPartialValue(call, p));
+        row.push_back(std::move(sketch));
+        continue;
+      }
       row.push_back(Value::Int64(p.count));
       row.push_back(Value::Float64(p.sum));
       row.push_back(p.min);
@@ -176,14 +233,27 @@ Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,
     auto* group =
         FindOrInsertGroup(&groups, GroupKeyOf(prow, key_positions), prow,
                           key_positions, plan.calls.size());
+    // Partial rows have a variable per-call width (sketch calls carry a
+    // single serialized-register field); walk the layout, never stride.
+    int base = k;
     for (size_t i = 0; i < plan.calls.size(); ++i) {
-      const int base = k + static_cast<int>(4 * i);
+      const AggCall& call = plan.calls[i];
       Partial in;
-      in.count = prow[base].int64_value();
-      in.sum = prow[base + 1].float64_value();
-      in.min = prow[base + 2];
-      in.max = prow[base + 3];
+      if (IsSketchFn(call.fn)) {
+        if (prow[base].type() != storage::DataType::kVarchar) {
+          return InvalidArgumentError(
+              "sketch partial field is not a serialized sketch");
+        }
+        FABRIC_ASSIGN_OR_RETURN(
+            in.sketch, hll::Sketch::Deserialize(prow[base].varchar_value()));
+      } else {
+        in.count = prow[base].int64_value();
+        in.sum = prow[base + 1].float64_value();
+        in.min = prow[base + 2];
+        in.max = prow[base + 3];
+      }
       FABRIC_RETURN_IF_ERROR(MergePartialInto(in, &group->second[i]));
+      base += PartialWidth(call);
     }
   }
   std::vector<Row> out;
@@ -192,7 +262,8 @@ Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,
     // input (COUNT 0, SUM/AVG NULL, ...).
     Row row;
     for (const AggCall& call : plan.calls) {
-      row.push_back(FinalizePartial(call, Partial()));
+      FABRIC_ASSIGN_OR_RETURN(Value v, FinalizePartial(call, Partial()));
+      row.push_back(std::move(v));
     }
     out.push_back(std::move(row));
     return out;
@@ -201,7 +272,9 @@ Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,
   for (auto& [key, group] : groups) {
     Row row = std::move(group.first);
     for (size_t i = 0; i < plan.calls.size(); ++i) {
-      row.push_back(FinalizePartial(plan.calls[i], group.second[i]));
+      FABRIC_ASSIGN_OR_RETURN(
+          Value v, FinalizePartial(plan.calls[i], group.second[i]));
+      row.push_back(std::move(v));
     }
     out.push_back(std::move(row));
   }

@@ -20,10 +20,12 @@
 namespace fabric::spark::shuffle {
 
 // One aggregate over a column of the input schema (`column` < 0 means
-// COUNT(*): counts every row).
+// COUNT(*): counts every row). Sketch aggregates carry their HLL
+// precision so every layer builds register-identical state.
 struct AggCall {
   AggregateFn fn = AggregateFn::kCount;
   int column = -1;
+  int precision = 0;
 };
 
 // A grouped aggregation: group by `keys` (indices into `in_schema`),
@@ -37,11 +39,17 @@ struct AggPlan {
 };
 
 // Rows flowing between map-side combine and reduce-side merge carry the
-// group keys followed by four accumulator fields per call:
-// [count INTEGER, sum FLOAT, min <col type>, max <col type>]. `count` is
-// the number of non-null inputs (for COUNT(*), of rows), so "any input
-// seen" is exactly count > 0.
+// group keys followed by a per-call accumulator layout. Scalar calls
+// contribute four fixed fields [count INTEGER, sum FLOAT, min <col
+// type>, max <col type>] (`count` is the number of non-null inputs, so
+// "any input seen" is exactly count > 0); sketch calls contribute one
+// variable-length field [sketch VARCHAR] holding the serialized HLL
+// registers. Consumers must walk the layout with PartialWidth — partial
+// rows are NOT a fixed stride per call.
 storage::Schema PartialSchema(const AggPlan& plan);
+
+// Number of partial-row fields the call occupies (4 scalar, 1 sketch).
+int PartialWidth(const AggCall& call);
 
 // Group-key encoding shared with Vertica's GROUP BY: display string per
 // key column, NULL marked distinctly, columns separated unambiguously.

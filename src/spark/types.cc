@@ -117,11 +117,25 @@ const char* AggregateFnName(AggregateFn fn) {
       return "MIN";
     case AggregateFn::kMax:
       return "MAX";
+    case AggregateFn::kApproxCountDistinct:
+      return "APPROXIMATE_COUNT_DISTINCT";
+    case AggregateFn::kHllSketch:
+      return "HLL_SKETCH";
   }
   return "?";
 }
 
+bool IsSketchFn(AggregateFn fn) {
+  return fn == AggregateFn::kApproxCountDistinct ||
+         fn == AggregateFn::kHllSketch;
+}
+
 std::string AggregateCall::ToSqlExpr() const {
+  if (IsSketchFn(fn)) {
+    // Render the precision explicitly so the pushed query sketches with
+    // exactly the registers the Spark-side combine would build.
+    return StrCat(AggregateFnName(fn), "(", column, ", ", precision, ")");
+  }
   return StrCat(AggregateFnName(fn), "(", column.empty() ? "*" : column,
                 ")");
 }

@@ -58,18 +58,36 @@ struct ColumnPredicate {
 // Aggregate functions a source may evaluate on the DataFrame's behalf.
 // The set mirrors what both the Spark-side shuffle aggregation and the
 // Vertica SQL engine implement, so a pushed and an unpushed plan agree.
-enum class AggregateFn { kCount, kSum, kAvg, kMin, kMax };
+// kApproxCountDistinct and kHllSketch carry mergeable HyperLogLog
+// register state instead of scalar accumulators (common/hll.h); the
+// former finalizes to the cardinality estimate, the latter to the
+// versioned serialized sketch.
+enum class AggregateFn {
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kApproxCountDistinct,
+  kHllSketch,
+};
 
 const char* AggregateFnName(AggregateFn fn);  // "COUNT", "SUM", ...
+
+// True for the sketch-state aggregates (variable-width partial state).
+bool IsSketchFn(AggregateFn fn);
 
 // One aggregate call over a source column. An empty `column` means
 // COUNT(*) (counts rows, including NULLs).
 struct AggregateCall {
   AggregateFn fn = AggregateFn::kCount;
   std::string column;
+  // HLL precision for the sketch aggregates (ignored otherwise).
+  int precision = 0;
 
-  // Renders as a SQL select item ("SUM(score)", "COUNT(*)") for sources
-  // that push down by query rewriting.
+  // Renders as a SQL select item ("SUM(score)", "COUNT(*)",
+  // "APPROXIMATE_COUNT_DISTINCT(user_id, 12)") for sources that push
+  // down by query rewriting.
   std::string ToSqlExpr() const;
 };
 

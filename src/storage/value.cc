@@ -124,6 +124,10 @@ uint64_t Value::SegmentationHash() const {
   return 0;
 }
 
+uint64_t Value::DistinctHash() const {
+  return Mix64(SegmentationHash() ^ 0xc2b2ae3d27d4eb4fULL);
+}
+
 double Value::RawSize() const {
   if (is_null()) return 0;
   switch (type()) {

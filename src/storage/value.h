@@ -78,6 +78,13 @@ class Value {
   // Segmentation/ring hash of this value (see common/hash.h).
   uint64_t SegmentationHash() const;
 
+  // 64-bit hash for HLL distinct-count sketches, salted away from the
+  // segmentation hash so sketch quality is independent of how the data
+  // happens to be placed on the ring. Every layer that feeds values into
+  // a sketch (Vertica UDx, Spark shuffle combine) uses this hash, which
+  // is what makes their sketches mergeable and byte-identical.
+  uint64_t DistinctHash() const;
+
   // Bytes this value occupies "raw" (the cost model's notion of data
   // size): 8 for numerics, 1 for bool, string length for varchar, 0 null.
   double RawSize() const;

@@ -6,6 +6,7 @@
 #include "common/string_util.h"
 #include "obs/trace.h"
 #include "vertica/session.h"
+#include "vertica/udx_hll.h"
 
 namespace fabric::vertica {
 
@@ -44,6 +45,12 @@ Database::Database(sim::Engine* engine, net::Network* network,
     }
     return it->second(args, parameters);
   };
+  aggregate_udx_resolver_ =
+      [this](const std::string& fn) -> const sql::AggregateUdx* {
+    auto it = aggregate_functions_.find(ToUpper(fn));
+    return it == aggregate_functions_.end() ? nullptr : &it->second;
+  };
+  RegisterHllFunctions(this);
   tm_ = std::make_unique<TupleMover>(this, options_.tuple_mover);
 }
 
@@ -77,6 +84,15 @@ void Database::RegisterScalarFunction(const std::string& name,
 
 bool Database::HasScalarFunction(const std::string& name) const {
   return functions_.count(ToUpper(name)) > 0;
+}
+
+void Database::RegisterAggregateFunction(const std::string& name,
+                                         sql::AggregateUdx udx) {
+  aggregate_functions_[ToUpper(name)] = std::move(udx);
+}
+
+bool Database::HasAggregateFunction(const std::string& name) const {
+  return aggregate_functions_.count(ToUpper(name)) > 0;
 }
 
 Result<std::unique_ptr<Session>> Database::Connect(sim::Process& self,

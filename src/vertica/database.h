@@ -112,6 +112,13 @@ class Database {
   void RegisterScalarFunction(const std::string& name, ScalarFn fn);
   bool HasScalarFunction(const std::string& name) const;
 
+  // Aggregate UDx with mergeable state (init/update/merge/finalize, see
+  // sql::AggregateUdx). APPROXIMATE_COUNT_DISTINCT and the HLL_* family
+  // are registered here at construction (udx_hll.cc).
+  void RegisterAggregateFunction(const std::string& name,
+                                 sql::AggregateUdx udx);
+  bool HasAggregateFunction(const std::string& name) const;
+
   // ------------------------------------------------------------ clients
   // Opens a session against `node`. `client` is the caller's host for
   // network accounting (nullptr: a co-located console client, no network
@@ -253,6 +260,12 @@ class Database {
   // The UDx resolver bound to this database (for sql::EvalContext).
   const sql::UdxResolver& udx_resolver() const { return udx_resolver_; }
 
+  // The aggregate UDx resolver bound to this database (threaded through
+  // the aggregate executor and per-row rejection in sql::EvalCall).
+  const sql::AggregateUdxResolver& aggregate_udx_resolver() const {
+    return aggregate_udx_resolver_;
+  }
+
  private:
   struct TxnState {
     std::set<std::string> locked_tables;
@@ -284,6 +297,8 @@ class Database {
   std::set<std::string> scale_exempt_;
   std::map<std::string, ScalarFn> functions_;
   sql::UdxResolver udx_resolver_;
+  std::map<std::string, sql::AggregateUdx> aggregate_functions_;
+  sql::AggregateUdxResolver aggregate_udx_resolver_;
   std::vector<int> active_sessions_;
   std::vector<std::unique_ptr<sim::Semaphore>> pool_slots_;
 

@@ -33,10 +33,15 @@ constexpr double kCommitAckLatency = 0.002;
 // ------------------------------------------------------------ aggregates
 
 struct AggSpec {
-  enum class Kind { kCount, kSum, kAvg, kMin, kMax };
+  enum class Kind { kCount, kSum, kAvg, kMin, kMax, kUdx };
   Kind kind;
   const sql::Expr* arg = nullptr;  // null for COUNT(*)
   std::string out_name;
+  // Aggregate UDx (kind == kUdx): the registered lifecycle plus the
+  // initial state built once per query from the call's extra constant
+  // arguments (e.g. APPROXIMATE_COUNT_DISTINCT's precision).
+  const sql::AggregateUdx* udx = nullptr;
+  std::string init_state;
 };
 
 struct AggPartial {
@@ -45,6 +50,7 @@ struct AggPartial {
   bool any = false;
   Value min;
   Value max;
+  std::string udx_state;
 };
 
 Status UpdatePartial(const AggSpec& spec, const Value& v, AggPartial* p) {
@@ -54,6 +60,9 @@ Status UpdatePartial(const AggSpec& spec, const Value& v, AggPartial* p) {
   switch (spec.kind) {
     case AggSpec::Kind::kCount:
       break;
+    case AggSpec::Kind::kUdx:
+      if (p->udx_state.empty()) p->udx_state = spec.init_state;
+      return spec.udx->update(v, &p->udx_state);
     case AggSpec::Kind::kSum:
     case AggSpec::Kind::kAvg: {
       FABRIC_ASSIGN_OR_RETURN(double d, v.AsDouble());
@@ -72,25 +81,7 @@ Status UpdatePartial(const AggSpec& spec, const Value& v, AggPartial* p) {
   return Status::OK();
 }
 
-void MergePartial(const AggSpec& spec, const AggPartial& in,
-                  AggPartial* out) {
-  out->count += in.count;
-  out->sum += in.sum;
-  if (in.any) {
-    out->any = true;
-    if (!in.min.is_null() &&
-        (out->min.is_null() || in.min.Compare(out->min).value() < 0)) {
-      out->min = in.min;
-    }
-    if (!in.max.is_null() &&
-        (out->max.is_null() || in.max.Compare(out->max).value() > 0)) {
-      out->max = in.max;
-    }
-  }
-  (void)spec;
-}
-
-Value FinalizePartial(const AggSpec& spec, const AggPartial& p) {
+Result<Value> FinalizePartial(const AggSpec& spec, const AggPartial& p) {
   switch (spec.kind) {
     case AggSpec::Kind::kCount:
       return Value::Int64(p.count);
@@ -102,6 +93,9 @@ Value FinalizePartial(const AggSpec& spec, const AggPartial& p) {
       return p.min;
     case AggSpec::Kind::kMax:
       return p.max;
+    case AggSpec::Kind::kUdx:
+      return spec.udx->finalize(p.udx_state.empty() ? spec.init_state
+                                                    : p.udx_state);
   }
   return Value::Null();
 }
@@ -173,6 +167,14 @@ DataType InferType(const sql::Expr& expr, const Schema& schema) {
       }
       if (expr.function == "HASH" || expr.function == "LENGTH") {
         return DataType::kInt64;
+      }
+      if (expr.function == "APPROXIMATE_COUNT_DISTINCT" ||
+          expr.function == "HLL_ESTIMATE") {
+        return DataType::kInt64;
+      }
+      if (expr.function == "HLL_SKETCH" ||
+          expr.function == "HLL_UNION_AGG") {
+        return DataType::kVarchar;
       }
       if (expr.function == "UPPER" || expr.function == "LOWER") {
         return DataType::kVarchar;
@@ -913,7 +915,8 @@ namespace {
 Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
                                 const Schema& schema,
                                 const sql::SelectStmt& select,
-                                const sql::UdxResolver* udx) {
+                                const sql::UdxResolver* udx,
+                                const sql::AggregateUdxResolver* agg_udx) {
   // Filter.
   std::vector<const Row*> filtered;
   filtered.reserve(rows.size());
@@ -923,6 +926,7 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
       context.schema = &schema;
       context.row = &row;
       context.udx = udx;
+      context.aggregate_udx = agg_udx;
       FABRIC_ASSIGN_OR_RETURN(bool keep,
                               sql::EvalPredicate(*select.where, context));
       if (!keep) continue;
@@ -932,7 +936,9 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
 
   bool aggregate = !select.group_by.empty();
   for (const sql::SelectItem& item : select.items) {
-    if (!item.star && sql::ContainsAggregate(*item.expr)) aggregate = true;
+    if (!item.star && sql::ContainsAggregate(*item.expr, agg_udx)) {
+      aggregate = true;
+    }
   }
 
   QueryResult result;
@@ -967,6 +973,7 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
         context.schema = &schema;
         context.row = row;
         context.udx = udx;
+        context.aggregate_udx = agg_udx;
         FABRIC_ASSIGN_OR_RETURN(Value v, sql::Eval(*e, context));
         out.push_back(std::move(v));
       }
@@ -1013,6 +1020,33 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
       out.agg.arg = e.args.empty() ? nullptr : e.args[0].get();
       out_columns.push_back({ItemName(item, static_cast<int>(i)),
                              InferType(e, schema)});
+    } else if (e.kind == sql::Expr::Kind::kCall && agg_udx != nullptr &&
+               *agg_udx && (*agg_udx)(e.function) != nullptr) {
+      // Aggregate UDx call: first argument is the aggregated expression,
+      // the rest must be constants handed to init (e.g. the precision).
+      const sql::AggregateUdx* udx_def = (*agg_udx)(e.function);
+      if (e.args.empty()) {
+        return InvalidArgumentError(
+            StrCat(e.function, " requires an argument"));
+      }
+      out.agg.kind = AggSpec::Kind::kUdx;
+      out.agg.udx = udx_def;
+      out.agg.arg = e.args[0].get();
+      std::vector<Value> extra;
+      for (size_t a = 1; a < e.args.size(); ++a) {
+        sql::EvalContext const_context;
+        const_context.udx = udx;
+        auto v = sql::Eval(*e.args[a], const_context);
+        if (!v.ok()) {
+          return InvalidArgumentError(
+              StrCat(e.function, " extra arguments must be constants: ",
+                     v.status().message()));
+        }
+        extra.push_back(std::move(*v));
+      }
+      FABRIC_ASSIGN_OR_RETURN(out.agg.init_state, udx_def->init(extra));
+      out_columns.push_back({ItemName(item, static_cast<int>(i)),
+                             udx_def->output_type});
     } else {
       return InvalidArgumentError(
           "aggregate queries support only group columns and simple "
@@ -1039,6 +1073,7 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
         context.schema = &schema;
         context.row = row;
         context.udx = udx;
+        context.aggregate_udx = agg_udx;
         FABRIC_ASSIGN_OR_RETURN(v, sql::Eval(*out_items[i].agg.arg,
                                              context));
       }
@@ -1058,8 +1093,9 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
       if (out_items[i].is_group) {
         out.push_back(group.first[out_items[i].group_pos]);
       } else {
-        out.push_back(FinalizePartial(out_items[i].agg,
-                                      group.second[i]));
+        FABRIC_ASSIGN_OR_RETURN(
+            Value v, FinalizePartial(out_items[i].agg, group.second[i]));
+        out.push_back(std::move(v));
       }
     }
     result.rows.push_back(std::move(out));
@@ -1224,6 +1260,16 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   }
   const CostModel& cost = db_->cost();
   const sql::UdxResolver* udx = &db_->udx_resolver();
+  const sql::AggregateUdxResolver* agg_udx = &db_->aggregate_udx_resolver();
+
+  // Aggregates (builtin or UDx) cannot be evaluated per row, so a WHERE
+  // clause containing one is rejected at planning — the scan's residual
+  // evaluator never sees the call.
+  if (select.where != nullptr &&
+      sql::ContainsAggregate(*select.where, agg_udx)) {
+    return InvalidArgumentError(
+        "aggregate functions are not allowed in WHERE");
+  }
 
   // FROM-less SELECT (constant expressions).
   if (select.from.empty()) {
@@ -1231,7 +1277,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     Schema empty_schema;
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(one_row, empty_schema, select,
-                                        udx));
+                                        udx, agg_udx));
     if (to_client) {
       FABRIC_RETURN_IF_ERROR(StreamToClient(self, 64, net::kUnlimitedRate));
     }
@@ -1334,7 +1380,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     }
 
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
-                            LocalSelect(joined, combined, select, udx));
+                            LocalSelect(joined, combined, select, udx, agg_udx));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       profile.ScaleBy(cost.data_scale);
@@ -1351,7 +1397,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     FABRIC_ASSIGN_OR_RETURN(QueryResult base, SystemTable(from));
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(base.rows, base.schema, select,
-                                        udx));
+                                        udx, agg_udx));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       FABRIC_RETURN_IF_ERROR(StreamToClient(
@@ -1383,7 +1429,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
                    view_depth + 1));
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(sub.rows, sub.schema, select,
-                                        udx));
+                                        udx, agg_udx));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       profile.ScaleBy(cost.data_scale);
@@ -1454,7 +1500,9 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
 
   bool aggregate = !select.group_by.empty();
   for (const sql::SelectItem& item : select.items) {
-    if (!item.star && sql::ContainsAggregate(*item.expr)) aggregate = true;
+    if (!item.star && sql::ContainsAggregate(*item.expr, agg_udx)) {
+      aggregate = true;
+    }
   }
 
   // Participating nodes: unsegmented tables are served locally; segmented
@@ -1742,7 +1790,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     copy.limit = select.limit;
     return copy;
   }();
-  return LocalSelect(gathered, schema, local, udx);
+  return LocalSelect(gathered, schema, local, udx, agg_udx);
 }
 
 Status Session::StreamToClient(sim::Process& self, double wire_bytes,

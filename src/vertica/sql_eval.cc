@@ -25,11 +25,20 @@ bool IsAggregateFunction(const std::string& upper_name) {
 }
 
 bool ContainsAggregate(const Expr& expr) {
-  if (expr.kind == Expr::Kind::kCall && IsAggregateFunction(expr.function)) {
-    return true;
+  return ContainsAggregate(expr, nullptr);
+}
+
+bool ContainsAggregate(const Expr& expr,
+                       const AggregateUdxResolver* aggregate_udx) {
+  if (expr.kind == Expr::Kind::kCall) {
+    if (IsAggregateFunction(expr.function)) return true;
+    if (aggregate_udx != nullptr && *aggregate_udx &&
+        (*aggregate_udx)(expr.function) != nullptr) {
+      return true;
+    }
   }
   for (const ExprPtr& arg : expr.args) {
-    if (ContainsAggregate(*arg)) return true;
+    if (ContainsAggregate(*arg, aggregate_udx)) return true;
   }
   return false;
 }
@@ -177,7 +186,9 @@ Result<Value> EvalBinary(const Expr& expr, const EvalContext& context) {
 
 Result<Value> EvalCall(const Expr& expr, const EvalContext& context) {
   const std::string& fn = expr.function;
-  if (IsAggregateFunction(fn)) {
+  if (IsAggregateFunction(fn) ||
+      (context.aggregate_udx != nullptr && *context.aggregate_udx &&
+       (*context.aggregate_udx)(fn) != nullptr)) {
     return InvalidArgumentError(
         StrCat(fn, " is an aggregate and cannot be evaluated per row"));
   }

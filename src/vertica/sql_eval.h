@@ -18,10 +18,40 @@ using UdxResolver = std::function<Result<storage::Value>(
     const std::string& function, const std::vector<storage::Value>& args,
     const std::map<std::string, storage::Value>& parameters)>;
 
+// A mergeable aggregate UDx (the hook APPROXIMATE_COUNT_DISTINCT plugs
+// into). The executor drives the classic init/update/merge/finalize
+// lifecycle over an opaque byte-string state:
+//   init      builds the initial state from the call's constant extra
+//             arguments (everything after the aggregated expression,
+//             e.g. the sketch precision), evaluated once per query;
+//   update    folds one non-NULL input value into the state (the
+//             executor skips SQL NULLs, matching built-in aggregates);
+//   merge     combines another state produced by the same init — must be
+//             commutative, associative and idempotent so partial states
+//             survive any re-execution or combine order;
+//   finalize  renders the state as the output value.
+struct AggregateUdx {
+  storage::DataType output_type = storage::DataType::kFloat64;
+  std::function<Result<std::string>(const std::vector<storage::Value>& extra)>
+      init;
+  std::function<Status(const storage::Value& input, std::string* state)>
+      update;
+  std::function<Status(const std::string& other, std::string* state)> merge;
+  std::function<Result<storage::Value>(const std::string& state)> finalize;
+};
+
+// Looks up an aggregate UDx by upper-cased name; returns nullptr when the
+// name is not a registered aggregate.
+using AggregateUdxResolver =
+    std::function<const AggregateUdx*(const std::string& function)>;
+
 struct EvalContext {
   const storage::Schema* schema = nullptr;  // null for constant expressions
   const storage::Row* row = nullptr;
   const UdxResolver* udx = nullptr;
+  // When set, EvalCall rejects registered aggregate UDx names per-row
+  // with a typed error (same treatment as COUNT/SUM/...).
+  const AggregateUdxResolver* aggregate_udx = nullptr;
 };
 
 // The ring hash exposed to SQL is signed: HASH(...) returns the raw 64-bit
@@ -48,8 +78,11 @@ bool EvalPredicateLenient(const Expr& expr, const EvalContext& context);
 // True for COUNT/SUM/AVG/MIN/MAX.
 bool IsAggregateFunction(const std::string& upper_name);
 
-// True when the expression tree contains an aggregate call.
+// True when the expression tree contains an aggregate call. The resolver
+// overload also counts registered aggregate UDx names.
 bool ContainsAggregate(const Expr& expr);
+bool ContainsAggregate(const Expr& expr,
+                       const AggregateUdxResolver* aggregate_udx);
 
 }  // namespace fabric::vertica::sql
 

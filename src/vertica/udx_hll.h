@@ -1,0 +1,29 @@
+#ifndef FABRIC_VERTICA_UDX_HLL_H_
+#define FABRIC_VERTICA_UDX_HLL_H_
+
+// HyperLogLog UDx family (the Criteo vertica-hyperloglog surface), built
+// on common/hll.h and registered on every Database at construction:
+//
+//   APPROXIMATE_COUNT_DISTINCT(expr [, precision])   aggregate -> INTEGER
+//       sketches the column and finalizes to the cardinality estimate.
+//   HLL_SKETCH(expr [, precision])                   aggregate -> VARCHAR
+//       same state, but finalizes to the versioned serialized sketch so
+//       the registers can be stored (S2V) and merged later.
+//   HLL_UNION_AGG(sketch_column)                     aggregate -> VARCHAR
+//       merges previously serialized sketches (register-wise max).
+//   HLL_ESTIMATE(sketch)                             scalar    -> INTEGER
+//       reads a serialized sketch back into its cardinality estimate.
+//
+// Precision defaults to hll::kDefaultPrecision (12) and must be a
+// constant in [4, 18]. Unknown sketch versions fail with a typed
+// FailedPrecondition (hll::kVersionErrorMarker), never a garbage number.
+
+namespace fabric::vertica {
+
+class Database;
+
+void RegisterHllFunctions(Database* db);
+
+}  // namespace fabric::vertica
+
+#endif  // FABRIC_VERTICA_UDX_HLL_H_

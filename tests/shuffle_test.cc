@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/hll.h"
 #include "common/random.h"
 #include "common/string_util.h"
 #include "connector/default_source.h"
@@ -808,6 +809,225 @@ TEST(ShuffleLimitPushdownTest, LimitPushdownScansFewerRows) {
   });
   Status status = engine.Run();
   ASSERT_TRUE(status.ok()) << status;
+}
+
+// --------------------------------------------- approximate aggregation
+
+// The same GroupBy(k).Agg(APPROXIMATE_COUNT_DISTINCT(v, 12)) returns the
+// byte-identical estimate through every execution path: (a) the V2S
+// aggregate pushdown, where Vertica's UDx computes the whole call and no
+// shuffle runs; (b) the Spark-side sketch shuffle; and (c) the sketch
+// shuffle disturbed by random task kills plus a mid-reduce executor loss
+// (lineage re-execution). Register-max merging is commutative,
+// associative and idempotent, so every re-execution order lands on the
+// same registers — and the estimate is a deterministic function of the
+// registers, so all three paths must agree to the byte.
+TEST_F(ShufflePushdownTest, ApproxCountDistinctIdenticalAcrossPaths) {
+  vertica::Database::Options vopts;
+  vopts.num_nodes = 4;
+  SparkCluster::Options sopts;
+  sopts.num_workers = 4;
+  sopts.cost.spark_slots_per_worker = 4;
+  // The kill leg's whole budget stays under the failure cap: every seed
+  // exercises recovery, never job abort.
+  sopts.max_task_failures = 10;
+
+  const std::vector<AggregateRequest> aggs = {
+      AggCount(), AggApproxCountDistinct("v", 12)};
+
+  for (uint64_t seed : PropertySeeds()) {
+    SCOPED_TRACE(StrCat("seed=", seed));
+    const auto data = SyntheticRows(240, 9, seed);
+
+    auto fill = [&](sim::Process& driver, vertica::Database& db,
+                    SparkCluster& cluster) {
+      auto exec = [&](const std::string& sql) {
+        auto connected = db.Connect(driver, 0, &cluster.driver_host());
+        ASSERT_TRUE(connected.ok()) << connected.status();
+        auto result = (*connected)->Execute(driver, sql);
+        EXPECT_TRUE(result.ok()) << sql << ": " << result.status();
+        EXPECT_TRUE((*connected)->Close(driver).ok());
+      };
+      exec(
+          "CREATE TABLE t (k INTEGER, v FLOAT, tag INTEGER) "
+          "SEGMENTED BY HASH(k) ALL NODES");
+      for (size_t at = 0; at < data.size(); at += 40) {
+        std::string values;
+        for (size_t i = at; i < std::min(data.size(), at + 40); ++i) {
+          values += StrCat(i > at ? ", " : "", "(",
+                           static_cast<int64_t>(data[i][0]), ", ");
+          values += data[i][1] < 0 ? "NULL" : StrCat(data[i][1]);
+          values += StrCat(", ", static_cast<int64_t>(data[i][2]), ")");
+        }
+        exec(StrCat("INSERT INTO t VALUES ", values));
+      }
+    };
+    auto load = [&](sim::Process& driver, SparkSession& session,
+                    vertica::Database& db, bool aggregate_pushdown) {
+      return session.Read()
+          .Format(kVerticaSourceName)
+          .Option("table", "t")
+          .Option("host", db.node_address(0))
+          .Option("numpartitions", 8)
+          .Option("aggregate_pushdown",
+                  aggregate_pushdown ? "true" : "false")
+          .Load(driver);
+    };
+
+    std::multiset<std::string> pushed, shuffled, server, disturbed;
+    {
+      // Clean fabric: pushdown leg, shuffle leg, server reference.
+      sim::Engine engine;
+      net::Network network(&engine);
+      vertica::Database db(&engine, &network, vopts);
+      SparkCluster cluster(&engine, &network, sopts);
+      SparkSession session(&cluster);
+      connector::RegisterVerticaSource(&session, &db);
+      obs::Tracer tracer([&engine] { return engine.now(); });
+      obs::ScopedTracer install(&tracer);
+      engine.Spawn("driver", [&](sim::Process& driver) {
+        fill(driver, db, cluster);
+
+        // (a) Grouping on the segmentation column: Vertica runs the
+        // whole GROUP BY, including the sketch UDx; the shuffle is
+        // elided entirely.
+        auto pushed_df = load(driver, session, db, true);
+        ASSERT_TRUE(pushed_df.ok()) << pushed_df.status();
+        auto pushed_agg = pushed_df->GroupBy({"k"})->Agg(aggs);
+        ASSERT_TRUE(pushed_agg.ok()) << pushed_agg.status();
+        double before = tracer.metrics().counter("spark.shuffle.bytes");
+        auto pushed_rows = pushed_agg->Collect(driver);
+        ASSERT_TRUE(pushed_rows.ok()) << pushed_rows.status();
+        EXPECT_GT(tracer.metrics().counter("v2s.agg_pushdowns"), 0.0);
+        EXPECT_EQ(tracer.metrics().counter("spark.shuffle.bytes"), before);
+        pushed = ContentsOf(*pushed_rows);
+
+        // (b) Pushdown off: partial sketches cross the shuffle and the
+        // reduce side merges registers.
+        auto shuffled_df = load(driver, session, db, false);
+        ASSERT_TRUE(shuffled_df.ok()) << shuffled_df.status();
+        auto shuffled_agg = shuffled_df->GroupBy({"k"})->Agg(aggs);
+        ASSERT_TRUE(shuffled_agg.ok()) << shuffled_agg.status();
+        auto shuffled_rows = shuffled_agg->Collect(driver);
+        ASSERT_TRUE(shuffled_rows.ok()) << shuffled_rows.status();
+        EXPECT_GT(tracer.metrics().counter("spark.shuffle.bytes"), before);
+        shuffled = ContentsOf(*shuffled_rows);
+
+        // The server's own GROUP BY, same aggregate, same precision.
+        auto connected = db.Connect(driver, 0, &cluster.driver_host());
+        ASSERT_TRUE(connected.ok()) << connected.status();
+        auto reference = (*connected)->Execute(
+            driver,
+            "SELECT k, COUNT(*), APPROXIMATE_COUNT_DISTINCT(v, 12) "
+            "FROM t GROUP BY k");
+        ASSERT_TRUE(reference.ok()) << reference.status();
+        EXPECT_TRUE((*connected)->Close(driver).ok());
+        server = ContentsOf(reference->rows);
+      });
+      Status status = engine.Run();
+      ASSERT_TRUE(status.ok()) << status;
+    }
+    ASSERT_FALSE(pushed.empty());
+    EXPECT_EQ(pushed, shuffled)
+        << "pushed and shuffled sketch estimates disagree";
+    EXPECT_EQ(pushed, server)
+        << "connector and server estimates disagree";
+
+    {
+      // (c) Disturbed fabric: task-level adversary plus two executors
+      // dropped as soon as reduce fetches start moving bytes.
+      sim::Engine engine;
+      net::Network network(&engine);
+      vertica::Database db(&engine, &network, vopts);
+      SparkCluster cluster(&engine, &network, sopts);
+      SparkSession session(&cluster);
+      connector::RegisterVerticaSource(&session, &db);
+      obs::Tracer tracer([&engine] { return engine.now(); });
+      obs::ScopedTracer install(&tracer);
+      RandomFailureInjector injector(seed, 0.2, 0.01, /*max_kills=*/4);
+      cluster.set_failure_injector(&injector);
+      engine.Spawn("driver", [&](sim::Process& driver) {
+        fill(driver, db, cluster);
+        auto df = load(driver, session, db, false);
+        ASSERT_TRUE(df.ok()) << df.status();
+        auto agg = df->GroupBy({"k"})->Agg(aggs);
+        ASSERT_TRUE(agg.ok()) << agg.status();
+        engine.Spawn("executioner", [&](sim::Process& killer) {
+          // The reduce fetch phase spans milliseconds of virtual time,
+          // so a 0.1ms poll wakes well inside it; anything much finer
+          // floods the event queue during the long scan phase before.
+          while (tracer.metrics().counter("spark.shuffle.bytes") <= 0) {
+            if (!killer.Sleep(1e-4).ok()) return;
+          }
+          cluster.shuffle_manager()->KillExecutor(0);
+          cluster.shuffle_manager()->KillExecutor(2);
+        });
+        auto rows = agg->Collect(driver);
+        ASSERT_TRUE(rows.ok()) << rows.status();
+        disturbed = ContentsOf(*rows);
+      });
+      Status status = engine.Run();
+      ASSERT_TRUE(status.ok()) << status;
+      EXPECT_GT(tracer.metrics().counter("spark.shuffle.fetch_failures"),
+                0.0);
+    }
+    EXPECT_EQ(disturbed, pushed)
+        << "estimate diverged under executor loss + task kills";
+  }
+}
+
+// Regression for the partial-row layout: aggregate partials are not
+// fixed-width. A sketch partial is a single VARCHAR field — 128KiB of
+// hex registers at precision 16 — while scalar aggregates carry four
+// fields each. MergePartials walks per-call widths; the old layout
+// assumed four scalar fields per call and read a wide sketch's partial
+// row at the wrong offsets. Mixing scalar/sketch/scalar calls and then
+// forcing the finished rows through one more shuffle (Repartition) pins
+// both the combiner layout and wide-VARCHAR block transport.
+TEST_F(ShuffleTest, WideSketchPartialsSurviveRepartitionBoundary) {
+  RunDriver([&](sim::Process& driver) {
+    const int kGroups = 5;
+    const int kDistinct = 311;
+    std::vector<hll::Sketch> refs;
+    for (int g = 0; g < kGroups; ++g) {
+      auto sketch = hll::Sketch::Create(16);
+      ASSERT_TRUE(sketch.ok()) << sketch.status();
+      refs.push_back(std::move(*sketch));
+    }
+    std::vector<Row> rows;
+    for (int i = 0; i < 2000; ++i) {
+      const int g = i % kGroups;
+      Value v = Value::Float64((i % kDistinct) * 0.25);
+      refs[g].AddHash(v.DistinctHash());
+      rows.push_back({Value::Varchar(StrCat("g", g)), std::move(v)});
+    }
+
+    auto df = session_->CreateDataFrame(KvSchema(), rows, 6);
+    ASSERT_TRUE(df.ok());
+    auto agg = df->GroupBy({"k"})->Agg(
+        {AggCount(), AggHllSketch("v", 16), AggSum("v")});
+    ASSERT_TRUE(agg.ok()) << agg.status();
+    auto repartitioned = agg->Repartition(3);
+    ASSERT_TRUE(repartitioned.ok()) << repartitioned.status();
+    auto collected = repartitioned->Collect(driver);
+    ASSERT_TRUE(collected.ok()) << collected.status();
+    ASSERT_EQ(collected->size(), static_cast<size_t>(kGroups));
+
+    for (const Row& row : *collected) {
+      ASSERT_EQ(row.size(), 4u);  // k, count(*), hll_sketch(v), sum(v)
+      ASSERT_EQ(row[0].varchar_value().size(), 2u);
+      const int g = row[0].varchar_value()[1] - '0';
+      ASSERT_GE(g, 0);
+      ASSERT_LT(g, kGroups);
+      EXPECT_EQ(row[1].int64_value(), 2000 / kGroups);
+      // The sketch that crossed two shuffles is byte-identical to the
+      // one built locally from the same stream.
+      EXPECT_EQ(row[2].varchar_value(), refs[g].Serialize());
+      auto decoded = hll::Sketch::Deserialize(row[2].varchar_value());
+      ASSERT_TRUE(decoded.ok()) << decoded.status();
+      EXPECT_EQ(decoded->Estimate(), refs[g].Estimate());
+    }
+  });
 }
 
 }  // namespace
