@@ -47,6 +47,11 @@ struct FabricOptions {
   // Tuple Mover knobs for the Vertica cluster (bench_tm contrasts the
   // managed and unmanaged storage paths).
   vertica::TupleMoverConfig tuple_mover;
+  // Pipeline-compilation toggles (bench_pipeline contrasts the compiled
+  // vectorized paths against the row-at-a-time interpreters they
+  // replace; virtual time is identical, host wall-clock is not).
+  bool compile_pipelines = true;
+  bool fuse_map_stages = true;
 };
 
 // One self-contained simulated fabric.
@@ -67,11 +72,13 @@ class Fabric {
     vopts.num_nodes = options_.vertica_nodes;
     vopts.cost = options_.cost;
     vopts.tuple_mover = options_.tuple_mover;
+    vopts.compile_pipelines = options_.compile_pipelines;
     db_ = std::make_unique<vertica::Database>(engine_.get(),
                                               network_.get(), vopts);
     spark::SparkCluster::Options sopts;
     sopts.num_workers = options_.spark_workers;
     sopts.cost = options_.cost;
+    sopts.fuse_map_stages = options_.fuse_map_stages;
     cluster_ = std::make_unique<spark::SparkCluster>(engine_.get(),
                                                      network_.get(), sopts);
     session_ = std::make_unique<spark::SparkSession>(cluster_.get());

@@ -197,10 +197,9 @@ bool V2SRelation::SupportsAggregatePushdown(
   return true;
 }
 
-std::string V2SRelation::PartitionQuery(int partition,
-                                        const PushDown& push) const {
-  std::string select_list;
-  std::string group_by;
+V2SRelation::QueryShape V2SRelation::BuildQueryShape(
+    const PushDown& push) const {
+  QueryShape shape;
   if (push.aggregate.has_value()) {
     // The whole GROUP BY runs inside Vertica; Spark receives finished
     // group rows (keys first, then one column per aggregate call).
@@ -208,19 +207,33 @@ std::string V2SRelation::PartitionQuery(int partition,
     for (const spark::AggregateCall& call : push.aggregate->calls) {
       items.push_back(call.ToSqlExpr());
     }
-    select_list = Join(items, ", ");
+    shape.select_list = Join(items, ", ");
     if (!push.aggregate->group_columns.empty()) {
-      group_by = StrCat(" GROUP BY ", Join(push.aggregate->group_columns,
-                                           ", "));
+      shape.group_by = StrCat(" GROUP BY ",
+                              Join(push.aggregate->group_columns, ", "));
     }
   } else if (push.count_only) {
-    select_list = "COUNT(*)";
+    shape.select_list = "COUNT(*)";
   } else if (push.required_columns.empty()) {
-    select_list = "*";
+    shape.select_list = "*";
   } else {
-    select_list = Join(push.required_columns, ", ");
+    shape.select_list = Join(push.required_columns, ", ");
   }
+  for (const spark::ColumnPredicate& filter : push.filters) {
+    shape.filter_where += StrCat(" AND ", filter.ToSqlCondition());
+    ++shape.filter_conjuncts;
+  }
+  // LIMIT renders only for row scans: `SELECT COUNT(*) ... LIMIT 0`
+  // would return zero rows and break the count read, and the driver
+  // already applies the global cap, so exactness is preserved without it.
+  if (push.limit >= 0 && !push.count_only && !push.aggregate.has_value()) {
+    shape.limit_tail = StrCat(" LIMIT ", push.limit);
+  }
+  return shape;
+}
 
+std::string V2SRelation::RenderPartitionQuery(int partition,
+                                              const QueryShape& shape) const {
   // Every conjunct emitted here — the HASH(...) ring-range bounds and the
   // Spark column filters (column <op> literal) — is a shape the server's
   // analyzer compiles into predicate kernels (CompileScanPredicate), so a
@@ -240,21 +253,18 @@ std::string V2SRelation::PartitionQuery(int partition,
                     vertica::sql::RingHashToSigned(range.upper));
     ++pushed_conjuncts;
   }
-  for (const spark::ColumnPredicate& filter : push.filters) {
-    where += StrCat(" AND ", filter.ToSqlCondition());
-    ++pushed_conjuncts;
-  }
-  obs::IncrCounter("v2s.pushdown_conjuncts",
-                   static_cast<double>(pushed_conjuncts));
-  std::string tail = group_by;
-  // LIMIT renders only for row scans: `SELECT COUNT(*) ... LIMIT 0`
-  // would return zero rows and break the count read, and the driver
-  // already applies the global cap, so exactness is preserved without it.
-  if (push.limit >= 0 && !push.count_only && !push.aggregate.has_value()) {
-    tail += StrCat(" LIMIT ", push.limit);
-  }
-  return StrCat("SELECT ", select_list, " FROM ", table_, " WHERE ", where,
-                tail, " AT EPOCH ", snapshot_epoch_);
+  where += shape.filter_where;
+  obs::IncrCounter(
+      "v2s.pushdown_conjuncts",
+      static_cast<double>(pushed_conjuncts + shape.filter_conjuncts));
+  return StrCat("SELECT ", shape.select_list, " FROM ", table_, " WHERE ",
+                where, shape.group_by, shape.limit_tail, " AT EPOCH ",
+                snapshot_epoch_);
+}
+
+std::string V2SRelation::PartitionQuery(int partition,
+                                        const PushDown& push) const {
+  return RenderPartitionQuery(partition, BuildQueryShape(push));
 }
 
 Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
@@ -262,6 +272,13 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
   if (partition < 0 || partition >= num_partitions_) {
     return InvalidArgumentError("bad partition index");
   }
+  // The pushed query is built once per read: the partition-independent
+  // shape (select list, filter conjuncts, LIMIT tail) compiles first,
+  // then the ring-range bounds render this partition's SQL. The string
+  // is reused verbatim across failover retries below — retries used to
+  // rebuild it (and re-count the pushed conjuncts) on every attempt.
+  const std::string sql =
+      RenderPartitionQuery(partition, BuildQueryShape(push));
   // Failover loop: the partition query is idempotent (same SELECT at the
   // same snapshot epoch), so on a node death — before, during, or after
   // the query ran — the task re-targets the ring successor and re-issues
@@ -316,8 +333,7 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
     }
     std::unique_ptr<vertica::Session> session =
         std::move(connected).value();
-    auto executed =
-        session->Execute(*task.process, PartitionQuery(partition, push));
+    auto executed = session->Execute(*task.process, sql);
     if (!executed.ok()) {
       if (retryable(executed.status())) {
         reroute(executed.status());

@@ -61,6 +61,21 @@ class V2SRelation : public spark::ScanRelation {
  private:
   V2SRelation() = default;
 
+  // The partition-independent pieces of a partition query — the pushed
+  // select list, GROUP BY, rendered filter conjuncts and LIMIT tail.
+  // Built once per query (ReadPartition hoists it out of the failover
+  // loop); only the ring-range bounds differ per partition.
+  struct QueryShape {
+    std::string select_list;
+    std::string group_by;
+    std::string filter_where;  // " AND <cond>" fragments
+    int filter_conjuncts = 0;
+    std::string limit_tail;
+  };
+  QueryShape BuildQueryShape(const spark::PushDown& push) const;
+  std::string RenderPartitionQuery(int partition,
+                                   const QueryShape& shape) const;
+
   vertica::Database* db_ = nullptr;
   spark::SparkCluster* cluster_ = nullptr;
   std::string table_;

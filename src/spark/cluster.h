@@ -118,6 +118,14 @@ class SparkCluster {
     // per-fetch retry path without losing any blocks.
     double shuffle_flaky_fetch_rate = 0;
     uint64_t shuffle_flaky_fetch_seed = 7;
+    // Fuse the map stage of a combining shuffle: a pushable
+    // filter/select chain between the scan and the exchange is lowered
+    // into vector kernels (src/exec) and surviving rows fold straight
+    // into the partial-aggregate table, never materializing the
+    // per-stage intermediate row vectors. Cost charges, traces and
+    // results are identical to the unfused path (which remains the
+    // fallback whenever a stage is not compilable).
+    bool fuse_map_stages = true;
   };
 
   // Result of one job.

@@ -190,20 +190,32 @@ std::string GroupKeyOf(const Row& row, const std::vector<int>& keys) {
   return key;
 }
 
-Result<std::vector<Row>> CombineToPartials(const std::vector<Row>& rows,
-                                           const AggPlan& plan) {
+struct Combiner::Impl {
+  const AggPlan* plan;
   GroupMap groups;
-  for (const Row& row : rows) {
-    auto* group = FindOrInsertGroup(&groups, GroupKeyOf(row, plan.keys), row,
-                                    plan.keys, plan.calls.size());
-    for (size_t i = 0; i < plan.calls.size(); ++i) {
-      FABRIC_RETURN_IF_ERROR(
-          UpdatePartial(plan.calls[i], row, &group->second[i]));
-    }
+};
+
+Combiner::Combiner(const AggPlan* plan) : impl_(new Impl{plan, {}}) {}
+Combiner::~Combiner() = default;
+Combiner::Combiner(Combiner&&) noexcept = default;
+Combiner& Combiner::operator=(Combiner&&) noexcept = default;
+
+Status Combiner::Add(const Row& row) {
+  const AggPlan& plan = *impl_->plan;
+  auto* group = FindOrInsertGroup(&impl_->groups, GroupKeyOf(row, plan.keys),
+                                  row, plan.keys, plan.calls.size());
+  for (size_t i = 0; i < plan.calls.size(); ++i) {
+    FABRIC_RETURN_IF_ERROR(
+        UpdatePartial(plan.calls[i], row, &group->second[i]));
   }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> Combiner::Finish() {
+  const AggPlan& plan = *impl_->plan;
   std::vector<Row> out;
-  out.reserve(groups.size());
-  for (auto& [key, group] : groups) {
+  out.reserve(impl_->groups.size());
+  for (auto& [key, group] : impl_->groups) {
     Row row = std::move(group.first);
     for (size_t i = 0; i < plan.calls.size(); ++i) {
       const AggCall& call = plan.calls[i];
@@ -221,6 +233,15 @@ Result<std::vector<Row>> CombineToPartials(const std::vector<Row>& rows,
     out.push_back(std::move(row));
   }
   return out;
+}
+
+Result<std::vector<Row>> CombineToPartials(const std::vector<Row>& rows,
+                                           const AggPlan& plan) {
+  Combiner combiner(&plan);
+  for (const Row& row : rows) {
+    FABRIC_RETURN_IF_ERROR(combiner.Add(row));
+  }
+  return combiner.Finish();
 }
 
 Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,

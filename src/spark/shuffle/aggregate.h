@@ -61,6 +61,29 @@ std::string GroupKeyOf(const storage::Row& row, const std::vector<int>& keys);
 Result<std::vector<storage::Row>> CombineToPartials(
     const std::vector<storage::Row>& rows, const AggPlan& plan);
 
+// Incremental map-side combine. The fused map stage (exec.cc) folds
+// surviving scan rows one at a time instead of materializing the
+// filtered/projected row vector first; CombineToPartials is implemented
+// over this class, so fold rules and group ordering are identical by
+// construction. Finish() emits one partial row per group, sorted by
+// encoded group key.
+class Combiner {
+ public:
+  // `plan` is borrowed and must outlive the combiner. Only `keys` and
+  // `calls` are consulted, so a column-remapped copy works.
+  explicit Combiner(const AggPlan* plan);
+  ~Combiner();
+  Combiner(Combiner&&) noexcept;
+  Combiner& operator=(Combiner&&) noexcept;
+
+  Status Add(const storage::Row& row);
+  Result<std::vector<storage::Row>> Finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 // Reduce-side merge: merges partial rows (keys at positions 0..k-1) and
 // finalizes each call — COUNT -> INTEGER, SUM/AVG -> FLOAT or NULL when
 // no non-null input, MIN/MAX -> the extremal value. Output is sorted by

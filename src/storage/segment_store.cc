@@ -468,13 +468,26 @@ Result<std::vector<uint32_t>> SegmentStore::SelectRosRows(
             }));
       }
     }
-    SelectionVector kept;
-    kept.reserve(sel.size());
-    for (size_t k = 0; k < sel.size(); ++k) {
-      FABRIC_ASSIGN_OR_RETURN(bool keep, spec.residual(scratch[k]));
-      if (keep) kept.push_back(sel[k]);
+    bool handled = false;
+    if (spec.batch_residual) {
+      std::vector<uint32_t> keep;
+      if (spec.batch_residual(scratch, &keep)) {
+        SelectionVector kept;
+        kept.reserve(keep.size());
+        for (uint32_t k : keep) kept.push_back(sel[k]);
+        sel.swap(kept);
+        handled = true;
+      }
     }
-    sel.swap(kept);
+    if (!handled) {
+      SelectionVector kept;
+      kept.reserve(sel.size());
+      for (size_t k = 0; k < sel.size(); ++k) {
+        FABRIC_ASSIGN_OR_RETURN(bool keep, spec.residual(scratch[k]));
+        if (keep) kept.push_back(sel[k]);
+      }
+      sel.swap(kept);
+    }
   }
   if (sel.empty() || emit == nullptr) return sel;
 

@@ -125,6 +125,17 @@ struct ScanSpec {
   TxnId txn = 0;
   const ScanPredicate* predicate = nullptr;  // may be null (match all)
   std::function<Result<bool>(const Row&)> residual;  // may be empty
+  // Optional vectorized residual (the pipeline compiler's batch path):
+  // evaluates the residual over the whole scratch block at once,
+  // appending the kept row indices (into `rows`, ascending) to `keep`.
+  // Returns false when it cannot handle the block — a dynamic type
+  // surprise or an evaluation error — in which case the caller falls
+  // back to the row-at-a-time `residual`, which is authoritative.
+  // Only consulted by Scan's ROS path; WOS rows and MarkDeletedPending
+  // always use `residual`.
+  std::function<bool(const std::vector<Row>& rows,
+                     std::vector<uint32_t>* keep)>
+      batch_residual;
   const std::vector<int>* residual_columns = nullptr;
   const std::vector<int>* cost_columns = nullptr;   // null => none
   const std::vector<int>* projection = nullptr;     // null => all columns

@@ -50,6 +50,7 @@ Database::Database(sim::Engine* engine, net::Network* network,
     auto it = aggregate_functions_.find(ToUpper(fn));
     return it == aggregate_functions_.end() ? nullptr : &it->second;
   };
+  pipeline_compiler_.set_enabled(options_.compile_pipelines);
   RegisterHllFunctions(this);
   tm_ = std::make_unique<TupleMover>(this, options_.tuple_mover);
 }

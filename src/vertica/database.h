@@ -20,6 +20,7 @@
 #include "vertica/catalog.h"
 #include "vertica/dfs.h"
 #include "vertica/ksafety/ksafety.h"
+#include "vertica/pipeline.h"
 #include "vertica/sql_eval.h"
 #include "vertica/tm/tuple_mover.h"
 
@@ -54,6 +55,10 @@ class Database {
     // Tuple Mover (background moveout/mergeout/AHM) knobs; enabled by
     // default so default-configured clusters drain their WOS.
     TupleMoverConfig tuple_mover;
+    // Pipeline compilation: lower compilable SELECT bodies and scan
+    // residuals to vectorized exec programs (byte-identical results and
+    // traces; off forces the row-at-a-time interpreter everywhere).
+    bool compile_pipelines = true;
   };
 
   Database(sim::Engine* engine, net::Network* network, Options options);
@@ -266,6 +271,11 @@ class Database {
     return aggregate_udx_resolver_;
   }
 
+  // The pipeline compilation cache bound to this database (obeys
+  // options().compile_pipelines; compiled plans are reused across
+  // sessions, partitions and failover retries).
+  PipelineCompiler* pipeline_compiler() { return &pipeline_compiler_; }
+
  private:
   struct TxnState {
     std::set<std::string> locked_tables;
@@ -299,6 +309,7 @@ class Database {
   sql::UdxResolver udx_resolver_;
   std::map<std::string, sql::AggregateUdx> aggregate_functions_;
   sql::AggregateUdxResolver aggregate_udx_resolver_;
+  PipelineCompiler pipeline_compiler_;
   std::vector<int> active_sessions_;
   std::vector<std::unique_ptr<sim::Semaphore>> pool_slots_;
 

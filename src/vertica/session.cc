@@ -7,8 +7,10 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/pipeline.h"
 #include "obs/trace.h"
 #include "storage/profile.h"
+#include "vertica/pipeline.h"
 #include "vertica/sql_analyzer.h"
 #include "vertica/sql_eval.h"
 #include "vertica/sql_parser.h"
@@ -126,72 +128,11 @@ Status CollectColumns(const sql::Expr& expr, const Schema& schema,
   return Status::OK();
 }
 
-// Output-type inference for result schemas (used when zero rows return).
-DataType InferType(const sql::Expr& expr, const Schema& schema) {
-  switch (expr.kind) {
-    case sql::Expr::Kind::kLiteral:
-      return expr.literal.is_null() ? DataType::kVarchar
-                                    : expr.literal.type();
-    case sql::Expr::Kind::kColumnRef: {
-      auto idx = schema.IndexOf(expr.column);
-      return idx.ok() ? schema.column(*idx).type : DataType::kVarchar;
-    }
-    case sql::Expr::Kind::kUnary:
-      return expr.op == "NOT" ? DataType::kBool
-                              : InferType(*expr.args[0], schema);
-    case sql::Expr::Kind::kBinary: {
-      const std::string& op = expr.op;
-      if (op == "AND" || op == "OR" || op == "=" || op == "<>" ||
-          op == "<" || op == "<=" || op == ">" || op == ">=") {
-        return DataType::kBool;
-      }
-      if (op == "||") return DataType::kVarchar;
-      if (op == "/") return DataType::kFloat64;
-      DataType lhs = InferType(*expr.args[0], schema);
-      DataType rhs = InferType(*expr.args[1], schema);
-      if (lhs == DataType::kFloat64 || rhs == DataType::kFloat64) {
-        return DataType::kFloat64;
-      }
-      return DataType::kInt64;
-    }
-    case sql::Expr::Kind::kIsNull:
-      return DataType::kBool;
-    case sql::Expr::Kind::kCall: {
-      if (expr.function == "COUNT") return DataType::kInt64;
-      if (expr.function == "SUM" || expr.function == "AVG") {
-        return DataType::kFloat64;
-      }
-      if (expr.function == "MIN" || expr.function == "MAX") {
-        return expr.args.empty() ? DataType::kFloat64
-                                 : InferType(*expr.args[0], schema);
-      }
-      if (expr.function == "HASH" || expr.function == "LENGTH") {
-        return DataType::kInt64;
-      }
-      if (expr.function == "APPROXIMATE_COUNT_DISTINCT" ||
-          expr.function == "HLL_ESTIMATE") {
-        return DataType::kInt64;
-      }
-      if (expr.function == "HLL_SKETCH" ||
-          expr.function == "HLL_UNION_AGG") {
-        return DataType::kVarchar;
-      }
-      if (expr.function == "UPPER" || expr.function == "LOWER") {
-        return DataType::kVarchar;
-      }
-      return DataType::kFloat64;  // UDx default: numeric score
-    }
-  }
-  return DataType::kVarchar;
-}
+// Result-schema helpers shared with the pipeline compiler.
+using sql::InferType;
 
 std::string ItemName(const sql::SelectItem& item, int position) {
-  if (!item.alias.empty()) return item.alias;
-  if (item.expr != nullptr &&
-      item.expr->kind == sql::Expr::Kind::kColumnRef) {
-    return item.expr->column;
-  }
-  return StrCat("col", position);
+  return sql::SelectItemName(item, position);
 }
 
 // Applies ORDER BY / LIMIT to a materialized result (by output column
@@ -916,7 +857,31 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
                                 const Schema& schema,
                                 const sql::SelectStmt& select,
                                 const sql::UdxResolver* udx,
-                                const sql::AggregateUdxResolver* agg_udx) {
+                                const sql::AggregateUdxResolver* agg_udx,
+                                PipelineCompiler* pipeline) {
+  // Compiled fast path: a cached vectorized pipeline runs the whole
+  // body (filter → project/aggregate) over row blocks. It either
+  // produces exactly what the interpreter below would — same rows, same
+  // order, same schema — or bails (dynamic type surprise, division by
+  // zero, UDx error, uncompilable shape), in which case the interpreter
+  // runs from scratch and stays authoritative for results and errors.
+  if (pipeline != nullptr && pipeline->enabled()) {
+    std::shared_ptr<const CompiledQuery> compiled =
+        pipeline->GetOrCompileSelect(select, schema, udx, agg_udx);
+    if (compiled != nullptr) {
+      auto compiled_rows = exec::RunCompiledSelect(compiled->select, rows);
+      if (compiled_rows.has_value()) {
+        QueryResult result;
+        result.schema = compiled->out_schema;
+        result.rows = std::move(*compiled_rows);
+        FABRIC_RETURN_IF_ERROR(ApplyOrderAndLimit(select, &result));
+        obs::IncrCounter("sql.compiled_pipelines");
+        return result;
+      }
+    }
+    obs::IncrCounter("sql.interpreted_fallbacks");
+  }
+
   // Filter.
   std::vector<const Row*> filtered;
   filtered.reserve(rows.size());
@@ -1277,7 +1242,8 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     Schema empty_schema;
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(one_row, empty_schema, select,
-                                        udx, agg_udx));
+                                        udx, agg_udx,
+                                        db_->pipeline_compiler()));
     if (to_client) {
       FABRIC_RETURN_IF_ERROR(StreamToClient(self, 64, net::kUnlimitedRate));
     }
@@ -1380,7 +1346,8 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     }
 
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
-                            LocalSelect(joined, combined, select, udx, agg_udx));
+                            LocalSelect(joined, combined, select, udx,
+                                        agg_udx, db_->pipeline_compiler()));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       profile.ScaleBy(cost.data_scale);
@@ -1397,7 +1364,8 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     FABRIC_ASSIGN_OR_RETURN(QueryResult base, SystemTable(from));
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(base.rows, base.schema, select,
-                                        udx, agg_udx));
+                                        udx, agg_udx,
+                                        db_->pipeline_compiler()));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       FABRIC_RETURN_IF_ERROR(StreamToClient(
@@ -1429,7 +1397,8 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
                    view_depth + 1));
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(sub.rows, sub.schema, select,
-                                        udx, agg_udx));
+                                        udx, agg_udx,
+                                        db_->pipeline_compiler()));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       profile.ScaleBy(cost.data_scale);
@@ -1541,6 +1510,10 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     // the interpreted residual (null when fully compiled).
     storage::ScanPredicate predicate;
     sql::ExprPtr residual;
+    // The residual lowered to a vectorized program (null: interpret
+    // per row). Compiled once per query on the initiator and shared by
+    // every node's scan process.
+    std::shared_ptr<const exec::Program> compiled_residual;
     std::vector<int> residual_columns;
     std::vector<int> cost_columns;  // WHERE columns, charged per visible row
     std::vector<int> projection;    // referenced columns, charged per match
@@ -1571,6 +1544,11 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     state->predicate = std::move(compiled.predicate);
     state->residual = std::move(compiled.residual);
     if (state->residual != nullptr) {
+      if (db_->pipeline_compiler()->enabled()) {
+        state->compiled_residual =
+            db_->pipeline_compiler()->GetOrCompilePredicate(
+                *state->residual, schema);
+      }
       std::set<int> cols;
       FABRIC_RETURN_IF_ERROR(
           CollectColumns(*state->residual, schema, &cols));
@@ -1665,6 +1643,35 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
               };
               spec.residual = residual_fn;
               spec.residual_columns = &state->residual_columns;
+              if (state->compiled_residual != nullptr) {
+                const exec::Program* program =
+                    state->compiled_residual.get();
+                spec.batch_residual =
+                    [program](const std::vector<Row>& rows,
+                              std::vector<uint32_t>* keep) {
+                      exec::EvalState es;
+                      std::vector<uint32_t> active;
+                      std::vector<uint32_t> kept;
+                      for (size_t base = 0; base < rows.size();
+                           base += exec::kBlockRows) {
+                        size_t len =
+                            std::min(exec::kBlockRows, rows.size() - base);
+                        active.resize(len);
+                        for (size_t i = 0; i < len; ++i) {
+                          active[i] = static_cast<uint32_t>(i);
+                        }
+                        kept.clear();
+                        if (!exec::RunFilter(*program, rows.data() + base,
+                                             len, active, &es, &kept)) {
+                          return false;
+                        }
+                        for (uint32_t i : kept) {
+                          keep->push_back(static_cast<uint32_t>(base) + i);
+                        }
+                      }
+                      return true;
+                    };
+              }
             }
             spec.cost_columns = &state->cost_columns;
             spec.projection = &state->projection;
@@ -1790,7 +1797,8 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     copy.limit = select.limit;
     return copy;
   }();
-  return LocalSelect(gathered, schema, local, udx, agg_udx);
+  return LocalSelect(gathered, schema, local, udx, agg_udx,
+                     db_->pipeline_compiler());
 }
 
 Status Session::StreamToClient(sim::Process& self, double wire_bytes,

@@ -43,6 +43,72 @@ bool ContainsAggregate(const Expr& expr,
   return false;
 }
 
+DataType InferType(const Expr& expr, const storage::Schema& schema) {
+  switch (expr.kind) {
+    case Expr::Kind::kLiteral:
+      return expr.literal.is_null() ? DataType::kVarchar
+                                    : expr.literal.type();
+    case Expr::Kind::kColumnRef: {
+      auto idx = schema.IndexOf(expr.column);
+      return idx.ok() ? schema.column(*idx).type : DataType::kVarchar;
+    }
+    case Expr::Kind::kUnary:
+      return expr.op == "NOT" ? DataType::kBool
+                              : InferType(*expr.args[0], schema);
+    case Expr::Kind::kBinary: {
+      const std::string& op = expr.op;
+      if (op == "AND" || op == "OR" || op == "=" || op == "<>" ||
+          op == "<" || op == "<=" || op == ">" || op == ">=") {
+        return DataType::kBool;
+      }
+      if (op == "||") return DataType::kVarchar;
+      if (op == "/") return DataType::kFloat64;
+      DataType lhs = InferType(*expr.args[0], schema);
+      DataType rhs = InferType(*expr.args[1], schema);
+      if (lhs == DataType::kFloat64 || rhs == DataType::kFloat64) {
+        return DataType::kFloat64;
+      }
+      return DataType::kInt64;
+    }
+    case Expr::Kind::kIsNull:
+      return DataType::kBool;
+    case Expr::Kind::kCall: {
+      if (expr.function == "COUNT") return DataType::kInt64;
+      if (expr.function == "SUM" || expr.function == "AVG") {
+        return DataType::kFloat64;
+      }
+      if (expr.function == "MIN" || expr.function == "MAX") {
+        return expr.args.empty() ? DataType::kFloat64
+                                 : InferType(*expr.args[0], schema);
+      }
+      if (expr.function == "HASH" || expr.function == "LENGTH") {
+        return DataType::kInt64;
+      }
+      if (expr.function == "APPROXIMATE_COUNT_DISTINCT" ||
+          expr.function == "HLL_ESTIMATE") {
+        return DataType::kInt64;
+      }
+      if (expr.function == "HLL_SKETCH" ||
+          expr.function == "HLL_UNION_AGG") {
+        return DataType::kVarchar;
+      }
+      if (expr.function == "UPPER" || expr.function == "LOWER") {
+        return DataType::kVarchar;
+      }
+      return DataType::kFloat64;  // UDx default: numeric score
+    }
+  }
+  return DataType::kVarchar;
+}
+
+std::string SelectItemName(const SelectItem& item, int position) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr != nullptr && item.expr->kind == Expr::Kind::kColumnRef) {
+    return item.expr->column;
+  }
+  return StrCat("col", position);
+}
+
 namespace {
 
 // Kleene three-valued boolean: nullopt == SQL NULL/unknown.

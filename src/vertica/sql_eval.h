@@ -78,6 +78,15 @@ bool EvalPredicateLenient(const Expr& expr, const EvalContext& context);
 // True for COUNT/SUM/AVG/MIN/MAX.
 bool IsAggregateFunction(const std::string& upper_name);
 
+// Output-type inference for result schemas (used when zero rows return;
+// shared by the interpreter's schema building and the pipeline compiler
+// so both paths declare identical result schemas).
+storage::DataType InferType(const Expr& expr, const storage::Schema& schema);
+
+// Output column name for a SELECT item: alias, else the referenced
+// column, else "col<position>".
+std::string SelectItemName(const SelectItem& item, int position);
+
 // True when the expression tree contains an aggregate call. The resolver
 // overload also counts registered aggregate UDx names.
 bool ContainsAggregate(const Expr& expr);
