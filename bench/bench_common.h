@@ -52,6 +52,15 @@ struct FabricOptions {
   // replace; virtual time is identical, host wall-clock is not).
   bool compile_pipelines = true;
   bool fuse_map_stages = true;
+  // Named resource pools for the workload manager (bench_concurrency
+  // contrasts pooled admission against the legacy flat semaphore).
+  // Empty = WM off.
+  vertica::wm::WorkloadConfig workload;
+  // Per-node client session cap (0 keeps the database default).
+  int max_client_sessions = 0;
+  // Spark per-task hash-operator memory budget, bytes (0 = unlimited;
+  // see SparkCluster::Options::task_memory_bytes).
+  double spark_task_memory_bytes = 0;
 };
 
 // One self-contained simulated fabric.
@@ -73,12 +82,17 @@ class Fabric {
     vopts.cost = options_.cost;
     vopts.tuple_mover = options_.tuple_mover;
     vopts.compile_pipelines = options_.compile_pipelines;
+    vopts.workload = options_.workload;
+    if (options_.max_client_sessions > 0) {
+      vopts.max_client_sessions = options_.max_client_sessions;
+    }
     db_ = std::make_unique<vertica::Database>(engine_.get(),
                                               network_.get(), vopts);
     spark::SparkCluster::Options sopts;
     sopts.num_workers = options_.spark_workers;
     sopts.cost = options_.cost;
     sopts.fuse_map_stages = options_.fuse_map_stages;
+    sopts.task_memory_bytes = options_.spark_task_memory_bytes;
     cluster_ = std::make_unique<spark::SparkCluster>(engine_.get(),
                                                      network_.get(), sopts);
     session_ = std::make_unique<spark::SparkSession>(cluster_.get());

@@ -63,9 +63,12 @@ class Voidify {
                    ::fabric::LogLevel::kFatal, __FILE__, __LINE__)     \
                    << "Check failed: " #cond " "
 
+// Copies the checked value: `expr` is commonly `result.status()` on a
+// temporary Result, and a reference would dangle once the temporary
+// dies at the end of this declaration's full-expression.
 #define FABRIC_CHECK_OK(expr)                                          \
   do {                                                                 \
-    const auto& _fabric_chk = (expr);                                  \
+    const auto _fabric_chk = (expr);                                   \
     FABRIC_CHECK(_fabric_chk.ok()) << _fabric_chk.ToString();          \
   } while (false)
 

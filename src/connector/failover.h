@@ -11,16 +11,28 @@
 
 namespace fabric::connector {
 
+// How many times a node-saturated connect (the typed MAX_CLIENT_SESSIONS
+// rejection) is retried with exponential backoff before surfacing, and
+// the initial backoff. A saturated node is a transient condition — the
+// paper's parallel-partition loads routinely brush the session cap — so
+// the connector behaves like a JDBC pool: back off and re-knock rather
+// than failing the partition.
+inline constexpr int kMaxSessionRetries = 6;
+inline constexpr double kSessionRetryBackoff = 0.1;
+
 // Connects to `preferred`, falling back around the ring when that node is
 // unavailable (DOWN or RECOVERING) — the connector-side half of k-safety:
 // both V2S and S2V keep working through a single Vertica node loss by
-// re-targeting their JDBC connections. Non-UNAVAILABLE errors (bad node
-// id, MaxClientSessions, a killed caller) pass through untouched; a fully
-// down cluster exhausts every node and returns the last UNAVAILABLE.
+// re-targeting their JDBC connections. A node at MaxClientSessions is
+// retried with exponential backoff (bounded; the typed error surfaces
+// once retries exhaust). Other non-UNAVAILABLE errors (bad node id, a
+// killed caller) pass through untouched; a fully down cluster exhausts
+// every node and returns the last UNAVAILABLE.
 inline Result<std::unique_ptr<vertica::Session>> ConnectWithFailover(
     sim::Process& self, vertica::Database* db, int preferred,
     const net::Host* client) {
   Status last = Status::OK();
+  int session_retries = 0;
   for (int attempt = 0; attempt < db->num_nodes(); ++attempt) {
     int target = (preferred + attempt) % db->num_nodes();
     Result<std::unique_ptr<vertica::Session>> session =
@@ -32,6 +44,19 @@ inline Result<std::unique_ptr<vertica::Session>> ConnectWithFailover(
         obs::IncrCounter("connector.connect_failovers");
       }
       return session;
+    }
+    if (vertica::IsMaxClientSessionsError(session.status())) {
+      if (session_retries >= kMaxSessionRetries) return session.status();
+      double backoff = kSessionRetryBackoff * (1 << session_retries);
+      ++session_retries;
+      obs::TraceEvent("connector", "connect.session_backoff",
+                      {{"node", target},
+                       {"retry", session_retries},
+                       {"backoff", backoff}});
+      obs::IncrCounter("connector.session_backoffs");
+      FABRIC_RETURN_IF_ERROR(self.Sleep(backoff));
+      --attempt;  // re-knock on the same node after the backoff
+      continue;
     }
     if (session.status().code() != StatusCode::kUnavailable) {
       return session.status();

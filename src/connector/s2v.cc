@@ -36,6 +36,7 @@ Result<std::shared_ptr<S2VRelation>> S2VRelation::Create(
   relation->tolerance_ = options.GetDoubleOr("failedrowstolerance", 0.0);
   relation->prehash_ =
       EqualsIgnoreCase(options.GetOr("prehash", "false"), "true");
+  relation->resource_pool_ = options.GetOr("resource_pool", "");
   relation->batch_rows_ = static_cast<int>(
       options.GetIntOr("batchrows", 5000));
   relation->staging_table_ =
@@ -81,6 +82,7 @@ Status S2VRelation::Setup(sim::Process& driver, int num_partitions) {
       std::unique_ptr<Session> session,
       ConnectWithFailover(driver, db_, entry_node_,
                           &cluster_->driver_host()));
+  session->set_resource_pool(resource_pool_);
 
   // Mode checks against the current target.
   bool target_exists = db_->catalog().HasTable(target_);
@@ -262,6 +264,7 @@ Status S2VRelation::WriteTaskPartition(TaskContext& task, int partition,
   FABRIC_ASSIGN_OR_RETURN(
       std::unique_ptr<Session> session,
       ConnectWithFailover(self, db_, node, &task.worker_host()));
+  session->set_resource_pool(resource_pool_);
 
   // ---- Phase 1: stage the data + mark done, transactionally.
   Status staged = StageData(task, partition, rows, session.get());
@@ -457,6 +460,7 @@ Status S2VRelation::Finalize(sim::Process& driver, Status job_status) {
       std::unique_ptr<Session> session,
       ConnectWithFailover(driver, db_, entry_node_,
                           &cluster_->driver_host()));
+  session->set_resource_pool(resource_pool_);
   FABRIC_ASSIGN_OR_RETURN(
       QueryResult final_row,
       session->Execute(driver, StrCat("SELECT finished, failed_pct FROM ",

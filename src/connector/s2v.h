@@ -38,7 +38,9 @@ namespace fabric::connector {
 //      one transaction)
 //
 // Options: table, host, user, password, numpartitions,
-// failedrowstolerance (fraction, default 0), batchrows.
+// failedrowstolerance (fraction, default 0), batchrows, resource_pool
+// (workload-manager pool every save session is admitted under; empty =
+// the database's default pool).
 class S2VRelation : public spark::WriteRelation {
  public:
   static Result<std::shared_ptr<S2VRelation>> Create(
@@ -86,6 +88,7 @@ class S2VRelation : public spark::WriteRelation {
   std::string committer_table_;
   double tolerance_ = 0.0;
   bool prehash_ = false;
+  std::string resource_pool_;
   int batch_rows_ = 5000;
   int num_partitions_ = 0;
   int entry_node_ = 0;

@@ -44,6 +44,7 @@ Result<std::shared_ptr<V2SRelation>> V2SRelation::Create(
   FABRIC_ASSIGN_OR_RETURN(relation->table_, options.Get("table"));
   relation->aggregate_pushdown_enabled_ = !EqualsIgnoreCase(
       options.GetOr("aggregate_pushdown", "true"), "false");
+  relation->resource_pool_ = options.GetOr("resource_pool", "");
   relation->num_partitions_ = static_cast<int>(
       options.GetIntOr("numpartitions", 4 * db->num_nodes()));
   if (relation->num_partitions_ <= 0) {
@@ -60,6 +61,7 @@ Result<std::shared_ptr<V2SRelation>> V2SRelation::Create(
       std::unique_ptr<vertica::Session> session,
       ConnectWithFailover(driver, db, entry_node,
                           &cluster->driver_host()));
+  session->set_resource_pool(relation->resource_pool_);
 
   // One snapshot epoch for every partition query: the heart of V2S's
   // consistent parallel load (Section 3.1.2).
@@ -286,6 +288,7 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
   // live copy answers AT EPOCH with the same rows.
   int target = partition_nodes_[partition];
   Status last_unavailable = Status::OK();
+  int session_retries = 0;
   for (int tries = 0; tries <= db_->num_nodes(); ++tries) {
     // The span's begin attrs record what was pushed down; the end attrs
     // record what actually crossed the wire — the pair is the evidence
@@ -329,10 +332,30 @@ Result<spark::ScanRelation::PartitionData> V2SRelation::ReadPartition(
         reroute(connected.status());
         continue;
       }
+      // A node at MaxClientSessions is saturated, not broken: back off
+      // and re-knock on the same node (bounded), mirroring
+      // ConnectWithFailover's session-pool behavior.
+      if (vertica::IsMaxClientSessionsError(connected.status()) &&
+          session_retries < kMaxSessionRetries) {
+        double backoff = kSessionRetryBackoff * (1 << session_retries);
+        ++session_retries;
+        obs::TraceEnd(span, "v2s", "scan",
+                      {{"partition", partition}, {"ok", false}});
+        obs::TraceEvent("v2s", "scan.session_backoff",
+                        {{"partition", partition},
+                         {"node", target},
+                         {"retry", session_retries},
+                         {"backoff", backoff}});
+        obs::IncrCounter("v2s.session_backoffs");
+        FABRIC_RETURN_IF_ERROR(task.process->Sleep(backoff));
+        --tries;  // the backoff does not consume a failover try
+        continue;
+      }
       return fail(connected.status());
     }
     std::unique_ptr<vertica::Session> session =
         std::move(connected).value();
+    session->set_resource_pool(resource_pool_);
     auto executed = session->Execute(*task.process, sql);
     if (!executed.ok()) {
       if (retryable(executed.status())) {

@@ -21,7 +21,9 @@ namespace fabric::connector {
 // Options: table, host, user, password, numpartitions, at_epoch
 // (optional override; default = the current epoch at load time),
 // aggregate_pushdown ("false" disables grouped-aggregate pushdown; the
-// DataFrame then aggregates through the Spark shuffle instead).
+// DataFrame then aggregates through the Spark shuffle instead),
+// resource_pool (workload-manager pool every connector session is
+// admitted under; empty = the database's default pool).
 class V2SRelation : public spark::ScanRelation {
  public:
   // Driver-side construction: resolves schema, segment layout and the
@@ -83,6 +85,7 @@ class V2SRelation : public spark::ScanRelation {
   storage::Schema schema_;
   std::vector<std::string> segmentation_columns_;  // synthetic for views
   bool aggregate_pushdown_enabled_ = true;
+  std::string resource_pool_;
   int num_partitions_ = 0;
   int64_t snapshot_epoch_ = 0;
   std::vector<vertica::HashRange> partition_ranges_;

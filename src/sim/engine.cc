@@ -113,6 +113,17 @@ void Engine::ScheduleAt(SimTime when, std::function<void()> fn) {
   events_.push(Event{when, next_seq_++, nullptr, std::move(fn)});
 }
 
+Engine::TimerToken Engine::ScheduleCancelableAt(SimTime when,
+                                                std::function<void()> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FABRIC_CHECK(when >= now_) << "event scheduled in the past";
+  auto token = std::make_shared<bool>(false);
+  Event event{when, next_seq_++, nullptr, std::move(fn)};
+  event.cancelled = token;
+  events_.push(std::move(event));
+  return token;
+}
+
 void Engine::Kill(Process& process) {
   std::lock_guard<std::mutex> lock(mu_);
   if (process.state_ == Process::State::kDone || process.killed_) return;
@@ -162,6 +173,9 @@ Status Engine::Run() {
         (event.process->state_ == Process::State::kDone ||
          event.wake_epoch != event.process->wake_epoch_)) {
       continue;  // stale wake: skip without advancing time
+    }
+    if (event.cancelled != nullptr && *event.cancelled) {
+      continue;  // cancelled timer: skip without advancing time
     }
     FABRIC_CHECK(event.time >= now_);
     now_ = event.time;

@@ -119,6 +119,14 @@ class Engine {
   // `when` (>= now).
   void ScheduleAt(SimTime when, std::function<void()> fn);
 
+  // Like ScheduleAt, but returns a token the scheduler honors lazily:
+  // setting *token = true before the event fires discards it without
+  // advancing virtual time to `when` (the workload manager's queue
+  // timeouts would otherwise stretch every simulation to its deadline).
+  // The token may only be flipped from process or engine context.
+  using TimerToken = std::shared_ptr<bool>;
+  TimerToken ScheduleCancelableAt(SimTime when, std::function<void()> fn);
+
   // Marks `process` killed. If it is blocked or sleeping it wakes
   // immediately and its pending blocking call returns CANCELLED.
   void Kill(Process& process);
@@ -143,6 +151,9 @@ class Engine {
     Process* process = nullptr;
     std::function<void()> callback;
     uint64_t wake_epoch = 0;  // must match the process's current epoch
+    // Set for cancellable callbacks; a true flag at pop time skips the
+    // event before virtual time advances to it.
+    std::shared_ptr<bool> cancelled;
   };
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {

@@ -126,6 +126,12 @@ class SparkCluster {
     // results are identical to the unfused path (which remains the
     // fallback whenever a stage is not compilable).
     bool fuse_map_stages = true;
+    // Per-task memory budget for hash operators (map-side combine,
+    // reduce-side merge, hash-join build), bytes; 0 = unlimited. Over
+    // budget the operator spills partitioned runs to the worker's
+    // simulated local disk and merges them back — results are
+    // byte-identical to the unbudgeted run (see shuffle::SpillPolicy).
+    double task_memory_bytes = 0;
   };
 
   // Result of one job.

@@ -139,7 +139,8 @@ Result<std::vector<Row>> Plan::Compute(TaskContext& task,
       FABRIC_RETURN_IF_ERROR(task.Compute(rows.size() *
                                           cost.spark_row_process_cpu *
                                           cost.data_scale));
-      return shuffle::MergePartials(rows, *agg);
+      shuffle::SpillPolicy spill = shuffle::TaskSpillPolicy(task);
+      return shuffle::MergePartials(rows, *agg, &spill);
     }
     case Kind::kHashJoin: {
       FABRIC_ASSIGN_OR_RETURN(std::vector<Row> left,
@@ -157,21 +158,81 @@ Result<std::vector<Row>> Plan::Compute(TaskContext& task,
         }
         return false;
       };
-      std::map<std::string, std::vector<size_t>> table;
-      for (size_t i = 0; i < left.size(); ++i) {
-        if (has_null_key(left[i], join_left_keys)) continue;
-        table[shuffle::GroupKeyOf(left[i], join_left_keys)].push_back(i);
-      }
-      std::vector<Row> out;
-      for (const Row& rrow : right) {
-        if (has_null_key(rrow, join_right_keys)) continue;
-        auto it = table.find(shuffle::GroupKeyOf(rrow, join_right_keys));
-        if (it == table.end()) continue;
-        for (size_t i : it->second) {
-          Row row = left[i];
-          row.insert(row.end(), rrow.begin(), rrow.end());
-          out.push_back(std::move(row));
+      const double budget = task.cluster->options().task_memory_bytes;
+      if (budget <= 0) {
+        std::map<std::string, std::vector<size_t>> table;
+        for (size_t i = 0; i < left.size(); ++i) {
+          if (has_null_key(left[i], join_left_keys)) continue;
+          table[shuffle::GroupKeyOf(left[i], join_left_keys)].push_back(i);
         }
+        std::vector<Row> out;
+        for (const Row& rrow : right) {
+          if (has_null_key(rrow, join_right_keys)) continue;
+          auto it = table.find(shuffle::GroupKeyOf(rrow, join_right_keys));
+          if (it == table.end()) continue;
+          for (size_t i : it->second) {
+            Row row = left[i];
+            row.insert(row.end(), rrow.begin(), rrow.end());
+            out.push_back(std::move(row));
+          }
+        }
+        return out;
+      }
+      // Budgeted join: multi-pass build (hybrid hash). Each pass builds
+      // as much of the left side as the budget holds and probes the full
+      // right side; on overflow the probe side is spilled once and
+      // re-read per extra pass. Matches are collected as (right, left)
+      // index pairs and sorted, which is exactly the unbudgeted output
+      // order (right-row order, left indices ascending).
+      shuffle::SpillPolicy spill = shuffle::TaskSpillPolicy(task);
+      const double right_bytes = storage::ProfileRows(right)
+                                     .ScaleBy(cost.data_scale)
+                                     .raw_bytes;
+      std::vector<std::pair<size_t, size_t>> matches;
+      size_t start = 0;
+      int pass = 0;
+      bool spilled = false;
+      do {
+        std::map<std::string, std::vector<size_t>> table;
+        double resident = 0;
+        size_t i = start;
+        for (; i < left.size(); ++i) {
+          if (has_null_key(left[i], join_left_keys)) continue;
+          std::string key = shuffle::GroupKeyOf(left[i], join_left_keys);
+          resident += static_cast<double>(key.size()) + 64;
+          table[std::move(key)].push_back(i);
+          if (resident > budget && i + 1 < left.size()) {
+            ++i;
+            break;
+          }
+        }
+        if (pass > 0 && spill.charge_read) {
+          // Re-read the spilled probe side for this extra pass.
+          FABRIC_RETURN_IF_ERROR(spill.charge_read(right_bytes));
+        }
+        for (size_t r = 0; r < right.size(); ++r) {
+          if (has_null_key(right[r], join_right_keys)) continue;
+          auto it =
+              table.find(shuffle::GroupKeyOf(right[r], join_right_keys));
+          if (it == table.end()) continue;
+          for (size_t l : it->second) matches.emplace_back(r, l);
+        }
+        start = i;
+        ++pass;
+        if (start < left.size() && !spilled) {
+          spilled = true;
+          if (spill.charge_write) {
+            FABRIC_RETURN_IF_ERROR(spill.charge_write(right_bytes));
+          }
+        }
+      } while (start < left.size());
+      std::sort(matches.begin(), matches.end());
+      std::vector<Row> out;
+      out.reserve(matches.size());
+      for (const auto& [r, l] : matches) {
+        Row row = left[l];
+        row.insert(row.end(), right[r].begin(), right[r].end());
+        out.push_back(std::move(row));
       }
       return out;
     }

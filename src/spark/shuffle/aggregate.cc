@@ -1,5 +1,6 @@
 #include "spark/shuffle/aggregate.h"
 
+#include <algorithm>
 #include <map>
 #include <numeric>
 #include <utility>
@@ -145,14 +146,118 @@ using GroupMap = std::map<std::string, std::pair<Row, std::vector<Partial>>>;
 
 std::pair<Row, std::vector<Partial>>* FindOrInsertGroup(
     GroupMap* groups, const std::string& key, const Row& row,
-    const std::vector<int>& key_columns, size_t num_calls) {
+    const std::vector<int>& key_columns, size_t num_calls,
+    bool* was_inserted = nullptr) {
   auto [it, inserted] = groups->try_emplace(key);
   if (inserted) {
     for (int k : key_columns) it->second.first.push_back(row[k]);
     it->second.second.resize(num_calls);
   }
+  if (was_inserted != nullptr) *was_inserted = inserted;
   return &it->second;
 }
+
+// Estimated resident bytes of one group entry; coarse on purpose (the
+// budget is a simulation knob, not a malloc audit).
+double GroupBytesOf(const std::string& key,
+                    const std::vector<AggCall>& calls) {
+  double bytes = static_cast<double>(key.size()) + 48;
+  for (const AggCall& call : calls) {
+    bytes += IsSketchFn(call.fn)
+                 ? 64 + static_cast<double>(1 << call.precision)
+                 : 56;
+  }
+  return bytes;
+}
+
+// FNV-1a over the encoded group key: the spill partition function
+// (shared with the Vertica executor's grace-hash aggregate).
+int SpillPartitionOf(const std::string& key, int partitions) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(partitions));
+}
+
+// Grace-hash spill bookkeeping shared by the map-side combiner and the
+// reduce-side merge: groups pushed out of the resident table land in
+// per-partition runs (chronological order preserved within each run) and
+// merge back at finish time. Partitions hold disjoint key sets and the
+// final collection map is key-ordered, so spilling never changes output.
+struct SpillState {
+  const SpillPolicy* policy = nullptr;
+  std::vector<std::vector<std::pair<std::string,
+                                    std::pair<Row, std::vector<Partial>>>>>
+      runs;
+  double resident_bytes = 0;
+  bool spilled = false;
+
+  bool active() const {
+    return policy != nullptr && policy->budget_bytes > 0;
+  }
+  int partitions() const { return std::max(1, policy->partitions); }
+
+  Status SpillResident(GroupMap* groups,
+                       const std::vector<AggCall>& calls) {
+    if (groups->empty()) return Status::OK();
+    if (runs.empty()) runs.resize(partitions());
+    double bytes = 0;
+    for (auto& [key, group] : *groups) {
+      bytes += GroupBytesOf(key, calls);
+      runs[SpillPartitionOf(key, partitions())].emplace_back(
+          key, std::move(group));
+    }
+    groups->clear();
+    resident_bytes = 0;
+    spilled = true;
+    if (policy->charge_write) {
+      FABRIC_RETURN_IF_ERROR(policy->charge_write(bytes));
+    }
+    if (policy->spills != nullptr) ++*policy->spills;
+    if (policy->spilled_bytes != nullptr) *policy->spilled_bytes += bytes;
+    return Status::OK();
+  }
+
+  // Accounts a freshly inserted group and spills when over budget.
+  Status OnNewGroup(GroupMap* groups, const std::string& key,
+                    const std::vector<AggCall>& calls) {
+    resident_bytes += GroupBytesOf(key, calls);
+    if (resident_bytes > policy->budget_bytes) {
+      return SpillResident(groups, calls);
+    }
+    return Status::OK();
+  }
+
+  // Merges every run back into `groups` (which it first pushes out too,
+  // so all state flows through the runs uniformly).
+  Status Drain(GroupMap* groups, const std::vector<AggCall>& calls) {
+    if (!spilled) return Status::OK();
+    FABRIC_RETURN_IF_ERROR(SpillResident(groups, calls));
+    for (auto& run : runs) {
+      if (run.empty()) continue;
+      double bytes = 0;
+      for (auto& [key, group] : run) {
+        bytes += GroupBytesOf(key, calls);
+        auto [it, inserted] = groups->try_emplace(key);
+        if (inserted) {
+          it->second = std::move(group);
+          continue;
+        }
+        for (size_t i = 0; i < calls.size(); ++i) {
+          FABRIC_RETURN_IF_ERROR(
+              MergePartialInto(group.second[i], &it->second.second[i]));
+        }
+      }
+      run.clear();
+      if (policy->charge_read) {
+        FABRIC_RETURN_IF_ERROR(policy->charge_read(bytes));
+      }
+    }
+    return Status::OK();
+  }
+};
 
 }  // namespace
 
@@ -193,26 +298,39 @@ std::string GroupKeyOf(const Row& row, const std::vector<int>& keys) {
 struct Combiner::Impl {
   const AggPlan* plan;
   GroupMap groups;
+  SpillState spill;
 };
 
-Combiner::Combiner(const AggPlan* plan) : impl_(new Impl{plan, {}}) {}
+Combiner::Combiner(const AggPlan* plan, const SpillPolicy* spill)
+    : impl_(new Impl{plan, {}, {}}) {
+  impl_->spill.policy = spill;
+}
 Combiner::~Combiner() = default;
 Combiner::Combiner(Combiner&&) noexcept = default;
 Combiner& Combiner::operator=(Combiner&&) noexcept = default;
 
 Status Combiner::Add(const Row& row) {
   const AggPlan& plan = *impl_->plan;
-  auto* group = FindOrInsertGroup(&impl_->groups, GroupKeyOf(row, plan.keys),
-                                  row, plan.keys, plan.calls.size());
+  std::string key = GroupKeyOf(row, plan.keys);
+  bool inserted = false;
+  auto* group = FindOrInsertGroup(&impl_->groups, key, row, plan.keys,
+                                  plan.calls.size(), &inserted);
   for (size_t i = 0; i < plan.calls.size(); ++i) {
     FABRIC_RETURN_IF_ERROR(
         UpdatePartial(plan.calls[i], row, &group->second[i]));
+  }
+  if (inserted && impl_->spill.active()) {
+    FABRIC_RETURN_IF_ERROR(
+        impl_->spill.OnNewGroup(&impl_->groups, key, plan.calls));
   }
   return Status::OK();
 }
 
 Result<std::vector<Row>> Combiner::Finish() {
   const AggPlan& plan = *impl_->plan;
+  if (impl_->spill.active()) {
+    FABRIC_RETURN_IF_ERROR(impl_->spill.Drain(&impl_->groups, plan.calls));
+  }
   std::vector<Row> out;
   out.reserve(impl_->groups.size());
   for (auto& [key, group] : impl_->groups) {
@@ -245,15 +363,19 @@ Result<std::vector<Row>> CombineToPartials(const std::vector<Row>& rows,
 }
 
 Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,
-                                       const AggPlan& plan) {
+                                       const AggPlan& plan,
+                                       const SpillPolicy* spill) {
   const int k = static_cast<int>(plan.keys.size());
   std::vector<int> key_positions(k);
   std::iota(key_positions.begin(), key_positions.end(), 0);
   GroupMap groups;
+  SpillState spill_state;
+  spill_state.policy = spill;
   for (const Row& prow : partials) {
-    auto* group =
-        FindOrInsertGroup(&groups, GroupKeyOf(prow, key_positions), prow,
-                          key_positions, plan.calls.size());
+    std::string key = GroupKeyOf(prow, key_positions);
+    bool inserted = false;
+    auto* group = FindOrInsertGroup(&groups, key, prow, key_positions,
+                                    plan.calls.size(), &inserted);
     // Partial rows have a variable per-call width (sketch calls carry a
     // single serialized-register field); walk the layout, never stride.
     int base = k;
@@ -276,6 +398,13 @@ Result<std::vector<Row>> MergePartials(const std::vector<Row>& partials,
       FABRIC_RETURN_IF_ERROR(MergePartialInto(in, &group->second[i]));
       base += PartialWidth(call);
     }
+    if (inserted && spill_state.active()) {
+      FABRIC_RETURN_IF_ERROR(
+          spill_state.OnNewGroup(&groups, key, plan.calls));
+    }
+  }
+  if (spill_state.active()) {
+    FABRIC_RETURN_IF_ERROR(spill_state.Drain(&groups, plan.calls));
   }
   std::vector<Row> out;
   if (groups.empty() && plan.keys.empty()) {

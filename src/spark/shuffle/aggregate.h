@@ -9,6 +9,7 @@
 // so a plan computed through the Spark shuffle and the same plan pushed
 // into Vertica return byte-identical rows.
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +57,23 @@ int PartialWidth(const AggCall& call);
 // Sorting rows by this key is the canonical aggregate output order.
 std::string GroupKeyOf(const storage::Row& row, const std::vector<int>& keys);
 
+// Task memory budget for hash aggregation. When the resident group table
+// exceeds `budget_bytes` the operator pushes it out as partitioned runs
+// (grace hash) — `charge_write`/`charge_read` bill the simulated local
+// disk of whatever worker runs the task — and merges the runs back at
+// the end. Output is byte-identical to the unbudgeted run: partials are
+// mergeable and the final collection re-sorts by encoded group key.
+// A zero budget (or null policy) disables spilling entirely.
+struct SpillPolicy {
+  double budget_bytes = 0;
+  int partitions = 8;
+  std::function<Status(double bytes)> charge_write;
+  std::function<Status(double bytes)> charge_read;
+  // Telemetry sinks (optional): bumped on every spill event.
+  int64_t* spills = nullptr;
+  double* spilled_bytes = nullptr;
+};
+
 // Map-side combine: folds raw input rows into one partial row per group,
 // sorted by encoded group key.
 Result<std::vector<storage::Row>> CombineToPartials(
@@ -70,8 +88,9 @@ Result<std::vector<storage::Row>> CombineToPartials(
 class Combiner {
  public:
   // `plan` is borrowed and must outlive the combiner. Only `keys` and
-  // `calls` are consulted, so a column-remapped copy works.
-  explicit Combiner(const AggPlan* plan);
+  // `calls` are consulted, so a column-remapped copy works. `spill`
+  // (borrowed, may be null) bounds the resident group table.
+  explicit Combiner(const AggPlan* plan, const SpillPolicy* spill = nullptr);
   ~Combiner();
   Combiner(Combiner&&) noexcept;
   Combiner& operator=(Combiner&&) noexcept;
@@ -90,7 +109,8 @@ class Combiner {
 // encoded group key. With no group keys, emits exactly one row (the SQL
 // aggregate-without-GROUP-BY convention) even for empty input.
 Result<std::vector<storage::Row>> MergePartials(
-    const std::vector<storage::Row>& partials, const AggPlan& plan);
+    const std::vector<storage::Row>& partials, const AggPlan& plan,
+    const SpillPolicy* spill = nullptr);
 
 // The shuffle partition a row hashes to. `keys` empty means hash over
 // all columns (pure repartitioning).

@@ -14,6 +14,37 @@
 #include "storage/profile.h"
 
 namespace fabric::spark::shuffle {
+
+SpillPolicy TaskSpillPolicy(const TaskContext& task) {
+  SpillPolicy policy;
+  policy.budget_bytes = task.cluster->options().task_memory_bytes;
+  if (policy.budget_bytes <= 0) return policy;
+  SparkCluster* cluster = task.cluster;
+  sim::Process* process = task.process;
+  const net::Host* host = &task.worker_host();
+  int worker = task.worker;
+  auto charge = [cluster, process, host, worker](double bytes) -> Status {
+    obs::TraceEvent("spark", "task.spill",
+                    {{"worker", worker}, {"bytes", bytes}});
+    obs::IncrCounter("spark.spills");
+    obs::IncrCounter("spark.spill_bytes", bytes);
+    if (host->has_disk()) {
+      return cluster->network()->Transfer(*process, {host->disk}, bytes);
+    }
+    return process->Sleep(bytes / cluster->cost().disk_read_bandwidth);
+  };
+  policy.charge_write = charge;
+  // Reads flow back through the same local disk; traced under the same
+  // event (the spill counter counts write events only).
+  policy.charge_read = [cluster, process, host](double bytes) -> Status {
+    if (host->has_disk()) {
+      return cluster->network()->Transfer(*process, {host->disk}, bytes);
+    }
+    return process->Sleep(bytes / cluster->cost().disk_read_bandwidth);
+  };
+  return policy;
+}
+
 namespace {
 
 // Bounds stage re-execution rounds: each round either finishes the job
@@ -238,7 +269,8 @@ Result<std::vector<storage::Row>> RunFusedMap(TaskContext& task,
   // exchange, exactly as the unfused body counts them.
   FABRIC_RETURN_IF_ERROR(task.Compute(
       active.size() * cost.spark_row_process_cpu * cost.data_scale));
-  Combiner combiner(&fused.combine);
+  SpillPolicy spill = TaskSpillPolicy(task);
+  Combiner combiner(&fused.combine, &spill);
   for (uint32_t i : active) {
     FABRIC_RETURN_IF_ERROR(combiner.Add(rows[i]));
   }
@@ -286,8 +318,12 @@ Status RunMapStage(sim::Process& driver, SparkCluster* cluster,
           FABRIC_RETURN_IF_ERROR(task.Compute(
               rows.size() * cost.spark_row_process_cpu * cost.data_scale));
           if (spec->combine != nullptr) {
-            FABRIC_ASSIGN_OR_RETURN(rows,
-                                    CombineToPartials(rows, *spec->combine));
+            SpillPolicy spill = TaskSpillPolicy(task);
+            Combiner combiner(&*spec->combine, &spill);
+            for (const storage::Row& row : rows) {
+              FABRIC_RETURN_IF_ERROR(combiner.Add(row));
+            }
+            FABRIC_ASSIGN_OR_RETURN(rows, combiner.Finish());
           }
         }
         const double bytes = storage::ProfileRows(rows)

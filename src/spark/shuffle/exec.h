@@ -15,11 +15,18 @@
 #include "common/result.h"
 #include "spark/cluster.h"
 #include "spark/dataframe.h"
+#include "spark/shuffle/aggregate.h"
 
 namespace fabric::spark::shuffle {
 
 // True when the plan tree contains an exchange (wide dependency).
 bool HasExchange(const Plan& plan);
+
+// Spill policy bound to one running task attempt: budget from the
+// cluster's task_memory_bytes, runs billed against the worker's local
+// disk, spill events traced and counted (spark.spills /
+// spark.spill_bytes). An unlimited cluster yields an inert policy.
+SpillPolicy TaskSpillPolicy(const TaskContext& task);
 
 // Runs `body` over `num_tasks` tasks with all of the plan's shuffle
 // dependencies satisfied: registers/executes missing map stages first

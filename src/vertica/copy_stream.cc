@@ -10,24 +10,56 @@ namespace fabric::vertica {
 using storage::DataProfile;
 using storage::Row;
 
-CopyStream::CopyStream(Session* session, const TableDef* def,
-                       Options options, storage::TxnId txn, bool autocommit)
+CopyStream::CopyStream(Session* session, TableDef def,
+                       Options options, storage::TxnId txn, bool autocommit,
+                       wm::Grant grant)
     : session_(session),
-      def_(def),
+      def_(std::move(def)),
       options_(options),
       txn_(txn),
-      autocommit_(autocommit) {}
+      autocommit_(autocommit),
+      grant_(grant) {}
+
+CopyStream::~CopyStream() { ReleaseGrant(); }
+
+void CopyStream::ReleaseGrant() {
+  if (!grant_.valid()) return;
+  wm::WorkloadManager* wm = session_->database()->workload_manager();
+  if (wm != nullptr) wm->Release(grant_);
+  grant_ = wm::Grant{};
+}
 
 Result<std::unique_ptr<CopyStream>> CopyStream::Open(
     sim::Process& self, Session* session, const std::string& table,
     Options options) {
   Database* db = session->database();
-  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* resolved,
                           db->catalog().GetTable(table));
+  // Snap the definition before the first yield: the catalog entry can be
+  // renamed away (S2V staging promote) while this stream waits in the
+  // admission queue or on the insert lock below.
+  TableDef def = *resolved;
+  // Admission: the whole load runs under one grant from the session's
+  // pool (queue timeouts bound the wait if the session already holds
+  // insert locks from an earlier statement of its transaction).
+  wm::Grant grant;
+  wm::WorkloadManager* wm = db->workload_manager();
+  if (wm != nullptr) {
+    FABRIC_ASSIGN_OR_RETURN(
+        grant, wm->Admit(self, session->node(), session->resource_pool(),
+                         /*memory_request=*/0));
+  }
+  auto release = [&] {
+    if (wm != nullptr && grant.valid()) wm->Release(grant);
+  };
   // COPY statement setup cost.
-  FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db->network(),
-                                     db->node_host(session->node()),
-                                     db->cost().statement_overhead_cpu));
+  Status status = net::RunCpu(self, db->network(),
+                              db->node_host(session->node()),
+                              db->cost().statement_overhead_cpu);
+  if (!status.ok()) {
+    release();
+    return status;
+  }
   bool autocommit = !session->in_transaction();
   storage::TxnId txn;
   if (autocommit) {
@@ -35,10 +67,14 @@ Result<std::unique_ptr<CopyStream>> CopyStream::Open(
   } else {
     txn = session->txn_;
   }
-  FABRIC_RETURN_IF_ERROR(db->LockTableI(self, txn, def->name));
-  db->TouchTable(txn, def->name);
-  return std::unique_ptr<CopyStream>(
-      new CopyStream(session, def, options, txn, autocommit));
+  status = db->LockTableI(self, txn, def.name);
+  if (!status.ok()) {
+    release();
+    return status;
+  }
+  db->TouchTable(txn, def.name);
+  return std::unique_ptr<CopyStream>(new CopyStream(
+      session, std::move(def), options, txn, autocommit, grant));
 }
 
 Status CopyStream::WriteBatch(sim::Process& self,
@@ -56,7 +92,7 @@ Status CopyStream::WriteBatch(sim::Process& self,
   std::vector<Row> good;
   good.reserve(rows.size());
   for (const Row& row : rows) {
-    if (ValidateRow(def_->schema, row).ok()) {
+    if (ValidateRow(def_.schema, row).ok()) {
       good.push_back(row);
     } else {
       ++totals_.rejected;
@@ -66,7 +102,7 @@ Status CopyStream::WriteBatch(sim::Process& self,
     }
   }
 
-  const double scale = db->EffectiveScale(def_->name);
+  const double scale = db->EffectiveScale(def_.name);
   DataProfile profile = ProfileRows(rows);
   profile.ScaleBy(scale);
 
@@ -113,11 +149,11 @@ Status CopyStream::WriteBatch(sim::Process& self,
 
   // Route rows to owner segments over the internal fabric.
   FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
-                          db->GetStorage(def_->name));
+                          db->GetStorage(def_.name));
   const int64_t good_count = static_cast<int64_t>(good.size());
   std::vector<std::vector<Row>> per_node(db->num_nodes());
   for (Row& row : good) {
-    int owner = db->OwnerNode(*def_, row);
+    int owner = db->OwnerNode(def_, row);
     if (owner < 0) {
       for (int n = 0; n < db->num_nodes(); ++n) per_node[n].push_back(row);
     } else {
@@ -125,13 +161,13 @@ Status CopyStream::WriteBatch(sim::Process& self,
     }
   }
   obs::TraceEvent("vertica", "copy.batch",
-                  {{"table", def_->name},
+                  {{"table", def_.name},
                    {"rows", static_cast<int64_t>(rows.size())},
                    {"rejected",
                     static_cast<int64_t>(rows.size() - good.size())},
                    {"txn", txn_}});
   obs::IncrCounter("vertica.copy_rows", static_cast<double>(rows.size()));
-  bool replicated = def_->segmentation.unsegmented();
+  bool replicated = def_.segmentation.unsegmented();
   for (int n = 0; n < db->num_nodes(); ++n) {
     if (per_node[n].empty()) continue;
     // Deliver to every live copy (k=1: primary + buddy for segmented
@@ -170,7 +206,7 @@ Status CopyStream::WriteBatch(sim::Process& self,
         // store sits at the Tuple Mover's hard cap instead of letting
         // the WOS grow without bound.
         FABRIC_RETURN_IF_ERROR(db->tuple_mover()->AdmitWos(
-            self, def_->name, copy.store, copy.host));
+            self, def_.name, copy.store, copy.host));
         FABRIC_RETURN_IF_ERROR(
             copy.store->InsertPending(txn_, std::move(batch)));
       }
@@ -183,6 +219,7 @@ Status CopyStream::WriteBatch(sim::Process& self,
 Result<CopyStream::LoadResult> CopyStream::Finish(sim::Process& self) {
   FABRIC_CHECK(!finished_) << "Finish called twice";
   finished_ = true;
+  ReleaseGrant();
   Database* db = session_->database();
   if (autocommit_) {
     // A COPY whose node died must not commit on the dead node.
@@ -199,7 +236,7 @@ Result<CopyStream::LoadResult> CopyStream::Finish(sim::Process& self) {
     }
   }
   obs::TraceEvent("vertica", "copy.finish",
-                  {{"table", def_->name},
+                  {{"table", def_.name},
                    {"loaded", totals_.loaded},
                    {"rejected", totals_.rejected},
                    {"txn", txn_}});

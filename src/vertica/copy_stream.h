@@ -35,11 +35,17 @@ class CopyStream {
 
   // Opens a COPY into `table` on the session's node. Requires an open
   // explicit transaction on the session OR autocommit (the stream then
-  // commits on Finish).
+  // commits on Finish). When the database runs named resource pools the
+  // load is admitted against the session's pool here and holds its grant
+  // until Finish (a bulk load is one long statement).
   static Result<std::unique_ptr<CopyStream>> Open(sim::Process& self,
                                                   Session* session,
                                                   const std::string& table,
                                                   Options options);
+
+  // Abandoned streams (destroyed without Finish) release their admission
+  // grant; the open transaction is left to the session's rollback.
+  ~CopyStream();
 
   // Feeds one batch. Returns CANCELLED if the process is killed; the
   // session's transaction is then left to roll back.
@@ -51,15 +57,22 @@ class CopyStream {
   Result<LoadResult> Finish(sim::Process& self);
 
  private:
-  CopyStream(Session* session, const TableDef* def, Options options,
-             storage::TxnId txn, bool autocommit);
+  CopyStream(Session* session, TableDef def, Options options,
+             storage::TxnId txn, bool autocommit, wm::Grant grant);
+
+  void ReleaseGrant();
 
   Session* session_;
-  const TableDef* def_;
+  // Owned copy, snapped at Open before the first yield: the catalog
+  // entry a pointer would reference can be erased while the stream
+  // blocks (admission queue, lock wait) or between batches — S2V's
+  // staging promote renames tables with no lock held by this txn.
+  TableDef def_;
   Options options_;
   storage::TxnId txn_;
   bool autocommit_;
   bool finished_ = false;
+  wm::Grant grant_;
   LoadResult totals_;
 };
 

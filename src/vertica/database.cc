@@ -50,6 +50,10 @@ Database::Database(sim::Engine* engine, net::Network* network,
     auto it = aggregate_functions_.find(ToUpper(fn));
     return it == aggregate_functions_.end() ? nullptr : &it->second;
   };
+  if (options_.workload.enabled()) {
+    wm_ = std::make_unique<wm::WorkloadManager>(engine_, options_.workload,
+                                                options_.num_nodes);
+  }
   pipeline_compiler_.set_enabled(options_.compile_pipelines);
   RegisterHllFunctions(this);
   tm_ = std::make_unique<TupleMover>(this, options_.tuple_mover);
@@ -110,9 +114,11 @@ Result<std::unique_ptr<Session>> Database::Connect(sim::Process& self,
                                    NodeStateName(node_states_[node])));
   }
   if (active_sessions_[node] >= options_.max_client_sessions) {
+    obs::IncrCounter("vertica.session_rejects");
     return ResourceExhaustedError(
-        StrCat("MaxClientSessions (", options_.max_client_sessions,
-               ") reached on ", node_name(node)));
+        StrCat(kMaxClientSessionsToken, ": limit ",
+               options_.max_client_sessions, " reached on ",
+               node_name(node)));
   }
   ++active_sessions_[node];
   // Connection setup: handshake round trip plus session create CPU.
@@ -270,6 +276,38 @@ Status Database::LockTableI(sim::Process& self, storage::TxnId txn,
   FABRIC_CHECK(it != txns_.end()) << "lock by unknown txn";
   it->second.locked_tables.insert(key);
   return Status::OK();
+}
+
+Status Database::WaitTablesIdle(sim::Process& self, storage::TxnId txn,
+                                const std::vector<std::string>& tables) {
+  auto idle = [this, txn](const std::string& key) {
+    auto it = locks_.find(key);
+    if (it == locks_.end()) return true;
+    const TableLock& lock = it->second;
+    if (lock.x_owner != 0 && lock.x_owner != txn) return false;
+    for (storage::TxnId holder : lock.insert_owners) {
+      if (holder != txn) return false;
+    }
+    return true;
+  };
+  // Waiting on one table can let another re-lock, so loop until the
+  // whole set is observed idle inside a single engine step.
+  for (;;) {
+    bool all_idle = true;
+    for (const std::string& table : tables) {
+      std::string key = ToLower(table);
+      if (idle(key)) continue;
+      all_idle = false;
+      TableLock& lock = locks_[key];
+      if (lock.released == nullptr) {
+        lock.released = std::make_unique<sim::Condition>(engine_);
+      }
+      FABRIC_RETURN_IF_ERROR(lock.released->WaitUntil(
+          self, [&idle, &key] { return idle(key); }));
+      break;
+    }
+    if (all_idle) return Status::OK();
+  }
 }
 
 void Database::TouchTable(storage::TxnId txn, const std::string& table) {
@@ -480,6 +518,13 @@ Status Database::KillNode(int node) {
       }
     }
   }
+  // Requests queued on the dead node's pools fail with UNAVAILABLE.
+  if (wm_ != nullptr) {
+    wm_->OnNodeDown(node);
+    if (cluster_down_) {
+      for (int n = 0; n < num_nodes(); ++n) wm_->OnNodeDown(n);
+    }
+  }
   state_changed_->NotifyAll();
   // Wake writers stalled on WOS backpressure against the dead node and
   // let the Tuple Mover drop it from its rotation.
@@ -644,13 +689,22 @@ Status Database::WaitForNodeState(sim::Process& self, int node,
 }
 
 Status Database::PoolAdmit(sim::Process& self, int node) {
+  // The workload manager supersedes the flat pool; Session::Execute
+  // already admitted this statement through its named pool.
+  if (wm_ != nullptr) return self.CheckAlive();
   if (pool_slots_.empty()) return self.CheckAlive();
   return pool_slots_[node]->Acquire(self);
 }
 
 void Database::PoolRelease(int node) {
+  if (wm_ != nullptr) return;
   if (pool_slots_.empty()) return;
   pool_slots_[node]->Release();
+}
+
+bool IsMaxClientSessionsError(const Status& status) {
+  return status.code() == StatusCode::kResourceExhausted &&
+         StartsWith(std::string(status.message()), kMaxClientSessionsToken);
 }
 
 }  // namespace fabric::vertica

@@ -23,10 +23,18 @@
 #include "vertica/pipeline.h"
 #include "vertica/sql_eval.h"
 #include "vertica/tm/tuple_mover.h"
+#include "vertica/wm/resource_pool.h"
 
 namespace fabric::vertica {
 
 class Session;
+
+// Stable message prefix of the RESOURCE_EXHAUSTED error Connect returns
+// when a node is at MaxClientSessions, so connectors can retry with
+// backoff on a contract rather than on prose.
+inline constexpr char kMaxClientSessionsToken[] = "MAX_CLIENT_SESSIONS";
+
+bool IsMaxClientSessionsError(const Status& status);
 
 // Result of one SQL statement: a schema+rows for queries, an affected-row
 // count for DML, both empty for DDL/txn control.
@@ -49,9 +57,13 @@ class Database {
     // MaxClientSessions per node (the paper raises it to 100 for the
     // parallelism experiments).
     int max_client_sessions = 100;
-    // Concurrent queries admitted per node by the resource pool; 0 means
-    // unlimited (excess queries queue, as Vertica pools do).
+    // Concurrent queries admitted per node by the legacy flat resource
+    // pool; 0 means unlimited (excess queries queue, as Vertica pools
+    // do). Ignored when `workload` configures named pools.
     int pool_concurrency = 0;
+    // Named hierarchical resource pools (workload manager). Empty =
+    // legacy flat admission via pool_concurrency.
+    wm::WorkloadConfig workload;
     // Tuple Mover (background moveout/mergeout/AHM) knobs; enabled by
     // default so default-configured clusters drain their WOS.
     TupleMoverConfig tuple_mover;
@@ -247,6 +259,15 @@ class Database {
   // Vertica.
   Status LockTableI(sim::Process& self, storage::TxnId txn,
                     const std::string& table);
+  // Blocks until no transaction other than `txn` (pass 0 for "any")
+  // holds a lock on any of `tables`. Destructive DDL (DROP / RENAME /
+  // TRUNCATE) calls this before swapping storage out from under the
+  // name: the swap then happens in the same engine step the wait
+  // returns in, so an in-flight COPY holding its insert lock always
+  // finishes (or aborts) before its table disappears. Costs zero
+  // virtual time when the tables are already idle.
+  Status WaitTablesIdle(sim::Process& self, storage::TxnId txn,
+                        const std::vector<std::string>& tables);
   void TouchTable(storage::TxnId txn, const std::string& table);
   // Applies the txn's pending changes at a fresh epoch and releases locks.
   Status CommitTxnInternal(sim::Process& self, storage::TxnId txn);
@@ -254,9 +275,14 @@ class Database {
   void AbortTxnInternal(storage::TxnId txn);
 
   // ----------------------------------------------------------- resources
-  // Admission into a node's resource pool (no-op when unlimited).
+  // Admission into a node's legacy flat resource pool (no-op when
+  // unlimited or when the workload manager is active).
   Status PoolAdmit(sim::Process& self, int node);
   void PoolRelease(int node);
+
+  // The workload manager, or nullptr when options().workload is empty
+  // (legacy flat admission).
+  wm::WorkloadManager* workload_manager() { return wm_.get(); }
 
   // Connect registers each session so KillNode can break every session
   // attached to the dying node; Session::Abandon unregisters.
@@ -312,6 +338,7 @@ class Database {
   PipelineCompiler pipeline_compiler_;
   std::vector<int> active_sessions_;
   std::vector<std::unique_ptr<sim::Semaphore>> pool_slots_;
+  std::unique_ptr<wm::WorkloadManager> wm_;
 
   // ----------------------------------------------------------- k-safety
   // Recovery catch-up for `node`, run as a spawned process. `incarnation`

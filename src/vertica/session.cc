@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 #include <set>
+#include <variant>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -100,6 +101,34 @@ Result<Value> FinalizePartial(const AggSpec& spec, const AggPartial& p) {
                                                     : p.udx_state);
   }
   return Value::Null();
+}
+
+// Combines a spilled partial into the resident one. Every aggregate the
+// executor supports is mergeable (count/sum/min/max are trivially so,
+// aggregate UDx states merge through their registered lifecycle), which
+// is what makes grace-hash spilling below exact.
+Status MergePartial(const AggSpec& spec, const AggPartial& src,
+                    AggPartial* dst) {
+  dst->count += src.count;
+  dst->sum += src.sum;
+  dst->any = dst->any || src.any;
+  if (!src.min.is_null() &&
+      (dst->min.is_null() || src.min.Compare(dst->min).value() < 0)) {
+    dst->min = src.min;
+  }
+  if (!src.max.is_null() &&
+      (dst->max.is_null() || src.max.Compare(dst->max).value() > 0)) {
+    dst->max = src.max;
+  }
+  if (spec.kind == AggSpec::Kind::kUdx && !src.udx_state.empty()) {
+    if (dst->udx_state.empty()) {
+      dst->udx_state = src.udx_state;
+    } else {
+      FABRIC_RETURN_IF_ERROR(spec.udx->merge(src.udx_state,
+                                             &dst->udx_state));
+    }
+  }
+  return Status::OK();
 }
 
 Result<AggSpec::Kind> AggKindOf(const std::string& name) {
@@ -214,10 +243,33 @@ Result<QueryResult> Session::Execute(sim::Process& self,
   last_commit_epoch_ = 0;
   last_update_affected_ = -1;
   FABRIC_ASSIGN_OR_RETURN(sql::Statement statement, sql::Parse(sql_text));
+  // Workload-manager admission covers every statement except transaction
+  // control: BEGIN/COMMIT/ROLLBACK must never queue, else a session
+  // holding table locks could wait on admission behind statements
+  // waiting on those locks (admission <-> lock deadlock).
+  wm::WorkloadManager* wm = db_->workload_manager();
+  bool admitted = false;
+  if (wm != nullptr && !std::holds_alternative<sql::TxnStmt>(statement)) {
+    FABRIC_ASSIGN_OR_RETURN(
+        wm_grant_, wm->Admit(self, node_, resource_pool_, memory_request_));
+    admitted = true;
+  }
+  // Releases the admission grant on every exit path below (statement
+  // errors, kills, broken-node unwinds).
+  auto release_grant = [&] {
+    if (admitted) {
+      wm->Release(wm_grant_);
+      wm_grant_ = wm::Grant{};
+      admitted = false;
+    }
+  };
   // Parse/plan cost on the initiator node.
-  FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
-                                     db_->node_host(node_),
-                                     db_->cost().statement_overhead_cpu));
+  Status overhead = net::RunCpu(self, db_->network(), db_->node_host(node_),
+                                db_->cost().statement_overhead_cpu);
+  if (!overhead.ok()) {
+    release_grant();
+    return overhead;
+  }
   Result<QueryResult> result = std::visit(
       [&](auto&& stmt) -> Result<QueryResult> {
         using T = std::decay_t<decltype(stmt)>;
@@ -244,6 +296,7 @@ Result<QueryResult> Session::Execute(sim::Process& self,
         }
       },
       statement);
+  release_grant();
   // The node died while the statement was in flight: whatever the server
   // did (including a commit that reached durability just before the
   // kill), the client never hears the outcome.
@@ -394,6 +447,7 @@ Result<QueryResult> Session::ExecDrop(sim::Process& self,
     FABRIC_RETURN_IF_ERROR(status);
     return QueryResult{};
   }
+  FABRIC_RETURN_IF_ERROR(db_->WaitTablesIdle(self, txn_, {stmt.name}));
   Status status = db_->DropTableWithStorage(stmt.name);
   if (!status.ok() && stmt.if_exists &&
       status.code() == StatusCode::kNotFound) {
@@ -406,6 +460,10 @@ Result<QueryResult> Session::ExecDrop(sim::Process& self,
 Result<QueryResult> Session::ExecRename(sim::Process& self,
                                         const sql::RenameTableStmt& stmt) {
   FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  // Loads into either name (e.g. a speculative task attempt still
+  // copying into the staging table) must drain before the swap.
+  FABRIC_RETURN_IF_ERROR(
+      db_->WaitTablesIdle(self, txn_, {stmt.from, stmt.to}));
   FABRIC_RETURN_IF_ERROR(
       db_->RenameTableWithStorage(stmt.from, stmt.to, stmt.replace));
   return QueryResult{};
@@ -418,6 +476,7 @@ Result<QueryResult> Session::ExecTruncate(sim::Process& self,
         "TRUNCATE inside an explicit transaction is not supported");
   }
   FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  FABRIC_RETURN_IF_ERROR(db_->WaitTablesIdle(self, txn_, {stmt.table}));
   FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
                           db_->catalog().GetTable(stmt.table));
   FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
@@ -850,6 +909,42 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
 
 namespace {
 
+// Memory-budget context for the aggregate path: when the admission
+// grant caps the hash table, overflowing groups spill to partitioned
+// runs on the node's local disk (grace hash) and merge back at the end.
+// The callbacks charge the simulated disk; results stay byte-identical
+// to the unbudgeted run because every partial is mergeable and the final
+// collection re-sorts by encoded group key.
+struct SpillEnv {
+  double budget_bytes = 0;  // 0 = unlimited (no spilling)
+  int partitions = 8;
+  std::function<Status(double bytes)> charge_write;
+  std::function<Status(double bytes)> charge_read;
+  std::function<void(double bytes, int64_t groups)> on_spill;
+};
+
+// Estimated resident size of one hash-table entry (key + partial
+// states); deliberately coarse — the budget is a simulation knob, not a
+// malloc audit.
+double GroupBytes(const std::string& key,
+                  const std::vector<AggPartial>& partials) {
+  double bytes = static_cast<double>(key.size()) + 48;
+  for (const AggPartial& p : partials) {
+    bytes += 56 + static_cast<double>(p.udx_state.size());
+  }
+  return bytes;
+}
+
+// FNV-1a over the encoded group key: the spill partition function.
+int SpillPartitionOf(const std::string& key, int partitions) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return static_cast<int>(h % static_cast<uint64_t>(partitions));
+}
+
 // Applies a SELECT's WHERE / aggregation / projection / ORDER / LIMIT to
 // an in-memory rowset (the initiator-local part of query execution,
 // shared by base tables, views and system tables).
@@ -858,14 +953,17 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
                                 const sql::SelectStmt& select,
                                 const sql::UdxResolver* udx,
                                 const sql::AggregateUdxResolver* agg_udx,
-                                PipelineCompiler* pipeline) {
+                                PipelineCompiler* pipeline,
+                                const SpillEnv* spill = nullptr) {
+  const bool budgeted = spill != nullptr && spill->budget_bytes > 0;
   // Compiled fast path: a cached vectorized pipeline runs the whole
   // body (filter → project/aggregate) over row blocks. It either
   // produces exactly what the interpreter below would — same rows, same
   // order, same schema — or bails (dynamic type surprise, division by
   // zero, UDx error, uncompilable shape), in which case the interpreter
   // runs from scratch and stays authoritative for results and errors.
-  if (pipeline != nullptr && pipeline->enabled()) {
+  // A budgeted run skips it: the compiled aggregate cannot spill.
+  if (pipeline != nullptr && pipeline->enabled() && !budgeted) {
     std::shared_ptr<const CompiledQuery> compiled =
         pipeline->GetOrCompileSelect(select, schema, udx, agg_udx);
     if (compiled != nullptr) {
@@ -1022,6 +1120,36 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
   result.schema = Schema(std::move(out_columns));
 
   std::map<std::string, std::pair<Row, std::vector<AggPartial>>> groups;
+  // Grace-hash spill state: partitioned runs of (key, key values,
+  // partials) pushed out whenever the resident table exceeds the grant.
+  struct SpilledGroup {
+    std::string key;
+    Row key_values;
+    std::vector<AggPartial> partials;
+  };
+  const int spill_partitions =
+      budgeted ? std::max(1, spill->partitions) : 1;
+  std::vector<std::vector<SpilledGroup>> runs(
+      budgeted ? spill_partitions : 0);
+  double resident_bytes = 0;
+  auto spill_resident = [&]() -> Status {
+    if (groups.empty()) return Status::OK();
+    double bytes = 0;
+    int64_t spilled = static_cast<int64_t>(groups.size());
+    for (auto& [key, group] : groups) {
+      bytes += GroupBytes(key, group.second);
+      int p = SpillPartitionOf(key, spill_partitions);
+      runs[p].push_back(SpilledGroup{key, std::move(group.first),
+                                     std::move(group.second)});
+    }
+    groups.clear();
+    resident_bytes = 0;
+    if (spill->charge_write) {
+      FABRIC_RETURN_IF_ERROR(spill->charge_write(bytes));
+    }
+    if (spill->on_spill) spill->on_spill(bytes, spilled);
+    return Status::OK();
+  };
   for (const Row* row : filtered) {
     Row key_values;
     for (int c : group_cols) key_values.push_back((*row)[c]);
@@ -1045,12 +1173,66 @@ Result<QueryResult> LocalSelect(const std::vector<Row>& rows,
       FABRIC_RETURN_IF_ERROR(UpdatePartial(out_items[i].agg, v,
                                            &partials[i]));
     }
+    if (budgeted && inserted) {
+      resident_bytes += GroupBytes(it->first, partials);
+      if (resident_bytes > spill->budget_bytes) {
+        FABRIC_RETURN_IF_ERROR(spill_resident());
+      }
+    }
   }
   // Aggregate queries with no groups still return one row.
-  if (groups.empty() && group_cols.empty()) {
+  if (groups.empty() && group_cols.empty() &&
+      (runs.empty() ||
+       std::all_of(runs.begin(), runs.end(),
+                   [](const std::vector<SpilledGroup>& r) {
+                     return r.empty();
+                   }))) {
     groups.try_emplace("", std::make_pair(
                                Row{},
                                std::vector<AggPartial>(out_items.size())));
+  }
+  bool any_spilled =
+      !runs.empty() &&
+      std::any_of(runs.begin(), runs.end(),
+                  [](const std::vector<SpilledGroup>& r) {
+                    return !r.empty();
+                  });
+  if (any_spilled) {
+    // Merge phase: push the resident remainder out too, then rebuild
+    // each partition in turn. Partitions hold disjoint key sets and the
+    // final collection map is ordered by encoded key — exactly the
+    // iteration order of the unbudgeted hash table — so the output is
+    // byte-identical to the in-memory run (modulo float-sum rounding,
+    // which integer-valued data does not exercise).
+    FABRIC_RETURN_IF_ERROR(spill_resident());
+    std::map<std::string, std::pair<Row, std::vector<AggPartial>>> merged;
+    for (int p = 0; p < spill_partitions; ++p) {
+      if (runs[p].empty()) continue;
+      double bytes = 0;
+      std::map<std::string, std::pair<Row, std::vector<AggPartial>>> part;
+      for (SpilledGroup& sg : runs[p]) {
+        bytes += GroupBytes(sg.key, sg.partials);
+        auto [it, inserted] = part.try_emplace(
+            sg.key, std::make_pair(std::move(sg.key_values),
+                                   std::vector<AggPartial>()));
+        if (inserted) {
+          it->second.second = std::move(sg.partials);
+          continue;
+        }
+        for (size_t i = 0; i < out_items.size(); ++i) {
+          if (out_items[i].is_group) continue;
+          FABRIC_RETURN_IF_ERROR(MergePartial(
+              out_items[i].agg, sg.partials[i], &it->second.second[i]));
+        }
+      }
+      if (spill->charge_read) {
+        FABRIC_RETURN_IF_ERROR(spill->charge_read(bytes));
+      }
+      for (auto& [key, group] : part) {
+        merged.try_emplace(key, std::move(group));
+      }
+    }
+    groups = std::move(merged);
   }
   for (auto& [key, group] : groups) {
     Row out;
@@ -1196,6 +1378,61 @@ Result<QueryResult> Session::SystemTable(
     }
     return result;
   }
+  if (lower_name == "v_monitor.resource_pool_status") {
+    result.schema = Schema({{"node_id", DataType::kInt64},
+                            {"node_name", DataType::kVarchar},
+                            {"pool_name", DataType::kVarchar},
+                            {"priority", DataType::kInt64},
+                            {"max_concurrency", DataType::kInt64},
+                            {"memory_budget_bytes", DataType::kFloat64},
+                            {"memory_inuse_bytes", DataType::kFloat64},
+                            {"running_query_count", DataType::kInt64},
+                            {"queue_depth", DataType::kInt64},
+                            {"admitted", DataType::kInt64},
+                            {"borrowed", DataType::kInt64},
+                            {"queue_timeouts", DataType::kInt64},
+                            {"rejected", DataType::kInt64},
+                            {"spills", DataType::kInt64},
+                            {"spill_bytes", DataType::kFloat64},
+                            {"queue_wait_seconds", DataType::kFloat64}});
+    wm::WorkloadManager* wm = db_->workload_manager();
+    if (wm != nullptr) {
+      for (const wm::WorkloadManager::PoolStatus& s : wm->PoolStatusRows()) {
+        result.rows.push_back(
+            {Value::Int64(s.node), Value::Varchar(db_->node_name(s.node)),
+             Value::Varchar(s.pool), Value::Int64(s.priority),
+             Value::Int64(s.max_concurrency),
+             Value::Float64(s.memory_budget),
+             Value::Float64(s.memory_inuse), Value::Int64(s.running),
+             Value::Int64(s.queued), Value::Int64(s.admitted),
+             Value::Int64(s.borrowed), Value::Int64(s.timeouts),
+             Value::Int64(s.rejected), Value::Int64(s.spills),
+             Value::Float64(s.spill_bytes),
+             Value::Float64(s.queue_wait_seconds)});
+      }
+    }
+    return result;
+  }
+  if (lower_name == "v_monitor.resource_queues") {
+    result.schema = Schema({{"node_id", DataType::kInt64},
+                            {"node_name", DataType::kVarchar},
+                            {"pool_name", DataType::kVarchar},
+                            {"priority", DataType::kInt64},
+                            {"position", DataType::kInt64},
+                            {"memory_requested_bytes", DataType::kFloat64},
+                            {"queued_at", DataType::kFloat64}});
+    wm::WorkloadManager* wm = db_->workload_manager();
+    if (wm != nullptr) {
+      for (const wm::WorkloadManager::QueueEntry& q : wm->QueueRows()) {
+        result.rows.push_back(
+            {Value::Int64(q.node), Value::Varchar(db_->node_name(q.node)),
+             Value::Varchar(q.pool), Value::Int64(q.priority),
+             Value::Int64(q.position), Value::Float64(q.memory_requested),
+             Value::Float64(q.queued_at)});
+      }
+    }
+    return result;
+  }
   if (lower_name == "v_catalog.tables") {
     result.schema = Schema({{"table_name", DataType::kVarchar},
                             {"is_view", DataType::kBool},
@@ -1227,6 +1464,32 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   const sql::UdxResolver* udx = &db_->udx_resolver();
   const sql::AggregateUdxResolver* agg_udx = &db_->aggregate_udx_resolver();
 
+  // Memory budget from the statement's admission grant: beyond it the
+  // aggregate hash table spills partitioned runs to the initiator's
+  // local disk and merges them back (grace hash), byte-identical to the
+  // unbudgeted run.
+  SpillEnv spill_env;
+  const SpillEnv* spill = nullptr;
+  if (wm_grant_.valid() && wm_grant_.memory > 0) {
+    auto charge_disk = [this, &self](double bytes) -> Status {
+      const net::Host& host = db_->node_host(node_);
+      if (host.has_disk()) {
+        return db_->network()->Transfer(self, {host.disk}, bytes);
+      }
+      return self.Sleep(bytes / db_->cost().disk_read_bandwidth);
+    };
+    spill_env.budget_bytes = wm_grant_.memory;
+    spill_env.charge_write = charge_disk;
+    spill_env.charge_read = charge_disk;
+    spill_env.on_spill = [this](double bytes, int64_t spilled_groups) {
+      db_->workload_manager()->ReportSpill(wm_grant_, bytes);
+      obs::IncrCounter("sql.agg_spills");
+      obs::IncrCounter("sql.agg_spill_groups",
+                       static_cast<double>(spilled_groups));
+    };
+    spill = &spill_env;
+  }
+
   // Aggregates (builtin or UDx) cannot be evaluated per row, so a WHERE
   // clause containing one is rejected at planning — the scan's residual
   // evaluator never sees the call.
@@ -1243,7 +1506,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(one_row, empty_schema, select,
                                         udx, agg_udx,
-                                        db_->pipeline_compiler()));
+                                        db_->pipeline_compiler(), spill));
     if (to_client) {
       FABRIC_RETURN_IF_ERROR(StreamToClient(self, 64, net::kUnlimitedRate));
     }
@@ -1347,7 +1610,8 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
 
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(joined, combined, select, udx,
-                                        agg_udx, db_->pipeline_compiler()));
+                                        agg_udx, db_->pipeline_compiler(),
+                                        spill));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       profile.ScaleBy(cost.data_scale);
@@ -1365,7 +1629,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(base.rows, base.schema, select,
                                         udx, agg_udx,
-                                        db_->pipeline_compiler()));
+                                        db_->pipeline_compiler(), spill));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       FABRIC_RETURN_IF_ERROR(StreamToClient(
@@ -1398,7 +1662,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     FABRIC_ASSIGN_OR_RETURN(QueryResult result,
                             LocalSelect(sub.rows, sub.schema, select,
                                         udx, agg_udx,
-                                        db_->pipeline_compiler()));
+                                        db_->pipeline_compiler(), spill));
     if (to_client) {
       DataProfile profile = ProfileRows(result.rows);
       profile.ScaleBy(cost.data_scale);
@@ -1798,7 +2062,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     return copy;
   }();
   return LocalSelect(gathered, schema, local, udx, agg_udx,
-                     db_->pipeline_compiler());
+                     db_->pipeline_compiler(), spill);
 }
 
 Status Session::StreamToClient(sim::Process& self, double wire_bytes,

@@ -51,6 +51,22 @@ class Session {
   bool broken() const { return broken_; }
   void MarkBroken() { broken_ = true; }
 
+  // Workload-manager pool this session's statements are admitted
+  // against ("" = the default pool). No-op when the database runs
+  // without named pools.
+  void set_resource_pool(std::string pool) {
+    resource_pool_ = std::move(pool);
+  }
+  const std::string& resource_pool() const { return resource_pool_; }
+  // Per-query memory to request at admission (0: the pool's derived
+  // per-query grant).
+  void set_memory_request(double bytes) { memory_request_ = bytes; }
+
+  // The admission grant covering the currently executing statement
+  // (invalid between statements or when WM is off). Budget-aware
+  // operators read their memory allowance from it.
+  const wm::Grant& current_grant() const { return wm_grant_; }
+
   // Observability aids (the server's view of this session's last write,
   // exposed so instrumented clients can distinguish "commit durable, ack
   // lost to a kill" from "commit never happened" — the Section 2.2.2
@@ -124,6 +140,9 @@ class Session {
   int node_;
   const net::Host* client_;  // may be null (console)
   storage::TxnId txn_ = 0;   // open explicit transaction
+  std::string resource_pool_;
+  double memory_request_ = 0;
+  wm::Grant wm_grant_;
   storage::Epoch last_commit_epoch_ = 0;
   int64_t last_update_affected_ = -1;
   bool closed_ = false;

@@ -19,6 +19,8 @@
 
 #include <gtest/gtest.h>
 
+#include "seed_env.h"
+
 #include "common/hll.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -42,11 +44,7 @@ using storage::Value;
 // Seeds for the randomized property suites; HLL_SEED (the CI matrix
 // knob) adds one more, mirroring SHUFFLE_SEED / TM_SEED.
 std::vector<uint64_t> PropertySeeds() {
-  std::vector<uint64_t> seeds = {11, 23, 47};
-  if (const char* env = std::getenv("HLL_SEED")) {
-    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
-  }
-  return seeds;
+  return fabric::testing::PropertySeeds("HLL_SEED");
 }
 
 Sketch MustCreate(int precision) {

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "seed_env.h"
+
 #include "common/random.h"
 #include "common/string_util.h"
 #include "connector/default_source.h"
@@ -72,11 +74,7 @@ std::multiset<std::string> ContentsOf(const std::vector<Row>& rows) {
 // Seeds for the randomized suites; KSAFETY_SEED (the CI matrix knob) adds
 // one more.
 std::vector<uint64_t> PropertySeeds() {
-  std::vector<uint64_t> seeds = {11, 23, 47};
-  if (const char* env = std::getenv("KSAFETY_SEED")) {
-    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
-  }
-  return seeds;
+  return fabric::testing::PropertySeeds("KSAFETY_SEED");
 }
 
 class KSafetyTest : public ::testing::Test {

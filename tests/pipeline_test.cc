@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "seed_env.h"
+
 #include "common/random.h"
 #include "common/string_util.h"
 #include "connector/default_source.h"
@@ -39,12 +41,7 @@ using vertica::QueryResult;
 using vertica::Session;
 
 std::vector<uint64_t> PropertySeeds() {
-  std::vector<uint64_t> seeds = {11, 23, 47};
-  const char* env = std::getenv("PIPELINE_SEED");
-  if (env != nullptr) {
-    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
-  }
-  return seeds;
+  return fabric::testing::PropertySeeds("PIPELINE_SEED");
 }
 
 // The event stream of a trace, without the appended metrics snapshot:

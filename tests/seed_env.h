@@ -1,0 +1,32 @@
+#ifndef FABRIC_TESTS_SEED_ENV_H_
+#define FABRIC_TESTS_SEED_ENV_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace fabric::testing {
+
+// Seeds for the randomized property suites. Every suite starts from the
+// same fixed trio so plain local runs are deterministic and fast; the CI
+// seed matrix appends one more seed through the suite's environment knob
+// (KSAFETY_SEED, TM_SEED, SHUFFLE_SEED, HLL_SEED, PIPELINE_SEED,
+// WM_SEED). `fallback_var` lets one matrix knob fan into a second suite
+// (the Tuple Mover suite also picks up KSAFETY_SEED so both matrices
+// exercise it).
+inline std::vector<uint64_t> PropertySeeds(
+    const char* env_var, const char* fallback_var = nullptr) {
+  std::vector<uint64_t> seeds = {11, 23, 47};
+  const char* env = std::getenv(env_var);
+  if (env == nullptr && fallback_var != nullptr) {
+    env = std::getenv(fallback_var);
+  }
+  if (env != nullptr) {
+    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
+  }
+  return seeds;
+}
+
+}  // namespace fabric::testing
+
+#endif  // FABRIC_TESTS_SEED_ENV_H_

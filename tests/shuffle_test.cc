@@ -15,6 +15,8 @@
 
 #include <gtest/gtest.h>
 
+#include "seed_env.h"
+
 #include "common/hll.h"
 #include "common/random.h"
 #include "common/string_util.h"
@@ -56,11 +58,7 @@ std::multiset<std::string> ContentsOf(const std::vector<Row>& rows) {
 // Seeds for the randomized suites; SHUFFLE_SEED (the CI matrix knob)
 // adds one more.
 std::vector<uint64_t> PropertySeeds() {
-  std::vector<uint64_t> seeds = {11, 23, 47};
-  if (const char* env = std::getenv("SHUFFLE_SEED")) {
-    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
-  }
-  return seeds;
+  return fabric::testing::PropertySeeds("SHUFFLE_SEED");
 }
 
 Schema KvSchema() {

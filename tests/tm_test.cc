@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "seed_env.h"
+
 #include "common/random.h"
 #include "common/string_util.h"
 #include "connector/default_source.h"
@@ -66,13 +68,7 @@ std::multiset<std::string> ContentsOf(const std::vector<Row>& rows) {
 // Seeds for the randomized suites; TM_SEED (the CI matrix knob, falling
 // back to KSAFETY_SEED so both matrices exercise this suite) adds one.
 std::vector<uint64_t> PropertySeeds() {
-  std::vector<uint64_t> seeds = {11, 23, 47};
-  const char* env = std::getenv("TM_SEED");
-  if (env == nullptr) env = std::getenv("KSAFETY_SEED");
-  if (env != nullptr) {
-    seeds.push_back(static_cast<uint64_t>(std::strtoull(env, nullptr, 10)));
-  }
-  return seeds;
+  return fabric::testing::PropertySeeds("TM_SEED", "KSAFETY_SEED");
 }
 
 // An aggressive Tuple Mover configuration so short test workloads see
