@@ -45,6 +45,12 @@ struct CostModel {
   // worthwhile; not multiplied by data_scale (container count is a real,
   // not scaled, quantity).
   double ros_container_open_cpu = 1.5e-4;
+  // GROUP BY aggregation CPU per input row on the scanning node. The
+  // hash rate pays key hashing and probes; the sorted rate applies when
+  // the chosen projection's sort order prefixes the grouping keys (equal
+  // keys arrive adjacent: merge-style aggregation, no hash table).
+  double group_by_hash_cpu_per_row = 4.0e-8;
+  double group_by_sorted_cpu_per_row = 0.8e-8;
   // Per-JDBC-connection result serialization: the stream moves at most
   // stream_bytes_per_sec of wire data, and each row additionally costs
   // stream_row_overhead (these two produce the Fig. 9 shape).

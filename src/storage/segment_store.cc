@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <type_traits>
 
 #include "common/hash.h"
 #include "common/logging.h"
@@ -62,11 +63,44 @@ std::vector<int> AllColumns(const Schema& schema) {
   return cols;
 }
 
+// Total order on rows over `cols` (nulls first, then Value::Compare).
+// Mixed non-numeric types cannot appear within one typed column, so the
+// Compare error path collapses to "equal".
+bool RowLessBy(const Row& a, const Row& b, const std::vector<int>& cols) {
+  for (int c : cols) {
+    const Value& va = a[c];
+    const Value& vb = b[c];
+    if (va.is_null() && vb.is_null()) continue;
+    if (va.is_null()) return true;
+    if (vb.is_null()) return false;
+    Result<int> cmp = va.Compare(vb);
+    int v = cmp.ok() ? cmp.value() : 0;
+    if (v != 0) return v < 0;
+  }
+  return false;
+}
+
+// Content key of one full row for multiset matching (same sentinel
+// scheme as the SQL layer's group keys: \x01 null, \x02 separator).
+// Types are fixed per column, so display strings are unambiguous.
+std::string RowContentKey(const Row& row) {
+  std::string key;
+  for (const Value& v : row) {
+    if (v.is_null()) {
+      key.push_back('\x01');
+    } else {
+      key.append(v.ToDisplayString());
+    }
+    key.push_back('\x02');
+  }
+  return key;
+}
+
 }  // namespace
 
-Result<RosContainer> RosContainer::Create(const Schema& schema,
-                                          const std::vector<Row>& rows,
-                                          TxnId pending_txn) {
+Result<RosContainer> RosContainer::Create(
+    const Schema& schema, const std::vector<Row>& rows, TxnId pending_txn,
+    const std::vector<Encoding>* encodings) {
   RosContainer container;
   container.num_rows_ = static_cast<uint32_t>(rows.size());
   container.pending_txn_ = pending_txn;
@@ -92,9 +126,15 @@ Result<RosContainer> RosContainer::Create(const Schema& schema,
       if (min.is_null() || v.Compare(min).value() < 0) min = v;
       if (max.is_null() || v.Compare(max).value() > 0) max = v;
     }
-    FABRIC_ASSIGN_OR_RETURN(
-        ColumnChunk chunk,
-        EncodeColumn(schema.column(c).type, column_values));
+    ColumnChunk chunk;
+    if (encodings != nullptr && c < static_cast<int>(encodings->size())) {
+      FABRIC_ASSIGN_OR_RETURN(
+          chunk, EncodeColumnAs(schema.column(c).type, (*encodings)[c],
+                                column_values));
+    } else {
+      FABRIC_ASSIGN_OR_RETURN(
+          chunk, EncodeColumn(schema.column(c).type, column_values));
+    }
     container.columns_.push_back(std::move(chunk));
     container.min_values_[c] = std::move(min);
     container.max_values_[c] = std::move(max);
@@ -180,11 +220,40 @@ Status SegmentStore::InsertPending(TxnId txn, std::vector<Row> rows) {
   return Status::OK();
 }
 
+void SegmentStore::SortForDesign(std::vector<Row>* rows,
+                                 std::vector<DeleteMark>* marks,
+                                 std::vector<Epoch>* epochs) const {
+  if (!design_.sorted() || rows->size() < 2) return;
+  std::vector<uint32_t> order(rows->size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return RowLessBy((*rows)[a], (*rows)[b], design_.sort_columns);
+  });
+  auto permute = [&order](auto* vec) {
+    if (vec == nullptr || vec->empty()) return;
+    std::remove_reference_t<decltype(*vec)> out;
+    out.reserve(vec->size());
+    for (uint32_t i : order) out.push_back(std::move((*vec)[i]));
+    *vec = std::move(out);
+  };
+  permute(rows);
+  permute(marks);
+  permute(epochs);
+}
+
+Result<RosContainer> SegmentStore::CreateContainer(
+    const std::vector<Row>& rows, TxnId pending_txn) const {
+  return RosContainer::Create(
+      schema_, rows, pending_txn,
+      design_.encodings.empty() ? nullptr : &design_.encodings);
+}
+
 Status SegmentStore::InsertPendingDirect(TxnId txn, std::vector<Row> rows) {
   FABRIC_CHECK(txn != 0) << "InsertPendingDirect requires a transaction";
   for (Row& row : rows) CoerceRow(schema_, &row);
+  SortForDesign(&rows, nullptr, nullptr);
   FABRIC_ASSIGN_OR_RETURN(RosContainer container,
-                          RosContainer::Create(schema_, rows, txn));
+                          CreateContainer(rows, txn));
   ros_.push_back(std::move(container));
   return Status::OK();
 }
@@ -575,14 +644,15 @@ Result<std::vector<Row>> SegmentStore::Scan(const ScanSpec& spec,
   return out;
 }
 
-Result<int64_t> SegmentStore::MarkDeletedPending(const ScanSpec& spec) {
+Result<int64_t> SegmentStore::MarkDeletedPending(const ScanSpec& spec,
+                                                 std::vector<Row>* victims) {
   FABRIC_CHECK(spec.txn != 0) << "MarkDeletedPending requires a transaction";
   int64_t marked = 0;
   ScanStats ignored;
   for (RosContainer& container : ros_) {
     FABRIC_ASSIGN_OR_RETURN(
         std::vector<uint32_t> sel,
-        SelectRosRows(container, spec, &ignored, nullptr));
+        SelectRosRows(container, spec, &ignored, victims));
     auto& marks = container.mutable_delete_marks();
     for (uint32_t pos : sel) {
       marks[pos] = DeleteMark{DeleteMark::State::kPending, 0, spec.txn};
@@ -608,7 +678,59 @@ Result<int64_t> SegmentStore::MarkDeletedPending(const ScanSpec& spec) {
       }
       batch.delete_marks[i] = DeleteMark{DeleteMark::State::kPending, 0,
                                          spec.txn};
+      if (victims != nullptr) victims->push_back(row);
       ++marked;
+    }
+  }
+  return marked;
+}
+
+Result<int64_t> SegmentStore::MarkDeletedPendingByContent(
+    TxnId txn, Epoch as_of, const std::vector<Row>& victims) {
+  FABRIC_CHECK(txn != 0)
+      << "MarkDeletedPendingByContent requires a transaction";
+  if (victims.empty()) return 0;
+  std::map<std::string, int64_t> remaining;
+  for (const Row& row : victims) ++remaining[RowContentKey(row)];
+  int64_t marked = 0;
+  auto try_mark = [&](const Row& row) {
+    auto it = remaining.find(RowContentKey(row));
+    if (it == remaining.end() || it->second == 0) return false;
+    --it->second;
+    ++marked;
+    return true;
+  };
+  for (RosContainer& container : ros_) {
+    if (marked == static_cast<int64_t>(victims.size())) break;
+    if (!container.committed() && container.pending_txn() != txn) continue;
+    if (container.committed() && container.min_epoch() > as_of) continue;
+    TxnId owner = container.committed() ? 0 : container.pending_txn();
+    FABRIC_ASSIGN_OR_RETURN(std::vector<Row> rows, container.DecodeRows());
+    auto& marks = container.mutable_delete_marks();
+    for (uint32_t i = 0; i < rows.size(); ++i) {
+      if (!VersionVisible(owner, container.row_epoch(i), marks[i], as_of,
+                          txn)) {
+        continue;
+      }
+      if (try_mark(rows[i])) {
+        marks[i] = DeleteMark{DeleteMark::State::kPending, 0, txn};
+      }
+    }
+  }
+  for (WosBatch& batch : wos_) {
+    if (marked == static_cast<int64_t>(victims.size())) break;
+    if (!batch.committed() && batch.pending_txn != txn) continue;
+    if (batch.committed() && batch.commit_epoch > as_of) continue;
+    TxnId owner = batch.committed() ? 0 : batch.pending_txn;
+    for (size_t i = 0; i < batch.rows.size(); ++i) {
+      if (!VersionVisible(owner, batch.commit_epoch, batch.delete_marks[i],
+                          as_of, txn)) {
+        continue;
+      }
+      if (try_mark(batch.rows[i])) {
+        batch.delete_marks[i] =
+            DeleteMark{DeleteMark::State::kPending, 0, txn};
+      }
     }
   }
   return marked;
@@ -638,10 +760,11 @@ Status SegmentStore::Moveout() {
   if (rows.empty() && kept.size() == wos_.size()) return Status::OK();
   wos_.swap(kept);
   if (rows.empty()) return Status::OK();
+  SortForDesign(&rows, &marks, &epochs);
   // Temporary txn id 1 satisfies Create's pending contract; AdoptRowEpochs
   // commits the container at the original per-row epochs.
   FABRIC_ASSIGN_OR_RETURN(RosContainer container,
-                          RosContainer::Create(schema_, rows, /*txn=*/1));
+                          CreateContainer(rows, /*txn=*/1));
   container.AdoptRowEpochs(std::move(epochs));
   container.mutable_delete_marks() = std::move(marks);
   ros_.push_back(std::move(container));
@@ -681,8 +804,9 @@ Result<double> SegmentStore::MergeRosContainers(
       epochs.push_back(c.row_epoch(i));
     }
   }
+  SortForDesign(&rows, &marks, &epochs);
   FABRIC_ASSIGN_OR_RETURN(RosContainer merged,
-                          RosContainer::Create(schema_, rows, /*txn=*/1));
+                          CreateContainer(rows, /*txn=*/1));
   merged.AdoptRowEpochs(std::move(epochs));
   merged.mutable_delete_marks() = std::move(marks);
   int insert_at = sorted.front();
@@ -730,8 +854,10 @@ Result<int64_t> SegmentStore::PurgeDeletedRows(Epoch ahm) {
       ros_.erase(ros_.begin() + static_cast<long>(k));
       continue;
     }
+    // Dropping rows from a design-sorted container keeps it sorted, so no
+    // re-sort is needed here.
     FABRIC_ASSIGN_OR_RETURN(RosContainer rebuilt,
-                            RosContainer::Create(schema_, rows, /*txn=*/1));
+                            CreateContainer(rows, /*txn=*/1));
     rebuilt.AdoptRowEpochs(std::move(epochs));
     rebuilt.mutable_delete_marks() = std::move(marks);
     ros_[k] = std::move(rebuilt);

@@ -29,6 +29,19 @@ struct DeleteMark {
   TxnId txn = 0;    // owner when kPending
 };
 
+// Physical design of one store: the projection's sort order (schema
+// column indices, major first) and optional forced per-column encodings
+// chosen at CREATE PROJECTION time (RLE on sorted low-cardinality
+// columns, dictionary elsewhere). An empty design — the default — keeps
+// insertion order and lets EncodeColumn pick the smallest encoding,
+// which is exactly the pre-projection behavior of every table store.
+struct PhysicalDesign {
+  std::vector<int> sort_columns;    // empty => insertion order
+  std::vector<Encoding> encodings;  // empty => auto; else one per column
+
+  bool sorted() const { return !sort_columns.empty(); }
+};
+
 // Read Optimized Storage container: one sorted(ish), encoded, epoch-
 // stamped batch of rows on one node. Immutable after creation except for
 // delete marks.
@@ -36,9 +49,11 @@ class RosContainer {
  public:
   // Encodes `rows` column by column. `pending_txn` != 0 marks the
   // container uncommitted (a DIRECT bulk load inside a transaction).
-  static Result<RosContainer> Create(const Schema& schema,
-                                     const std::vector<Row>& rows,
-                                     TxnId pending_txn);
+  // `encodings` (when non-null) forces the per-column encoding instead
+  // of auto-picking the smallest.
+  static Result<RosContainer> Create(
+      const Schema& schema, const std::vector<Row>& rows, TxnId pending_txn,
+      const std::vector<Encoding>* encodings = nullptr);
 
   uint32_t num_rows() const { return num_rows_; }
   bool committed() const { return pending_txn_ == 0; }
@@ -181,8 +196,11 @@ struct ScanStats {
 class SegmentStore {
  public:
   explicit SegmentStore(Schema schema) : schema_(std::move(schema)) {}
+  SegmentStore(Schema schema, PhysicalDesign design)
+      : schema_(std::move(schema)), design_(std::move(design)) {}
 
   const Schema& schema() const { return schema_; }
+  const PhysicalDesign& design() const { return design_; }
 
   // Appends rows as a pending WOS batch owned by `txn`.
   Status InsertPending(TxnId txn, std::vector<Row> rows);
@@ -215,8 +233,23 @@ class SegmentStore {
 
   // Marks the rows Scan(spec) would emit as deleted, pending under
   // spec.txn (the UPDATE/DELETE write path). Shares the selection
-  // pipeline with Scan so both pick exactly the same rows.
-  Result<int64_t> MarkDeletedPending(const ScanSpec& spec);
+  // pipeline with Scan so both pick exactly the same rows. When
+  // `victims` != null it also materializes each marked row (schema
+  // width) — the anchor-side capture that drives projection maintenance.
+  Result<int64_t> MarkDeletedPending(const ScanSpec& spec,
+                                     std::vector<Row>* victims = nullptr);
+
+  // Marks visible rows matching the content multiset of `victims` as
+  // deleted, pending under `txn` — the projection-side half of DELETE/
+  // UPDATE: the anchor scan identifies the rows, and every projection
+  // (whose columns may not cover the WHERE clause) deletes them by
+  // value. Each victim row consumes the first not-yet-consumed visible
+  // match in storage order, which is identical across buddy copies of
+  // one projection (both apply the same batches, sorts and merges), so
+  // indistinguishable duplicates resolve to the same physical rows and
+  // fingerprints stay equal. Returns the number of rows marked.
+  Result<int64_t> MarkDeletedPendingByContent(TxnId txn, Epoch as_of,
+                                              const std::vector<Row>& victims);
 
   // Invokes `fn` for every row visible at `as_of` (plus `txn`'s own
   // pending rows when txn != 0), in storage order. Row-at-a-time
@@ -289,7 +322,19 @@ class SegmentStore {
                                               ScanStats* stats,
                                               std::vector<Row>* emit) const;
 
+  // Applies the design's sort order to (rows, marks, epochs) in tandem
+  // (stable, so equal keys keep arrival order — deterministic across
+  // buddy copies). No-op for unsorted designs. `marks`/`epochs` may be
+  // null when the caller has none.
+  void SortForDesign(std::vector<Row>* rows, std::vector<DeleteMark>* marks,
+                     std::vector<Epoch>* epochs) const;
+
+  // RosContainer::Create with this store's forced encodings (if any).
+  Result<RosContainer> CreateContainer(const std::vector<Row>& rows,
+                                       TxnId pending_txn) const;
+
   Schema schema_;
+  PhysicalDesign design_;
   std::vector<RosContainer> ros_;
   std::vector<WosBatch> wos_;
 };

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "storage/schema.h"
+#include "storage/segment_store.h"
 
 namespace fabric::vertica {
 
@@ -62,6 +63,35 @@ struct ViewDef {
   std::string query_sql;  // the SELECT this view stands for
 };
 
+// One extra physical layout of a table (C-Store/Vertica projection): a
+// column subset in declared order, its own sort order and per-column
+// encodings, and its own segmentation on the ring. The anchor table's
+// implicit layout (all columns, insertion order, anchor segmentation) is
+// the super projection; it has no ProjectionDef.
+struct ProjectionDef {
+  std::string name;
+  std::string anchor;        // anchor table name
+  std::vector<int> columns;  // anchor schema indices, declared order
+  // Indices into `columns` (projection-local), major sort key first.
+  std::vector<int> sort_columns;
+  // One forced encoding per projection column, chosen at creation (RLE
+  // on sorted low-cardinality columns, dictionary elsewhere).
+  std::vector<storage::Encoding> encodings;
+  // Projection-local segmentation (indices into `columns`); UNSEGMENTED
+  // projections are replicated to every node.
+  Segmentation segmentation;
+  // Epoch of the populating commit: AT EPOCH reads older than this must
+  // not be served from the projection (population collapses the anchor's
+  // history into one commit).
+  storage::Epoch create_epoch = 0;
+  // Projection-local schema (the `columns` subset of the anchor schema).
+  storage::Schema schema;
+
+  storage::PhysicalDesign Design() const {
+    return storage::PhysicalDesign{sort_columns, encodings};
+  }
+};
+
 // Named metadata for every table and view in the database. Storage lives
 // with the cluster (per node); the catalog is pure metadata, shared by all
 // nodes (as Vertica's global catalog is).
@@ -81,13 +111,28 @@ class Catalog {
   Result<const ViewDef*> GetView(const std::string& name) const;
   bool HasView(const std::string& name) const;
 
+  // Projections. Names share the table/view namespace; DropTable
+  // cascades to the table's projections and RenameTable re-anchors them.
+  Status CreateProjection(ProjectionDef def);
+  Status DropProjection(const std::string& name);
+  Result<const ProjectionDef*> GetProjection(const std::string& name) const;
+  bool HasProjection(const std::string& name) const;
+  // Stamps the populating commit epoch after CREATE PROJECTION commits.
+  Status SetProjectionCreateEpoch(const std::string& name,
+                                  storage::Epoch epoch);
+  // Projections anchored on `table`, in name order.
+  std::vector<const ProjectionDef*> ProjectionsOf(
+      const std::string& table) const;
+
   std::vector<std::string> TableNames() const;
   std::vector<std::string> ViewNames() const;
+  std::vector<std::string> ProjectionNames() const;
 
  private:
   // Keys are lower-cased (SQL identifiers are case-insensitive).
   std::map<std::string, TableDef> tables_;
   std::map<std::string, ViewDef> views_;
+  std::map<std::string, ProjectionDef> projections_;
 };
 
 }  // namespace fabric::vertica

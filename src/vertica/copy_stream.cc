@@ -151,6 +151,10 @@ Status CopyStream::WriteBatch(sim::Process& self,
   FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * storage,
                           db->GetStorage(def_.name));
   const int64_t good_count = static_cast<int64_t>(good.size());
+  // Maintain every projection of the table inside the same load
+  // transaction (before routing moves the rows out of `good`).
+  FABRIC_RETURN_IF_ERROR(db->WriteProjectionRows(
+      self, def_, good, txn_, initiator, options_.direct, scale));
   std::vector<std::vector<Row>> per_node(db->num_nodes());
   for (Row& row : good) {
     int owner = db->OwnerNode(def_, row);

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/trace.h"
+#include "storage/profile.h"
 #include "vertica/session.h"
 #include "vertica/udx_hll.h"
 
@@ -190,9 +191,62 @@ Status Database::CreateTableWithStorage(TableDef def) {
 }
 
 Status Database::DropTableWithStorage(const std::string& name) {
+  // Catalog drop cascades to the table's projections; the nested
+  // SegmentSets die with the TableStorage entry.
   FABRIC_RETURN_IF_ERROR(catalog_.DropTable(name));
   storage_.erase(ToLower(name));
   return Status::OK();
+}
+
+Status Database::CreateProjectionWithStorage(ProjectionDef def) {
+  std::string key = ToLower(def.name);
+  std::string anchor_key = ToLower(def.anchor);
+  storage::Schema schema = def.schema;
+  storage::PhysicalDesign design = def.Design();
+  bool segmented = !def.segmentation.unsegmented();
+  FABRIC_RETURN_IF_ERROR(catalog_.CreateProjection(std::move(def)));
+  auto it = storage_.find(anchor_key);
+  FABRIC_CHECK(it != storage_.end()) << "anchor storage missing";
+  SegmentSet set;
+  for (int i = 0; i < num_nodes(); ++i) {
+    set.per_node.push_back(
+        std::make_unique<storage::SegmentStore>(schema, design));
+  }
+  if (segmented && num_nodes() > 1) {
+    for (int i = 0; i < num_nodes(); ++i) {
+      set.buddy.push_back(
+          std::make_unique<storage::SegmentStore>(schema, design));
+    }
+  }
+  it->second.projections.emplace(key, std::move(set));
+  return Status::OK();
+}
+
+Status Database::DropProjectionWithStorage(const std::string& name) {
+  auto proj = catalog_.GetProjection(name);
+  FABRIC_RETURN_IF_ERROR(proj.status());
+  std::string anchor_key = ToLower((*proj)->anchor);
+  FABRIC_RETURN_IF_ERROR(catalog_.DropProjection(name));
+  auto it = storage_.find(anchor_key);
+  if (it != storage_.end()) it->second.projections.erase(ToLower(name));
+  return Status::OK();
+}
+
+Result<Database::SegmentSet*> Database::GetProjectionStorage(
+    const std::string& name) {
+  auto proj = catalog_.GetProjection(name);
+  FABRIC_RETURN_IF_ERROR(proj.status());
+  auto it = storage_.find(ToLower((*proj)->anchor));
+  if (it == storage_.end()) {
+    return NotFoundError(
+        StrCat("no storage for projection '", name, "'"));
+  }
+  auto set_it = it->second.projections.find(ToLower(name));
+  if (set_it == it->second.projections.end()) {
+    return NotFoundError(
+        StrCat("no storage for projection '", name, "'"));
+  }
+  return &set_it->second;
 }
 
 Status Database::RenameTableWithStorage(const std::string& from,
@@ -220,6 +274,153 @@ int Database::OwnerNode(const TableDef& def,
   uint64_t h =
       storage::RowSegmentationHash(row, def.segmentation.columns);
   return RingSegmentOf(h, num_nodes());
+}
+
+int Database::OwnerNode(const ProjectionDef& def,
+                        const storage::Row& row) const {
+  if (def.segmentation.unsegmented()) return -1;
+  uint64_t h =
+      storage::RowSegmentationHash(row, def.segmentation.columns);
+  return RingSegmentOf(h, num_nodes());
+}
+
+Status Database::WriteProjectionRows(sim::Process& self,
+                                     const TableDef& def,
+                                     const std::vector<storage::Row>& rows,
+                                     storage::TxnId txn, int source_host,
+                                     bool direct, double scale) {
+  if (rows.empty()) return Status::OK();
+  std::vector<const ProjectionDef*> projs =
+      catalog_.ProjectionsOf(def.name);
+  if (projs.empty()) return Status::OK();
+  auto storage_it = storage_.find(ToLower(def.name));
+  FABRIC_CHECK(storage_it != storage_.end()) << "anchor storage missing";
+  for (const ProjectionDef* proj : projs) {
+    auto set_it = storage_it->second.projections.find(ToLower(proj->name));
+    FABRIC_CHECK(set_it != storage_it->second.projections.end())
+        << "projection storage missing for " << proj->name;
+    SegmentSet& set = set_it->second;
+    // Project anchor-width rows to the projection's column subset and
+    // route them by the projection's own segmentation.
+    std::vector<std::vector<storage::Row>> per_node(num_nodes());
+    for (const storage::Row& row : rows) {
+      storage::Row prow;
+      prow.reserve(proj->columns.size());
+      for (int c : proj->columns) prow.push_back(row[c]);
+      int owner = OwnerNode(*proj, prow);
+      if (owner < 0) {
+        for (int n = 0; n < num_nodes(); ++n) per_node[n].push_back(prow);
+      } else {
+        per_node[owner].push_back(std::move(prow));
+      }
+    }
+    bool replicated = proj->segmentation.unsegmented();
+    for (int n = 0; n < num_nodes(); ++n) {
+      if (per_node[n].empty()) continue;
+      std::vector<SegmentCopy> copies;
+      if (replicated) {
+        if (!node_up(n)) continue;
+        copies.push_back(SegmentCopy{set.per_node[n].get(), n});
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(copies, WriteCopies(&set, n));
+      }
+      double raw_bytes =
+          storage::ProfileRows(per_node[n]).raw_bytes * scale;
+      for (size_t c = 0; c < copies.size(); ++c) {
+        const SegmentCopy& copy = copies[c];
+        if (copy.host != source_host) {
+          FABRIC_RETURN_IF_ERROR(network_->Transfer(
+              self,
+              {hosts_[source_host].int_egress,
+               hosts_[copy.host].int_ingress},
+              raw_bytes));
+        }
+        // Re-sorting and re-encoding into the projection's design.
+        FABRIC_RETURN_IF_ERROR(
+            net::RunCpu(self, network_, hosts_[copy.host],
+                        raw_bytes * options_.cost.scan_cpu_per_byte));
+        std::vector<storage::Row> batch = c + 1 < copies.size()
+                                              ? per_node[n]
+                                              : std::move(per_node[n]);
+        if (direct) {
+          FABRIC_RETURN_IF_ERROR(
+              copy.store->InsertPendingDirect(txn, std::move(batch)));
+        } else {
+          FABRIC_RETURN_IF_ERROR(
+              tm_->AdmitWos(self, def.name, copy.store, copy.host));
+          FABRIC_RETURN_IF_ERROR(
+              copy.store->InsertPending(txn, std::move(batch)));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::DeleteProjectionRows(
+    sim::Process& self, const TableDef& def,
+    const std::vector<storage::Row>& victims, storage::TxnId txn,
+    storage::Epoch as_of, double scale) {
+  if (victims.empty()) return Status::OK();
+  std::vector<const ProjectionDef*> projs =
+      catalog_.ProjectionsOf(def.name);
+  if (projs.empty()) return Status::OK();
+  auto storage_it = storage_.find(ToLower(def.name));
+  FABRIC_CHECK(storage_it != storage_.end()) << "anchor storage missing";
+  for (const ProjectionDef* proj : projs) {
+    auto set_it = storage_it->second.projections.find(ToLower(proj->name));
+    FABRIC_CHECK(set_it != storage_it->second.projections.end())
+        << "projection storage missing for " << proj->name;
+    SegmentSet& set = set_it->second;
+    std::vector<std::vector<storage::Row>> per_node(num_nodes());
+    std::vector<storage::Row> all_projected;  // replicated layouts
+    bool replicated = proj->segmentation.unsegmented();
+    for (const storage::Row& row : victims) {
+      storage::Row prow;
+      prow.reserve(proj->columns.size());
+      for (int c : proj->columns) prow.push_back(row[c]);
+      if (replicated) {
+        all_projected.push_back(std::move(prow));
+      } else {
+        per_node[OwnerNode(*proj, prow)].push_back(std::move(prow));
+      }
+    }
+    if (replicated) {
+      double raw_bytes =
+          storage::ProfileRows(all_projected).raw_bytes * scale;
+      for (int n = 0; n < num_nodes(); ++n) {
+        if (!node_up(n)) continue;
+        FABRIC_RETURN_IF_ERROR(
+            net::RunCpu(self, network_, hosts_[n],
+                        raw_bytes * options_.cost.scan_cpu_per_byte));
+        FABRIC_ASSIGN_OR_RETURN(
+            int64_t marked, set.per_node[n]->MarkDeletedPendingByContent(
+                                txn, as_of, all_projected));
+        FABRIC_CHECK(marked ==
+                     static_cast<int64_t>(all_projected.size()))
+            << "projection " << proj->name << " missing delete victims";
+      }
+      continue;
+    }
+    for (int n = 0; n < num_nodes(); ++n) {
+      if (per_node[n].empty()) continue;
+      FABRIC_ASSIGN_OR_RETURN(std::vector<SegmentCopy> copies,
+                              WriteCopies(&set, n));
+      double raw_bytes =
+          storage::ProfileRows(per_node[n]).raw_bytes * scale;
+      for (const SegmentCopy& copy : copies) {
+        FABRIC_RETURN_IF_ERROR(
+            net::RunCpu(self, network_, hosts_[copy.host],
+                        raw_bytes * options_.cost.scan_cpu_per_byte));
+        FABRIC_ASSIGN_OR_RETURN(
+            int64_t marked, copy.store->MarkDeletedPendingByContent(
+                                txn, as_of, per_node[n]));
+        FABRIC_CHECK(marked == static_cast<int64_t>(per_node[n].size()))
+            << "projection " << proj->name << " missing delete victims";
+      }
+    }
+  }
+  return Status::OK();
 }
 
 storage::TxnId Database::BeginTxnInternal() {
@@ -333,11 +534,17 @@ Status Database::CommitTxnInternal(sim::Process& self,
   for (const std::string& table : it->second.touched_tables) {
     auto storage_it = storage_.find(table);
     if (storage_it == storage_.end()) continue;  // dropped mid-txn
+    // All physical layouts — super projection and every named projection
+    // — commit at the same epoch, in lockstep.
     for (auto& store : storage_it->second.per_node) {
       store->CommitTxn(txn, commit_epoch);
     }
     for (auto& store : storage_it->second.buddy) {
       store->CommitTxn(txn, commit_epoch);
+    }
+    for (auto& [proj_name, set] : storage_it->second.projections) {
+      for (auto& store : set.per_node) store->CommitTxn(txn, commit_epoch);
+      for (auto& store : set.buddy) store->CommitTxn(txn, commit_epoch);
     }
   }
   for (const std::string& table : it->second.locked_tables) {
@@ -368,6 +575,10 @@ void Database::AbortTxnInternal(storage::TxnId txn) {
     for (auto& store : storage_it->second.buddy) {
       store->AbortTxn(txn);
     }
+    for (auto& [proj_name, set] : storage_it->second.projections) {
+      for (auto& store : set.per_node) store->AbortTxn(txn);
+      for (auto& store : set.buddy) store->AbortTxn(txn);
+    }
   }
   for (const std::string& table : it->second.locked_tables) {
     TableLock& lock = locks_[table];
@@ -383,13 +594,23 @@ std::vector<Database::HostedStore> Database::HostedStores(int node) {
   std::vector<HostedStore> hosted;
   int prev = (node - 1 + num_nodes()) % num_nodes();
   for (auto& [name, table_storage] : storage_) {
-    hosted.push_back(HostedStore{name, table_storage.per_node[node].get(),
-                                 node, /*is_buddy=*/false});
-    if (!table_storage.buddy.empty()) {
-      // buddy[s] lives on the ring successor of s, so node hosts the
-      // buddy copy of its predecessor's segment.
-      hosted.push_back(HostedStore{name, table_storage.buddy[prev].get(),
-                                   prev, /*is_buddy=*/true});
+    auto add_set = [&](SegmentSet& set, const std::string& projection) {
+      hosted.push_back(HostedStore{name, projection,
+                                   set.per_node[node].get(), node,
+                                   /*is_buddy=*/false});
+      if (!set.buddy.empty()) {
+        // buddy[s] lives on the ring successor of s, so node hosts the
+        // buddy copy of its predecessor's segment.
+        hosted.push_back(HostedStore{name, projection,
+                                     set.buddy[prev].get(), prev,
+                                     /*is_buddy=*/true});
+      }
+    };
+    add_set(table_storage, "");
+    // The Tuple Mover (and storage telemetry) maintains every projection
+    // of a table alongside its super projection.
+    for (auto& [proj_name, set] : table_storage.projections) {
+      add_set(set, proj_name);
     }
   }
   return hosted;
@@ -432,11 +653,19 @@ int64_t Database::TotalWosBatches() const {
     for (const auto& store : table_storage.buddy) {
       total += store->num_wos_batches();
     }
+    for (const auto& [proj_name, set] : table_storage.projections) {
+      for (const auto& store : set.per_node) {
+        total += store->num_wos_batches();
+      }
+      for (const auto& store : set.buddy) {
+        total += store->num_wos_batches();
+      }
+    }
   }
   return total;
 }
 
-Result<Database::SegmentCopy> Database::ReadCopy(TableStorage* storage,
+Result<Database::SegmentCopy> Database::ReadCopy(SegmentSet* storage,
                                                  int segment) const {
   if (node_up(segment)) {
     return SegmentCopy{storage->per_node[segment].get(), segment};
@@ -450,7 +679,7 @@ Result<Database::SegmentCopy> Database::ReadCopy(TableStorage* storage,
 }
 
 Result<std::vector<Database::SegmentCopy>> Database::WriteCopies(
-    TableStorage* storage, int segment) const {
+    SegmentSet* storage, int segment) const {
   std::vector<SegmentCopy> copies;
   // Only UP copies take writes; a RECOVERING node's copies are caught up
   // wholesale by the final recovery clone, so routing writes to them
@@ -587,28 +816,34 @@ void Database::RunRecovery(sim::Process& self, int node,
   storage::Epoch down_epoch = node_down_epoch_[node];
   int prev = (node - 1 + num_nodes()) % num_nodes();
   std::vector<Pull> pulls;
-  for (auto& [name, table_storage] : storage_) {
-    double scale = EffectiveScale(name);
-    if (!table_storage.buddy.empty()) {
+  // Recovery pulls deltas per projection: the super projection and every
+  // named projection of a table each catch up from their own surviving
+  // copy (a projection's buddy may be a different node's copy than the
+  // anchor's, since each projection segments the ring on its own keys).
+  auto plan_pulls = [&](SegmentSet& set, double scale) {
+    if (!set.buddy.empty()) {
       // Primary copy of segment `node` recovers from its buddy; the buddy
       // copy of segment `prev` recovers from that segment's primary.
-      pulls.push_back(
-          Pull{buddy_node(node),
-               table_storage.buddy[node]->RawBytesSince(down_epoch) * scale});
-      pulls.push_back(
-          Pull{prev,
-               table_storage.per_node[prev]->RawBytesSince(down_epoch) *
-                   scale});
+      pulls.push_back(Pull{
+          buddy_node(node), set.buddy[node]->RawBytesSince(down_epoch) *
+                                scale});
+      pulls.push_back(Pull{
+          prev, set.per_node[prev]->RawBytesSince(down_epoch) * scale});
     } else {
-      // Replicated table: any UP replica serves as the source.
+      // Replicated layout: any UP replica serves as the source.
       for (int m = 0; m < num_nodes(); ++m) {
         if (m == node || !node_up(m)) continue;
         pulls.push_back(
-            Pull{m,
-                 table_storage.per_node[m]->RawBytesSince(down_epoch) *
-                     scale});
+            Pull{m, set.per_node[m]->RawBytesSince(down_epoch) * scale});
         break;
       }
+    }
+  };
+  for (auto& [name, table_storage] : storage_) {
+    double scale = EffectiveScale(name);
+    plan_pulls(table_storage, scale);
+    for (auto& [proj_name, set] : table_storage.projections) {
+      plan_pulls(set, scale);
     }
   }
   double total_bytes = 0;
@@ -636,30 +871,36 @@ void Database::RunRecovery(sim::Process& self, int node,
   // Phase 2: atomic catch-up. Clone every hosted store from its surviving
   // copy in one engine step — writes that landed during the transfers are
   // included, and nothing can interleave before the node flips to UP.
+  // Each projection clones independently; afterwards every layout's
+  // copies agree (ContentFingerprint matches projection by projection).
+  auto clone_set = [&](SegmentSet& set) -> bool {
+    if (!set.buddy.empty()) {
+      if (!node_up(buddy_node(node)) || !node_up(prev)) return false;
+      set.per_node[node]->CopyContentsFrom(*set.buddy[node]);
+      set.buddy[prev]->CopyContentsFrom(*set.per_node[prev]);
+      return true;
+    }
+    int src = -1;
+    for (int m = 0; m < num_nodes(); ++m) {
+      if (m != node && node_up(m)) {
+        src = m;
+        break;
+      }
+    }
+    if (src < 0) return false;
+    set.per_node[node]->CopyContentsFrom(*set.per_node[src]);
+    return true;
+  };
   for (auto& [name, table_storage] : storage_) {
-    if (!table_storage.buddy.empty()) {
-      if (!node_up(buddy_node(node)) || !node_up(prev)) {
+    if (!clone_set(table_storage)) {
+      abandon();
+      return;
+    }
+    for (auto& [proj_name, set] : table_storage.projections) {
+      if (!clone_set(set)) {
         abandon();
         return;
       }
-      table_storage.per_node[node]->CopyContentsFrom(
-          *table_storage.buddy[node]);
-      table_storage.buddy[prev]->CopyContentsFrom(
-          *table_storage.per_node[prev]);
-    } else {
-      int src = -1;
-      for (int m = 0; m < num_nodes(); ++m) {
-        if (m != node && node_up(m)) {
-          src = m;
-          break;
-        }
-      }
-      if (src < 0) {
-        abandon();
-        return;
-      }
-      table_storage.per_node[node]->CopyContentsFrom(
-          *table_storage.per_node[src]);
     }
   }
   node_states_[node] = NodeState::kUp;

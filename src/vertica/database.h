@@ -184,14 +184,23 @@ class Database {
   // Internal interface below: used by Session / CopyStream / benchmarks.
   // =====================================================================
 
-  struct TableStorage {
-    // One store per node. Unsegmented tables are replicated: every node
+  // One physical layout of a table (the super projection or one named
+  // projection): a store per segment plus optional buddy copies.
+  struct SegmentSet {
+    // One store per node. Unsegmented layouts are replicated: every node
     // holds the full copy and serves reads locally.
     std::vector<std::unique_ptr<storage::SegmentStore>> per_node;
-    // k=1 buddy copies for segmented tables: buddy[s] is the second copy
+    // k=1 buddy copies for segmented layouts: buddy[s] is the second copy
     // of segment s, resident on node (s+1) % N. Empty for unsegmented
-    // tables (already replicated) and single-node clusters.
+    // layouts (already replicated) and single-node clusters.
     std::vector<std::unique_ptr<storage::SegmentStore>> buddy;
+  };
+
+  struct TableStorage : SegmentSet {
+    // Additional physical layouts, keyed by lower-cased projection name.
+    // Each projection follows its own segmentation and sort order; every
+    // write path maintains all of them in the same transaction.
+    std::map<std::string, SegmentSet> projections;
   };
 
   // One physical copy of a segment: the store plus the node whose CPU and
@@ -203,14 +212,16 @@ class Database {
 
   // The copy serving reads of `segment`: the primary when its node is UP,
   // else the buddy. UNAVAILABLE when both copies are lost.
-  Result<SegmentCopy> ReadCopy(TableStorage* storage, int segment) const;
+  Result<SegmentCopy> ReadCopy(SegmentSet* storage, int segment) const;
   // The live copies (primary and/or buddy) a write to `segment` must
   // reach; copies on non-UP nodes are skipped and caught up by recovery.
   // UNAVAILABLE when no copy is live.
-  Result<std::vector<SegmentCopy>> WriteCopies(TableStorage* storage,
+  Result<std::vector<SegmentCopy>> WriteCopies(SegmentSet* storage,
                                                int segment) const;
 
   Result<TableStorage*> GetStorage(const std::string& table);
+  // The stores of one named projection (anchored via the catalog).
+  Result<SegmentSet*> GetProjectionStorage(const std::string& name);
 
   // Every physical segment-store copy whose serving CPU and NICs belong
   // to `node`: per_node[node] of every table, plus — for segmented tables
@@ -218,6 +229,7 @@ class Database {
   // v_monitor.storage_containers walk stores through this.
   struct HostedStore {
     std::string table;
+    std::string projection;  // empty for the super projection
     storage::SegmentStore* store = nullptr;
     int segment = -1;      // segment index (== node for primaries)
     bool is_buddy = false;
@@ -244,9 +256,36 @@ class Database {
   Status DropTableWithStorage(const std::string& name);
   Status RenameTableWithStorage(const std::string& from,
                                 const std::string& to, bool replace);
+  // Registers `def` in the catalog and builds its per-node (and, when
+  // segmented on a multi-node cluster, buddy) stores with the
+  // projection's sort order and encodings. Population is the caller's
+  // job (ExecCreateProjection routes the anchor snapshot through the new
+  // stores inside its creating transaction).
+  Status CreateProjectionWithStorage(ProjectionDef def);
+  Status DropProjectionWithStorage(const std::string& name);
 
   // Node owning `row` of `table` (-1 for unsegmented: all nodes hold it).
   int OwnerNode(const TableDef& def, const storage::Row& row) const;
+  // Same, for a projection-local row under the projection's segmentation.
+  int OwnerNode(const ProjectionDef& def, const storage::Row& row) const;
+
+  // Projection maintenance for the write paths (INSERT / COPY / UPDATE
+  // reinsertion): projects `rows` (anchor-width) through every projection
+  // of `def`, routes by each projection's own segmentation and inserts
+  // into every live copy under `txn`, charging transfers from
+  // `source_host` and per-byte load CPU on the writing hosts.
+  Status WriteProjectionRows(sim::Process& self, const TableDef& def,
+                             const std::vector<storage::Row>& rows,
+                             storage::TxnId txn, int source_host,
+                             bool direct, double scale);
+  // DELETE/UPDATE-side maintenance: marks the projected images of
+  // `victims` (anchor-width rows deleted from the super projection)
+  // deleted in every projection, by content, first match in storage
+  // order — deterministic across buddy copies.
+  Status DeleteProjectionRows(sim::Process& self, const TableDef& def,
+                              const std::vector<storage::Row>& victims,
+                              storage::TxnId txn, storage::Epoch as_of,
+                              double scale);
 
   // ------------------------------------------------- transactions/locks
   storage::TxnId BeginTxnInternal();

@@ -1,0 +1,80 @@
+#ifndef FABRIC_VERTICA_PROJECTIONS_PLANNER_H_
+#define FABRIC_VERTICA_PROJECTIONS_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "vertica/catalog.h"
+#include "vertica/sql_ast.h"
+
+namespace fabric::vertica::projections {
+
+// The shape of one SELECT over a base table, reduced to what projection
+// costing needs. Column names are lower-cased.
+struct QueryShape {
+  std::vector<std::string> referenced;  // every column the query touches
+  std::vector<std::string> group_by;
+  bool star = false;
+  bool aggregate = false;
+  int64_t at_epoch = -1;
+  // Columns with a direct compare-to-literal term in WHERE (the terms
+  // min-max container pruning can use).
+  std::vector<std::string> where_compare_columns;
+};
+
+// Extracts the QueryShape of `select` against the anchor schema.
+// Expressions referencing unknown columns simply contribute nothing —
+// eligibility then falls back to the super projection, and the executor
+// reports the real error.
+QueryShape ShapeOf(const sql::SelectStmt& select,
+                   const storage::Schema& schema);
+
+// The planner's decision for one scan.
+struct PlanChoice {
+  const ProjectionDef* projection = nullptr;  // null => super projection
+  double cost = 1.0;
+  // True when the chosen projection's sort order prefixes the GROUP BY
+  // keys: the aggregate runs merge-style on sorted runs instead of
+  // hashing.
+  bool sorted_group_by = false;
+  std::string reason;  // one-line costing summary for EXPLAIN
+};
+
+// True when `proj` can serve the query: every referenced column is
+// stored (star demands the full anchor column set in schema order), and
+// the snapshot is not older than the projection (population collapses
+// pre-existing history into the creating commit).
+bool Eligible(const TableDef& anchor, const ProjectionDef& proj,
+              const QueryShape& shape);
+
+// Deterministic catalog-only cost of scanning the query through `proj`
+// (nullptr = super projection, cost exactly 1.0). Never consults row or
+// container counts, so a query costs the same under any Tuple Mover /
+// workload configuration — the decision depends only on schema metadata.
+// Lower is better. `sorted_group_by` (may be null) reports whether the
+// merge-style aggregation discount applied.
+double CostProjection(const TableDef& anchor, const ProjectionDef* proj,
+                      const QueryShape& shape, bool* sorted_group_by);
+
+// Costs every eligible projection of the anchor and picks the cheapest;
+// ties prefer the super projection, then the lexicographically first
+// name. Also fills `candidates` (when non-null) with "name=cost" pairs
+// for EXPLAIN, super projection first.
+PlanChoice ChoosePlan(const Catalog& catalog, const TableDef& anchor,
+                      const QueryShape& shape,
+                      std::vector<std::pair<std::string, double>>* candidates
+                          = nullptr);
+
+// Per-column encodings for a new projection, chosen from the data it is
+// populated with: RLE on sorted low-cardinality columns, dictionary on
+// other low-cardinality or string columns, plain for high-cardinality
+// numerics. Empty when `sample` is empty (auto-encode until data says
+// otherwise is wrong — an empty projection keeps auto selection).
+std::vector<storage::Encoding> ChooseEncodings(
+    const storage::Schema& schema, const std::vector<int>& sort_columns,
+    const std::vector<storage::Row>& sample);
+
+}  // namespace fabric::vertica::projections
+
+#endif  // FABRIC_VERTICA_PROJECTIONS_PLANNER_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <map>
 #include <set>
 #include <variant>
@@ -12,6 +13,7 @@
 #include "obs/trace.h"
 #include "storage/profile.h"
 #include "vertica/pipeline.h"
+#include "vertica/projections/planner.h"
 #include "vertica/sql_analyzer.h"
 #include "vertica/sql_eval.h"
 #include "vertica/sql_parser.h"
@@ -279,6 +281,10 @@ Result<QueryResult> Session::Execute(sim::Process& self,
           return ExecCreateTable(self, stmt);
         } else if constexpr (std::is_same_v<T, sql::CreateViewStmt>) {
           return ExecCreateView(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::CreateProjectionStmt>) {
+          return ExecCreateProjection(self, stmt);
+        } else if constexpr (std::is_same_v<T, sql::ExplainStmt>) {
+          return ExecExplain(self, stmt);
         } else if constexpr (std::is_same_v<T, sql::DropStmt>) {
           return ExecDrop(self, stmt);
         } else if constexpr (std::is_same_v<T, sql::RenameTableStmt>) {
@@ -435,9 +441,252 @@ Result<QueryResult> Session::ExecCreateView(sim::Process& self,
   return QueryResult{};
 }
 
+Result<QueryResult> Session::ExecCreateProjection(
+    sim::Process& self, const sql::CreateProjectionStmt& stmt) {
+  if (txn_ != 0) {
+    return FailedPreconditionError(
+        "CREATE PROJECTION inside an explicit transaction is not "
+        "supported");
+  }
+  FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(stmt.anchor));
+  const Schema& anchor_schema = def->schema;
+
+  ProjectionDef proj;
+  proj.name = stmt.name;
+  proj.anchor = def->name;
+  if (stmt.star) {
+    for (int c = 0; c < anchor_schema.num_columns(); ++c) {
+      proj.columns.push_back(c);
+    }
+  } else {
+    std::set<int> seen;
+    for (const std::string& col : stmt.columns) {
+      FABRIC_ASSIGN_OR_RETURN(int idx, anchor_schema.IndexOf(col));
+      if (!seen.insert(idx).second) {
+        return InvalidArgumentError(
+            StrCat("duplicate projection column '", col, "'"));
+      }
+      proj.columns.push_back(idx);
+    }
+  }
+  proj.schema = anchor_schema.Project(proj.columns);
+  for (const std::string& col : stmt.order_by) {
+    FABRIC_ASSIGN_OR_RETURN(int idx, proj.schema.IndexOf(col));
+    proj.sort_columns.push_back(idx);
+  }
+  if (stmt.unsegmented) {
+    // Replicated projection: empty segmentation.
+  } else if (!stmt.segmentation_columns.empty()) {
+    for (const std::string& col : stmt.segmentation_columns) {
+      FABRIC_ASSIGN_OR_RETURN(int idx, proj.schema.IndexOf(col));
+      proj.segmentation.columns.push_back(idx);
+    }
+  } else if (!proj.sort_columns.empty()) {
+    // Default segmentation: hash of the sort key.
+    proj.segmentation.columns = proj.sort_columns;
+  } else {
+    proj.segmentation.columns.push_back(0);
+  }
+
+  // Populate from the anchor's current snapshot inside the creating
+  // transaction: snapshot every segment, project, choose encodings from
+  // the sample, route by the projection's own segmentation, and commit —
+  // the projection becomes queryable exactly at its create epoch.
+  FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * anchor_storage,
+                          db_->GetStorage(def->name));
+  TxnId txn = db_->BeginTxnInternal();
+  bool created = false;
+  Status status = [&]() -> Status {
+    FABRIC_RETURN_IF_ERROR(db_->LockTableX(self, txn, def->name));
+    db_->TouchTable(txn, def->name);
+    Epoch snapshot = db_->current_epoch();
+    const CostModel& cost = db_->cost();
+    double scale = db_->EffectiveScale(def->name);
+
+    std::vector<Row> anchor_rows;
+    if (def->segmentation.unsegmented()) {
+      // Replicated anchor: the initiator's local copy holds everything.
+      FABRIC_ASSIGN_OR_RETURN(
+          anchor_rows,
+          anchor_storage->per_node[node_]->SnapshotRows(snapshot));
+      DataProfile profile = ProfileRows(anchor_rows);
+      profile.ScaleBy(scale);
+      FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                         db_->node_host(node_),
+                                         profile.ScanCpu(cost)));
+    } else {
+      for (int n = 0; n < db_->num_nodes(); ++n) {
+        FABRIC_ASSIGN_OR_RETURN(Database::SegmentCopy copy,
+                                db_->ReadCopy(anchor_storage, n));
+        FABRIC_ASSIGN_OR_RETURN(std::vector<Row> seg_rows,
+                                copy.store->SnapshotRows(snapshot));
+        DataProfile profile = ProfileRows(seg_rows);
+        profile.ScaleBy(scale);
+        FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
+                                           db_->node_host(copy.host),
+                                           profile.ScanCpu(cost)));
+        if (copy.host != node_) {
+          FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
+              self,
+              {db_->node_host(copy.host).int_egress,
+               db_->node_host(node_).int_ingress},
+              profile.raw_bytes));
+        }
+        for (Row& row : seg_rows) anchor_rows.push_back(std::move(row));
+      }
+    }
+
+    std::vector<Row> proj_rows;
+    proj_rows.reserve(anchor_rows.size());
+    for (const Row& row : anchor_rows) {
+      Row prow;
+      prow.reserve(proj.columns.size());
+      for (int c : proj.columns) prow.push_back(row[c]);
+      proj_rows.push_back(std::move(prow));
+    }
+    proj.encodings = projections::ChooseEncodings(
+        proj.schema, proj.sort_columns, proj_rows);
+    FABRIC_RETURN_IF_ERROR(db_->CreateProjectionWithStorage(proj));
+    created = true;
+
+    FABRIC_ASSIGN_OR_RETURN(Database::SegmentSet * set,
+                            db_->GetProjectionStorage(proj.name));
+    std::vector<std::vector<Row>> per_node(db_->num_nodes());
+    bool replicated = proj.segmentation.unsegmented();
+    for (Row& prow : proj_rows) {
+      int owner = db_->OwnerNode(proj, prow);
+      if (owner < 0) {
+        for (int n = 0; n < db_->num_nodes(); ++n) {
+          per_node[n].push_back(prow);
+        }
+      } else {
+        per_node[owner].push_back(std::move(prow));
+      }
+    }
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      if (per_node[n].empty()) continue;
+      std::vector<Database::SegmentCopy> copies;
+      if (replicated) {
+        if (!db_->node_up(n)) continue;
+        copies.push_back(
+            Database::SegmentCopy{set->per_node[n].get(), n});
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(copies, db_->WriteCopies(set, n));
+      }
+      double raw_bytes = ProfileRows(per_node[n]).raw_bytes * scale;
+      for (size_t c = 0; c < copies.size(); ++c) {
+        const Database::SegmentCopy& copy = copies[c];
+        if (copy.host != node_) {
+          FABRIC_RETURN_IF_ERROR(db_->network()->Transfer(
+              self,
+              {db_->node_host(node_).int_egress,
+               db_->node_host(copy.host).int_ingress},
+              raw_bytes));
+        }
+        // Sort + encode into the projection's physical design.
+        FABRIC_RETURN_IF_ERROR(net::RunCpu(
+            self, db_->network(), db_->node_host(copy.host),
+            raw_bytes * cost.scan_cpu_per_byte));
+        std::vector<Row> batch = c + 1 < copies.size()
+                                     ? per_node[n]
+                                     : std::move(per_node[n]);
+        FABRIC_RETURN_IF_ERROR(
+            copy.store->InsertPendingDirect(txn, std::move(batch)));
+      }
+    }
+    return Status::OK();
+  }();
+  if (!status.ok()) {
+    db_->AbortTxnInternal(txn);
+    if (created) {
+      Status dropped = db_->DropProjectionWithStorage(proj.name);
+      (void)dropped;
+    }
+    return status;
+  }
+  Status commit = db_->CommitTxnInternal(self, txn);
+  if (!commit.ok()) {
+    db_->AbortTxnInternal(txn);
+    Status dropped = db_->DropProjectionWithStorage(proj.name);
+    (void)dropped;
+    return commit;
+  }
+  FABRIC_RETURN_IF_ERROR(db_->catalog().SetProjectionCreateEpoch(
+      proj.name, db_->current_epoch()));
+  obs::TraceEvent("vertica", "projection.create",
+                  {{"projection", proj.name},
+                   {"anchor", def->name},
+                   {"epoch", db_->current_epoch()}});
+  return QueryResult{};
+}
+
+Result<QueryResult> Session::ExecExplain(sim::Process& self,
+                                         const sql::ExplainStmt& stmt) {
+  FABRIC_RETURN_IF_ERROR(self.CheckAlive());
+  const sql::SelectStmt& select = *stmt.select;
+  QueryResult result;
+  result.schema = Schema({{"plan", DataType::kVarchar}});
+  auto emit = [&result](std::string line) {
+    result.rows.push_back({Value::Varchar(std::move(line))});
+  };
+  emit(StrCat("EXPLAIN SELECT FROM ",
+              select.from.empty() ? "<constants>" : select.from));
+  std::string from = ToLower(select.from);
+  if (select.from.empty() || !select.join.empty() ||
+      StartsWith(from, "v_catalog.") || StartsWith(from, "v_monitor.") ||
+      db_->catalog().HasView(select.from)) {
+    emit("  projection: n/a (not a base-table scan)");
+    return result;
+  }
+  FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
+                          db_->catalog().GetTable(select.from));
+  projections::QueryShape shape =
+      projections::ShapeOf(select, def->schema);
+  std::vector<std::pair<std::string, double>> candidates;
+  projections::PlanChoice plan =
+      projections::ChoosePlan(db_->catalog(), *def, shape, &candidates);
+  char cost_buf[32];
+  std::snprintf(cost_buf, sizeof(cost_buf), "%.4f", plan.cost);
+  emit(StrCat("  projection: ",
+              plan.projection == nullptr ? std::string("super")
+                                         : plan.projection->name,
+              " (cost=", cost_buf, ")"));
+  emit(StrCat("  reason: ", plan.reason));
+  if (shape.aggregate && !shape.group_by.empty()) {
+    emit(StrCat("  group-by strategy: ",
+                plan.sorted_group_by ? "merge (sorted)" : "hash"));
+  }
+  std::string cands;
+  for (const auto& [cand_name, cand_cost] : candidates) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", cand_cost);
+    if (!cands.empty()) cands += ", ";
+    cands += StrCat(cand_name, "=", buf);
+  }
+  emit(StrCat("  candidates: ", cands));
+  return result;
+}
+
 Result<QueryResult> Session::ExecDrop(sim::Process& self,
                                       const sql::DropStmt& stmt) {
   FABRIC_RETURN_IF_ERROR(self.Sleep(db_->cost().ddl_overhead));
+  if (stmt.is_projection) {
+    auto proj = db_->catalog().GetProjection(stmt.name);
+    if (!proj.ok()) {
+      if (stmt.if_exists &&
+          proj.status().code() == StatusCode::kNotFound) {
+        return QueryResult{};
+      }
+      return proj.status();
+    }
+    // Writers routing into the projection's stores must drain first.
+    FABRIC_RETURN_IF_ERROR(
+        db_->WaitTablesIdle(self, txn_, {(*proj)->anchor}));
+    FABRIC_RETURN_IF_ERROR(db_->DropProjectionWithStorage(stmt.name));
+    return QueryResult{};
+  }
   if (stmt.is_view) {
     Status status = db_->catalog().DropView(stmt.name);
     if (!status.ok() && stmt.if_exists &&
@@ -486,6 +735,19 @@ Result<QueryResult> Session::ExecTruncate(sim::Process& self,
   }
   for (auto& store : storage->buddy) {
     store = std::make_unique<storage::SegmentStore>(def->schema);
+  }
+  // Projections truncate in lockstep, keeping their physical design.
+  for (auto& [proj_name, set] : storage->projections) {
+    FABRIC_ASSIGN_OR_RETURN(const ProjectionDef* proj,
+                            db_->catalog().GetProjection(proj_name));
+    for (auto& store : set.per_node) {
+      store = std::make_unique<storage::SegmentStore>(proj->schema,
+                                                      proj->Design());
+    }
+    for (auto& store : set.buddy) {
+      store = std::make_unique<storage::SegmentStore>(proj->schema,
+                                                      proj->Design());
+    }
   }
   return QueryResult{};
 }
@@ -618,7 +880,9 @@ Result<QueryResult> Session::ExecInsert(sim::Process& self,
         }
       }
     }
-    return Status::OK();
+    // Maintain every projection of the table in the same transaction.
+    return db_->WriteProjectionRows(self, *def, rows, wt.txn, node_,
+                                    stmt.direct, scale);
   }();
   FABRIC_RETURN_IF_ERROR(FinishWriteTxn(self, wt, status));
   QueryResult result;
@@ -683,6 +947,10 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
     }
     spec.residual_columns = &residual_columns;
 
+    // Anchor-side victim / replacement capture for projection
+    // maintenance (full anchor-width rows, each logical row once).
+    std::vector<Row> all_victims;
+    std::vector<Row> all_replacements;
     bool counted_replicated = false;
     for (int n = 0; n < db_->num_nodes(); ++n) {
       // Replicated: every UP replica applies the update in place.
@@ -737,6 +1005,11 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
         if (!counted_replicated) {
           affected += deleted;
           counted_replicated = true;
+          all_victims.insert(all_victims.end(), matched.begin(),
+                             matched.end());
+          all_replacements.insert(all_replacements.end(),
+                                  replacements.begin(),
+                                  replacements.end());
         }
         if (!replacements.empty()) {
           FABRIC_RETURN_IF_ERROR(read_copy.store->InsertPending(
@@ -757,6 +1030,10 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
         }
         FABRIC_CHECK(deleted == static_cast<int64_t>(replacements.size()));
         affected += deleted;
+        all_victims.insert(all_victims.end(), matched.begin(),
+                           matched.end());
+        all_replacements.insert(all_replacements.end(),
+                                replacements.begin(), replacements.end());
         // Re-route new versions by the (possibly changed) segmentation
         // hash, into every live copy of the owning segment.
         for (Row& row : replacements) {
@@ -783,7 +1060,14 @@ Result<QueryResult> Session::ExecUpdate(sim::Process& self,
         }
       }
     }
-    return Status::OK();
+    // Projection maintenance: mark the old images deleted by content,
+    // then route the new versions through each projection's own
+    // segmentation — same transaction, same commit epoch.
+    double scale = db_->EffectiveScale(def->name);
+    FABRIC_RETURN_IF_ERROR(db_->DeleteProjectionRows(
+        self, *def, all_victims, wt.txn, snapshot, scale));
+    return db_->WriteProjectionRows(self, *def, all_replacements, wt.txn,
+                                    node_, /*direct=*/false, scale);
   }();
   Status finished = FinishWriteTxn(self, wt, status);
   // Recorded before ack-loss propagation: conditional updates (UPDATE ...
@@ -846,6 +1130,9 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
     }
     spec.residual_columns = &residual_columns;
 
+    // Victim capture (full anchor-width rows, each logical row once)
+    // for projection maintenance below.
+    std::vector<Row> all_victims;
     bool counted_replicated = false;
     for (int n = 0; n < db_->num_nodes(); ++n) {
       if (replicated) {
@@ -861,8 +1148,10 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
         FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
                                            db_->node_host(n),
                                            scanned.ScanCpu(cost)));
-        FABRIC_ASSIGN_OR_RETURN(int64_t deleted,
-                                store->MarkDeletedPending(spec));
+        FABRIC_ASSIGN_OR_RETURN(
+            int64_t deleted,
+            store->MarkDeletedPending(
+                spec, counted_replicated ? nullptr : &all_victims));
         if (!counted_replicated) {
           affected += deleted;
           counted_replicated = true;
@@ -886,8 +1175,10 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
                                 db_->WriteCopies(storage, n));
         int64_t deleted = -1;
         for (const Database::SegmentCopy& copy : writes) {
-          FABRIC_ASSIGN_OR_RETURN(int64_t d,
-                                  copy.store->MarkDeletedPending(spec));
+          FABRIC_ASSIGN_OR_RETURN(
+              int64_t d,
+              copy.store->MarkDeletedPending(
+                  spec, deleted < 0 ? &all_victims : nullptr));
           if (deleted < 0) {
             deleted = d;
           } else {
@@ -897,7 +1188,11 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
         affected += deleted;
       }
     }
-    return Status::OK();
+    // Keep every projection's view of the table in lockstep with the
+    // anchor delete.
+    return db_->DeleteProjectionRows(self, *def, all_victims, wt.txn,
+                                     snapshot,
+                                     db_->EffectiveScale(def->name));
   }();
   FABRIC_RETURN_IF_ERROR(FinishWriteTxn(self, wt, status));
   QueryResult result;
@@ -1361,6 +1656,9 @@ Result<QueryResult> Session::SystemTable(
                             {"is_committed", DataType::kBool}});
     for (int n = 0; n < db_->num_nodes(); ++n) {
       for (const Database::HostedStore& hs : db_->HostedStores(n)) {
+        // Projection containers are reported by
+        // v_monitor.projection_storage, not here.
+        if (!hs.projection.empty()) continue;
         std::vector<storage::ContainerStats> stats = hs.store->RosStats();
         for (size_t i = 0; i < stats.size(); ++i) {
           const storage::ContainerStats& s = stats[i];
@@ -1429,6 +1727,86 @@ Result<QueryResult> Session::SystemTable(
              Value::Varchar(q.pool), Value::Int64(q.priority),
              Value::Int64(q.position), Value::Float64(q.memory_requested),
              Value::Float64(q.queued_at)});
+      }
+    }
+    return result;
+  }
+  if (lower_name == "v_catalog.projections") {
+    result.schema = Schema({{"projection_name", DataType::kVarchar},
+                            {"anchor_table", DataType::kVarchar},
+                            {"columns", DataType::kVarchar},
+                            {"sort_columns", DataType::kVarchar},
+                            {"encodings", DataType::kVarchar},
+                            // "is_segmented": SEGMENTED is a keyword, a
+                            // bare `segmented` column would not parse.
+                            {"is_segmented", DataType::kBool},
+                            {"segment_columns", DataType::kVarchar},
+                            {"create_epoch", DataType::kInt64}});
+    for (const std::string& name : db_->catalog().ProjectionNames()) {
+      auto proj = db_->catalog().GetProjection(name);
+      if (!proj.ok()) continue;
+      const ProjectionDef& p = **proj;
+      auto join_names = [&p](const std::vector<int>& cols) {
+        std::string out;
+        for (int c : cols) {
+          if (!out.empty()) out += ",";
+          out += p.schema.column(c).name;
+        }
+        return out;
+      };
+      std::vector<int> all_columns(p.schema.num_columns());
+      for (int c = 0; c < p.schema.num_columns(); ++c) all_columns[c] = c;
+      std::string encodings;
+      for (storage::Encoding e : p.encodings) {
+        if (!encodings.empty()) encodings += ",";
+        encodings += storage::EncodingName(e);
+      }
+      result.rows.push_back(
+          {Value::Varchar(p.name), Value::Varchar(p.anchor),
+           Value::Varchar(join_names(all_columns)),
+           Value::Varchar(join_names(p.sort_columns)),
+           Value::Varchar(encodings),
+           Value::Bool(!p.segmentation.unsegmented()),
+           Value::Varchar(join_names(p.segmentation.columns)),
+           Value::Int64(static_cast<int64_t>(p.create_epoch))});
+    }
+    return result;
+  }
+  if (lower_name == "v_monitor.projection_storage") {
+    result.schema = Schema({{"projection_name", DataType::kVarchar},
+                            {"anchor_table", DataType::kVarchar},
+                            {"node_id", DataType::kInt64},
+                            {"copy", DataType::kVarchar},
+                            {"containers", DataType::kInt64},
+                            {"rows", DataType::kInt64},
+                            {"deleted_rows", DataType::kInt64},
+                            {"raw_bytes", DataType::kFloat64},
+                            {"encoded_bytes", DataType::kFloat64},
+                            {"wos_batches", DataType::kInt64}});
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      for (const Database::HostedStore& hs : db_->HostedStores(n)) {
+        if (hs.projection.empty()) continue;
+        auto proj = db_->catalog().GetProjection(hs.projection);
+        int64_t rows = 0;
+        int64_t deleted = 0;
+        double raw = 0;
+        double encoded = 0;
+        std::vector<storage::ContainerStats> stats = hs.store->RosStats();
+        for (const storage::ContainerStats& s : stats) {
+          rows += s.rows;
+          deleted += s.deleted_rows;
+          raw += s.raw_bytes;
+          encoded += s.encoded_bytes;
+        }
+        result.rows.push_back(
+            {Value::Varchar(hs.projection),
+             Value::Varchar(proj.ok() ? (*proj)->anchor : hs.table),
+             Value::Int64(n),
+             Value::Varchar(hs.is_buddy ? "buddy" : "primary"),
+             Value::Int64(static_cast<int64_t>(stats.size())),
+             Value::Int64(rows), Value::Int64(deleted), Value::Float64(raw),
+             Value::Float64(encoded),
+             Value::Int64(hs.store->num_wos_batches())});
       }
     }
     return result;
@@ -1679,7 +2057,48 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
                           db_->catalog().GetTable(select.from));
   FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * table_storage,
                           db_->GetStorage(select.from));
-  const Schema schema = def->schema;
+
+  // Projection-aware planning: cost every eligible physical layout of
+  // the anchor and scan the cheapest (the super projection is the 1.0
+  // baseline). The test hook pins the choice when set.
+  projections::QueryShape shape = projections::ShapeOf(select, def->schema);
+  projections::PlanChoice plan;
+  if (forced_projection_.has_value()) {
+    // "" (or an ineligible / wrongly-anchored name) pins the super
+    // projection: `plan` keeps its defaults.
+    if (!forced_projection_->empty()) {
+      Result<const ProjectionDef*> forced =
+          db_->catalog().GetProjection(*forced_projection_);
+      if (forced.ok() && (*forced)->anchor == def->name &&
+          projections::Eligible(*def, **forced, shape)) {
+        plan.projection = *forced;
+        plan.cost = projections::CostProjection(*def, *forced, shape,
+                                                &plan.sorted_group_by);
+        plan.reason = "forced by session hint";
+      }
+    }
+  } else {
+    plan = projections::ChoosePlan(db_->catalog(), *def, shape);
+  }
+
+  // Everything below scans through the chosen physical layout: its
+  // schema, its segmentation, its segment stores.
+  Database::SegmentSet* scan_set = table_storage;
+  const auto* segmentation = &def->segmentation;
+  Schema schema = def->schema;
+  if (plan.projection != nullptr) {
+    FABRIC_ASSIGN_OR_RETURN(
+        Database::SegmentSet * proj_set,
+        db_->GetProjectionStorage(plan.projection->name));
+    scan_set = proj_set;
+    segmentation = &plan.projection->segmentation;
+    schema = plan.projection->schema;
+    obs::IncrCounter(
+        StrCat("vertica.projection_scans{", plan.projection->name, "}"));
+    obs::TraceEvent("vertica", "projection.scan",
+                    {{"projection", plan.projection->name},
+                     {"table", def->name}});
+  }
 
   Epoch snapshot;
   if (select.at_epoch >= 0) {
@@ -1738,16 +2157,17 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     }
   }
 
-  // Participating nodes: unsegmented tables are served locally; segmented
-  // tables are pruned by the hash ranges the predicate constrains.
+  // Participating nodes: unsegmented layouts are served locally;
+  // segmented layouts are pruned by the hash ranges the predicate
+  // constrains.
   std::vector<int> nodes;
-  if (def->segmentation.unsegmented()) {
+  if (segmentation->unsegmented()) {
     nodes.push_back(node_);
   } else {
     sql::RingRangeSet constrained = sql::RingRangeSet::Full();
     if (select.where != nullptr) {
       std::vector<std::string> seg_names;
-      for (int c : def->segmentation.columns) {
+      for (int c : segmentation->columns) {
         seg_names.push_back(schema.column(c).name);
       }
       constrained = sql::ExtractHashRanges(*select.where, seg_names);
@@ -1784,6 +2204,9 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
     Epoch snapshot;
     TxnId txn;
     bool aggregate;
+    // Chosen layout's sort order prefixes the GROUP BY keys: charge the
+    // merge-style aggregation rate instead of the hash rate.
+    bool sorted_group_by = false;
     int64_t scan_limit = -1;  // per-node row cap (LIMIT pushed into Scan)
     std::vector<int> group_cols;
     const sql::UdxResolver* udx;
@@ -1827,6 +2250,7 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   state->snapshot = snapshot;
   state->txn = txn_;
   state->aggregate = aggregate;
+  state->sorted_group_by = plan.sorted_group_by;
   // LIMIT n without ORDER BY or aggregation caps each node's scan at n:
   // every node's emitted rows stay a prefix of what the uncapped scan
   // emits, so the initiator's global LIMIT picks exactly the same rows
@@ -1857,13 +2281,12 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   };
   std::vector<ScanTarget> targets;
   for (int n : nodes) {
-    if (def->segmentation.unsegmented()) {
-      targets.push_back(
-          ScanTarget{n, table_storage->per_node[n].get(), n});
+    if (segmentation->unsegmented()) {
+      targets.push_back(ScanTarget{n, scan_set->per_node[n].get(), n});
       continue;
     }
     FABRIC_ASSIGN_OR_RETURN(Database::SegmentCopy copy,
-                            db_->ReadCopy(table_storage, n));
+                            db_->ReadCopy(scan_set, n));
     if (copy.host != n) {
       obs::TraceEvent("ksafety", "scan.reroute",
                       {{"table", select.from},
@@ -1980,6 +2403,15 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
                 scanned.ScanCpu(state->cost) +
                 static_cast<double>(stats.containers_scanned) *
                     state->cost.ros_container_open_cpu;
+            if (state->aggregate) {
+              // Aggregation CPU per passing input row: hash-aggregate
+              // unless the layout's sort order makes equal keys adjacent.
+              scan_cpu += static_cast<double>(passed.size()) *
+                          state->data_scale *
+                          (state->sorted_group_by
+                               ? state->cost.group_by_sorted_cpu_per_row
+                               : state->cost.group_by_hash_cpu_per_row);
+            }
             double wire = produced.JdbcWireBytes(state->cost);
             double internal = produced.raw_bytes;
             int chunks = static_cast<int>(std::ceil(

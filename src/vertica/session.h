@@ -2,6 +2,7 @@
 #define FABRIC_VERTICA_SESSION_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -81,6 +82,13 @@ class Session {
   // statement's ack was lost; -1 before any UPDATE ran.
   int64_t last_update_affected() const { return last_update_affected_; }
 
+  // Test hook pinning the planner's projection choice for base-table
+  // scans: nullopt = automatic (default), "" = force the super
+  // projection, a name = force that projection when eligible.
+  void set_forced_projection(std::optional<std::string> name) {
+    forced_projection_ = std::move(name);
+  }
+
   // Internal: executes a parsed SELECT without streaming to the client
   // (used for views and INSERT ... SELECT).
   Result<QueryResult> ExecuteSelectInternal(sim::Process& self,
@@ -101,6 +109,10 @@ class Session {
                                       const sql::CreateTableStmt& stmt);
   Result<QueryResult> ExecCreateView(sim::Process& self,
                                      const sql::CreateViewStmt& stmt);
+  Result<QueryResult> ExecCreateProjection(
+      sim::Process& self, const sql::CreateProjectionStmt& stmt);
+  Result<QueryResult> ExecExplain(sim::Process& self,
+                                  const sql::ExplainStmt& stmt);
   Result<QueryResult> ExecDrop(sim::Process& self, const sql::DropStmt& s);
   Result<QueryResult> ExecRename(sim::Process& self,
                                  const sql::RenameTableStmt& stmt);
@@ -140,6 +152,7 @@ class Session {
   int node_;
   const net::Host* client_;  // may be null (console)
   storage::TxnId txn_ = 0;   // open explicit transaction
+  std::optional<std::string> forced_projection_;
   std::string resource_pool_;
   double memory_request_ = 0;
   wm::Grant wm_grant_;

@@ -108,6 +108,24 @@ ExprPtr Expr::Clone() const {
   return e;
 }
 
+std::string CreateProjectionStmt::ToSql() const {
+  std::string out = StrCat("CREATE PROJECTION ", name, " AS SELECT ");
+  if (star) {
+    out += "*";
+  } else {
+    out += Join(columns, ", ");
+  }
+  out += StrCat(" FROM ", anchor);
+  if (!order_by.empty()) out += StrCat(" ORDER BY ", Join(order_by, ", "));
+  if (unsegmented) {
+    out += " UNSEGMENTED";
+  } else if (!segmentation_columns.empty()) {
+    out += StrCat(" SEGMENTED BY HASH(", Join(segmentation_columns, ", "),
+                  ")");
+  }
+  return out;
+}
+
 std::string SelectStmt::ToSql() const {
   std::string out = "SELECT ";
   for (size_t i = 0; i < items.size(); ++i) {

@@ -92,8 +92,25 @@ struct CreateViewStmt {
   std::unique_ptr<SelectStmt> select;
 };
 
+// CREATE PROJECTION name AS SELECT cols FROM t ORDER BY k1, k2
+//   [SEGMENTED BY HASH(col, ...) | UNSEGMENTED]
+// Column lists are names; the analyzer resolves them against the anchor
+// schema. No ORDER BY means the projection keeps insertion order.
+struct CreateProjectionStmt {
+  std::string name;
+  std::string anchor;                 // FROM table
+  std::vector<std::string> columns;   // selected columns (empty: all)
+  bool star = false;                  // SELECT *
+  std::vector<std::string> order_by;  // sort columns, major first
+  std::vector<std::string> segmentation_columns;  // SEGMENTED BY HASH(...)
+  bool unsegmented = false;
+
+  std::string ToSql() const;
+};
+
 struct DropStmt {
   bool is_view = false;
+  bool is_projection = false;
   bool if_exists = false;
   std::string name;
 };
@@ -134,10 +151,17 @@ struct TxnStmt {
   Kind kind;
 };
 
+// EXPLAIN SELECT ...: runs the projection planner only and returns the
+// chosen projection, its cost and every candidate as one text column.
+struct ExplainStmt {
+  std::unique_ptr<SelectStmt> select;
+};
+
 using Statement =
-    std::variant<SelectStmt, CreateTableStmt, CreateViewStmt, DropStmt,
-                 RenameTableStmt, TruncateStmt, InsertStmt, UpdateStmt,
-                 DeleteStmt, TxnStmt>;
+    std::variant<SelectStmt, CreateTableStmt, CreateViewStmt,
+                 CreateProjectionStmt, DropStmt, RenameTableStmt,
+                 TruncateStmt, InsertStmt, UpdateStmt, DeleteStmt, TxnStmt,
+                 ExplainStmt>;
 
 }  // namespace fabric::vertica::sql
 

@@ -19,6 +19,7 @@ class Parser {
     const Token& t = Peek();
     Result<Statement> result = [&]() -> Result<Statement> {
       if (t.Is("SELECT")) return WrapSelect();
+      if (t.Is("EXPLAIN")) return ParseExplain();
       if (t.Is("CREATE")) return ParseCreate();
       if (t.Is("DROP")) return ParseDrop();
       if (t.Is("ALTER")) return ParseAlter();
@@ -207,15 +208,65 @@ class Parser {
         "RENAME", "TO",     "AND",    "OR",     "NOT",      "IS",
         "BEGIN",  "COMMIT", "ROLLBACK", "USING", "PARAMETERS",
         "SEGMENTED", "UNSEGMENTED", "REPLACE", "EXISTS", "IF",
-        "JOIN", "ON", "INNER"};
+        "JOIN", "ON", "INNER", "PROJECTION", "EXPLAIN"};
     for (const char* word : kReserved) {
       if (upper == word) return true;
     }
     return false;
   }
 
+  Result<Statement> ParseExplain() {
+    FABRIC_RETURN_IF_ERROR(Expect("EXPLAIN"));
+    ExplainStmt explain;
+    FABRIC_ASSIGN_OR_RETURN(SelectStmt select, ParseSelect());
+    explain.select = std::make_unique<SelectStmt>(std::move(select));
+    return Statement(std::move(explain));
+  }
+
+  Result<Statement> ParseCreateProjection() {
+    CreateProjectionStmt create;
+    FABRIC_ASSIGN_OR_RETURN(create.name, Identifier());
+    FABRIC_RETURN_IF_ERROR(Expect("AS"));
+    FABRIC_RETURN_IF_ERROR(Expect("SELECT"));
+    if (Accept("*")) {
+      create.star = true;
+    } else {
+      do {
+        FABRIC_ASSIGN_OR_RETURN(std::string col, Identifier());
+        create.columns.push_back(std::move(col));
+      } while (Accept(","));
+    }
+    FABRIC_RETURN_IF_ERROR(Expect("FROM"));
+    FABRIC_ASSIGN_OR_RETURN(create.anchor, Identifier());
+    if (Accept("ORDER")) {
+      FABRIC_RETURN_IF_ERROR(Expect("BY"));
+      do {
+        FABRIC_ASSIGN_OR_RETURN(std::string col, Identifier());
+        create.order_by.push_back(std::move(col));
+      } while (Accept(","));
+    }
+    if (Accept("SEGMENTED")) {
+      FABRIC_RETURN_IF_ERROR(Expect("BY"));
+      FABRIC_RETURN_IF_ERROR(Expect("HASH"));
+      FABRIC_RETURN_IF_ERROR(Expect("("));
+      do {
+        FABRIC_ASSIGN_OR_RETURN(std::string col, Identifier());
+        create.segmentation_columns.push_back(std::move(col));
+      } while (Accept(","));
+      FABRIC_RETURN_IF_ERROR(Expect(")"));
+      Accept("ALL");
+      Accept("NODES");
+    } else if (Accept("UNSEGMENTED")) {
+      Accept("ALL");
+      Accept("NODES");
+      create.unsegmented = true;
+    }
+    return Statement(std::move(create));
+  }
+
   Result<Statement> ParseCreate() {
     FABRIC_RETURN_IF_ERROR(Expect("CREATE"));
+    if (Accept("PROJECTION")) return ParseCreateProjection();
     if (Accept("VIEW")) {
       CreateViewStmt view;
       FABRIC_ASSIGN_OR_RETURN(view.name, Identifier());
@@ -274,6 +325,8 @@ class Parser {
     DropStmt drop;
     if (Accept("VIEW")) {
       drop.is_view = true;
+    } else if (Accept("PROJECTION")) {
+      drop.is_projection = true;
     } else {
       FABRIC_RETURN_IF_ERROR(Expect("TABLE"));
     }

@@ -15,7 +15,10 @@ namespace fabric::vertica::sql {
 //   CREATE TABLE [IF NOT EXISTS] t (col TYPE, ...)
 //     [SEGMENTED BY HASH(c, ...) ALL NODES | UNSEGMENTED ALL NODES]
 //   CREATE VIEW v AS SELECT ...
-//   DROP TABLE|VIEW [IF EXISTS] name
+//   CREATE PROJECTION p AS SELECT c, ... FROM t [ORDER BY c, ...]
+//     [SEGMENTED BY HASH(c, ...) | UNSEGMENTED]
+//   DROP TABLE|VIEW|PROJECTION [IF EXISTS] name
+//   EXPLAIN SELECT ...
 //   ALTER TABLE t RENAME TO u
 //   TRUNCATE TABLE t
 //   INSERT [/*+ DIRECT */] INTO t [(c, ...)] VALUES (...), ... | SELECT ...

@@ -211,6 +211,52 @@ TEST(SqlRoundTripTest, NegativeIntegerExtremesRoundTrip) {
   }
 }
 
+TEST(SqlRoundTripTest, CreateProjectionRendersAndReparses) {
+  // Rendering is a parse fixed point for every segmentation spelling.
+  for (const char* sql :
+       {"CREATE PROJECTION p AS SELECT a, b FROM t ORDER BY b, a "
+        "SEGMENTED BY HASH(a)",
+        "CREATE PROJECTION p AS SELECT a FROM t UNSEGMENTED",
+        "CREATE PROJECTION p AS SELECT * FROM t ORDER BY a"}) {
+    SCOPED_TRACE(sql);
+    Result<Statement> parsed = Parse(sql);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto* stmt = std::get_if<CreateProjectionStmt>(&*parsed);
+    ASSERT_NE(stmt, nullptr);
+    EXPECT_EQ(stmt->ToSql(), sql);
+    Result<Statement> again = Parse(stmt->ToSql());
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(std::get<CreateProjectionStmt>(*again).ToSql(), sql);
+  }
+
+  Result<Statement> parsed = Parse(
+      "CREATE PROJECTION sales_by_region AS SELECT region, amount "
+      "FROM sales ORDER BY region SEGMENTED BY HASH(region)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& stmt = std::get<CreateProjectionStmt>(*parsed);
+  EXPECT_EQ(stmt.name, "sales_by_region");
+  EXPECT_EQ(stmt.anchor, "sales");
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"region", "amount"}));
+  EXPECT_EQ(stmt.order_by, (std::vector<std::string>{"region"}));
+  EXPECT_EQ(stmt.segmentation_columns,
+            (std::vector<std::string>{"region"}));
+  EXPECT_FALSE(stmt.unsegmented);
+  EXPECT_FALSE(stmt.star);
+}
+
+TEST(SqlRoundTripTest, DropProjectionParses) {
+  Result<Statement> parsed = Parse("DROP PROJECTION IF EXISTS p");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& stmt = std::get<DropStmt>(*parsed);
+  EXPECT_TRUE(stmt.is_projection);
+  EXPECT_TRUE(stmt.if_exists);
+  EXPECT_EQ(stmt.name, "p");
+
+  Result<Statement> plain = Parse("DROP PROJECTION p");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_FALSE(std::get<DropStmt>(*plain).if_exists);
+}
+
 TEST(SqlRoundTripTest, UnaryMinusBeforeNegativeLiteralIsNotAComment) {
   // "(-" immediately against "-5" would render "(--5)": a line comment
   // that swallows the rest of the expression.
