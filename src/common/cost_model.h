@@ -51,6 +51,15 @@ struct CostModel {
   // keys arrive adjacent: merge-style aggregation, no hash table).
   double group_by_hash_cpu_per_row = 4.0e-8;
   double group_by_sorted_cpu_per_row = 0.8e-8;
+  // INNER JOIN CPU per input row (left + right). The hash rate pays
+  // building and probing the hash table on the join key; the merge rate
+  // applies when both sides scan projections sorted on the join key
+  // (equal keys arrive adjacent on both inputs: streaming merge join, no
+  // hash table). When the sorted projections are additionally co-located
+  // — segmented identically on the join key, or replicated — the join
+  // also runs node-local with no reshuffle of either input.
+  double join_hash_cpu_per_row = 6.0e-7;
+  double join_merge_cpu_per_row = 1.2e-7;
   // Per-JDBC-connection result serialization: the stream moves at most
   // stream_bytes_per_sec of wire data, and each row additionally costs
   // stream_row_overhead (these two produce the Fig. 9 shape).

@@ -57,7 +57,87 @@ Database::Database(sim::Engine* engine, net::Network* network,
   }
   pipeline_compiler_.set_enabled(options_.compile_pipelines);
   RegisterHllFunctions(this);
+  // SELECT DESIGN_PROPOSALS([budget_fraction[, max_proposals]]) runs the
+  // database designer over the captured workload history; the proposals
+  // land in v_monitor.design_proposals and the call returns a summary.
+  RegisterScalarFunction(
+      "DESIGN_PROPOSALS",
+      [this](const std::vector<storage::Value>& args,
+             const std::map<std::string, storage::Value>&)
+          -> Result<storage::Value> {
+        designer::Options defaults;
+        double budget = defaults.budget_fraction;
+        int max_proposals = defaults.max_proposals;
+        if (!args.empty() && !args[0].is_null()) {
+          FABRIC_ASSIGN_OR_RETURN(budget, args[0].AsDouble());
+        }
+        if (args.size() > 1 && !args[1].is_null()) {
+          FABRIC_ASSIGN_OR_RETURN(double raw, args[1].AsDouble());
+          max_proposals = static_cast<int>(raw);
+        }
+        FABRIC_ASSIGN_OR_RETURN(std::string summary,
+                                RunDesigner(budget, max_proposals));
+        return storage::Value::Varchar(std::move(summary));
+      });
   tm_ = std::make_unique<TupleMover>(this, options_.tuple_mover);
+}
+
+int64_t Database::RecordQueryRequest(QueryRequest request) {
+  request.request_id = next_query_request_id_++;
+  request.started_at = engine_->now();
+  query_requests_.push_back(std::move(request));
+  while (query_requests_.size() > kQueryHistoryCap) {
+    query_requests_.pop_front();
+  }
+  return query_requests_.back().request_id;
+}
+
+void Database::StampQueryDurations(int64_t from_id, double duration) {
+  for (auto it = query_requests_.rbegin(); it != query_requests_.rend();
+       ++it) {
+    if (it->request_id < from_id) break;
+    it->duration = duration;
+  }
+}
+
+Result<std::string> Database::RunDesigner(double budget_fraction,
+                                          int max_proposals) {
+  if (budget_fraction < 0) {
+    return InvalidArgumentError("designer budget fraction must be >= 0");
+  }
+  if (max_proposals < 0) {
+    return InvalidArgumentError("designer max proposals must be >= 0");
+  }
+  // Primary-copy raw bytes per anchor: the designer sizes candidate
+  // projections as width fractions of this.
+  std::map<std::string, double> table_raw_bytes;
+  for (const std::string& table : catalog_.TableNames()) {
+    auto it = storage_.find(ToLower(table));
+    if (it == storage_.end()) continue;
+    double bytes = 0;
+    for (const auto& store : it->second.per_node) {
+      bytes += store->TotalRawBytes();
+    }
+    table_raw_bytes[ToLower(table)] = bytes;
+  }
+  designer::Options options;
+  options.budget_fraction = budget_fraction;
+  options.max_proposals = max_proposals;
+  design_proposals_ =
+      designer::Propose(catalog_, query_requests_, table_raw_bytes, options);
+  double benefit = 0;
+  for (const designer::Proposal& p : design_proposals_) {
+    benefit += p.benefit;
+  }
+  obs::IncrCounter("vertica.designer_runs");
+  obs::TraceEvent("vertica", "designer.run",
+                  {{"proposals", design_proposals_.size()},
+                   {"history", query_requests_.size()}});
+  char benefit_buf[32];
+  std::snprintf(benefit_buf, sizeof(benefit_buf), "%.4f", benefit);
+  return StrCat(design_proposals_.size(), " proposals (replayed ",
+                query_requests_.size(), " requests, total benefit ",
+                benefit_buf, ")");
 }
 
 Database::~Database() = default;

@@ -1,6 +1,7 @@
 #ifndef FABRIC_VERTICA_DATABASE_H_
 #define FABRIC_VERTICA_DATABASE_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "storage/schema.h"
 #include "storage/segment_store.h"
 #include "vertica/catalog.h"
+#include "vertica/designer/designer.h"
 #include "vertica/dfs.h"
 #include "vertica/ksafety/ksafety.h"
 #include "vertica/pipeline.h"
@@ -341,6 +343,33 @@ class Database {
   // sessions, partitions and failover retries).
   PipelineCompiler* pipeline_compiler() { return &pipeline_compiler_; }
 
+  // ------------------------------------------- workload history (designer)
+  // Every executed base-table scan appends its QueryShape here (a join
+  // appends one entry per side), bounded to the most recent
+  // kQueryHistoryCap entries. v_monitor.query_requests reads it; the
+  // database designer replays it.
+  static constexpr size_t kQueryHistoryCap = 4096;
+  // Returns the assigned request_id (monotone, 1-based).
+  int64_t RecordQueryRequest(QueryRequest request);
+  // Stamps `duration` on every entry with request_id >= from_id — the
+  // session calls this when the statement finishes, covering both sides
+  // of a join with one call.
+  void StampQueryDurations(int64_t from_id, double duration);
+  int64_t next_query_request_id() const { return next_query_request_id_; }
+  const std::deque<QueryRequest>& query_requests() const {
+    return query_requests_;
+  }
+
+  // Runs the database designer over the captured history against the
+  // current catalog and storage footprint; stores the proposals (read
+  // back through v_monitor.design_proposals) and returns a one-line
+  // summary. Exposed in SQL as SELECT DESIGN_PROPOSALS(budget_fraction,
+  // max_proposals).
+  Result<std::string> RunDesigner(double budget_fraction, int max_proposals);
+  const std::vector<designer::Proposal>& design_proposals() const {
+    return design_proposals_;
+  }
+
  private:
   struct TxnState {
     std::set<std::string> locked_tables;
@@ -366,6 +395,9 @@ class Database {
   std::map<storage::TxnId, TxnState> txns_;
   std::map<storage::Epoch, int> pinned_epochs_;     // epoch -> pin count
   std::map<storage::Epoch, int64_t> epoch_commits_;  // epoch -> commits
+  std::deque<QueryRequest> query_requests_;
+  int64_t next_query_request_id_ = 1;
+  std::vector<designer::Proposal> design_proposals_;
   std::unique_ptr<TupleMover> tm_;
   std::map<std::string, TableLock> locks_;
   std::map<std::string, TableStorage> storage_;

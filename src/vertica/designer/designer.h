@@ -1,0 +1,51 @@
+#ifndef FABRIC_VERTICA_DESIGNER_DESIGNER_H_
+#define FABRIC_VERTICA_DESIGNER_DESIGNER_H_
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vertica/catalog.h"
+#include "vertica/designer/workload.h"
+
+namespace fabric::vertica::designer {
+
+// Knobs for one designer run.
+struct Options {
+  // Extra projection storage allowed, as a fraction of the anchors' total
+  // raw bytes. Counts primary copies only; the k=1 buddy doubles the
+  // physical spend, like it does for every other layout.
+  double budget_fraction = 0.5;
+  int max_proposals = 4;
+};
+
+// One proposed projection: enough to render DDL and to explain why the
+// designer picked it.
+struct Proposal {
+  std::string name;
+  std::string anchor;
+  std::vector<std::string> columns;       // anchor-schema case
+  std::vector<std::string> sort_columns;  // subset of `columns`
+  std::vector<std::string> segment_columns;  // empty = unsegmented
+  // Total planner-cost reduction across the replayed history at the
+  // moment this proposal was selected (greedy marginal gain).
+  double benefit = 0;
+  double storage_bytes = 0;  // estimated primary-copy raw bytes
+  std::string ddl;           // executable CREATE PROJECTION statement
+};
+
+// Replays the captured workload against candidate projections derived
+// from the observed query shapes — column subsets with sort orders led
+// by join/group-by keys and segmentation on the join key — and greedily
+// picks the set that minimizes total planner cost within the storage
+// budget. Pure function of its inputs: same catalog, history and sizes
+// always yield the same proposals, in the same order.
+std::vector<Proposal> Propose(
+    const Catalog& catalog, const std::deque<QueryRequest>& history,
+    const std::map<std::string, double>& table_raw_bytes,
+    const Options& options);
+
+}  // namespace fabric::vertica::designer
+
+#endif  // FABRIC_VERTICA_DESIGNER_DESIGNER_H_

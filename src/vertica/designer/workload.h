@@ -1,0 +1,32 @@
+#ifndef FABRIC_VERTICA_DESIGNER_WORKLOAD_H_
+#define FABRIC_VERTICA_DESIGNER_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fabric::vertica {
+
+// One executed base-table scan, reduced to the shape the database
+// designer replays: which columns the query touched, how it joined and
+// grouped, and what it cost in virtual time. A two-table join records
+// one entry per side. Captured into Database's bounded history and
+// exposed as v_monitor.query_requests.
+struct QueryRequest {
+  int64_t request_id = 0;
+  std::string table;       // base table this scan planned against
+  std::string join_table;  // other side of the INNER JOIN ("" = no join)
+  // Lower-cased column names of `table`.
+  std::vector<std::string> referenced;
+  std::vector<std::string> group_by;
+  std::vector<std::string> join_keys;  // this side's join-key columns
+  bool aggregate = false;
+  std::string pool;      // resource pool ("" = the default pool)
+  std::string strategy;  // join strategy chosen ("", "hash", "merge")
+  double started_at = 0;  // virtual time the statement began
+  double duration = 0;    // stamped when the statement finishes
+};
+
+}  // namespace fabric::vertica
+
+#endif  // FABRIC_VERTICA_DESIGNER_WORKLOAD_H_

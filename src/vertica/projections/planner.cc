@@ -127,8 +127,8 @@ bool Eligible(const TableDef& anchor, const ProjectionDef& proj,
 }
 
 double CostProjection(const TableDef& anchor, const ProjectionDef* proj,
-                      const QueryShape& shape, bool* sorted_group_by) {
-  if (sorted_group_by != nullptr) *sorted_group_by = false;
+                      const QueryShape& shape, CostAttrs* attrs) {
+  if (attrs != nullptr) *attrs = CostAttrs{};
   if (proj == nullptr) return 1.0;  // the super projection baseline
 
   // Narrower column subsets scan proportionally fewer bytes.
@@ -168,10 +168,23 @@ double CostProjection(const TableDef& anchor, const ProjectionDef* proj,
     }
     if (prefix) {
       agg = 0.35;
-      if (sorted_group_by != nullptr) *sorted_group_by = true;
+      if (attrs != nullptr) attrs->sorted_group_by = true;
     }
   }
-  return width * prune * agg;
+
+  // Streaming merge join: when the sort order leads with the join key,
+  // equal keys arrive adjacent and this side feeds the join without a
+  // hash table.
+  double join = 1.0;
+  if (!shape.join_keys.empty() && !proj->sort_columns.empty()) {
+    const std::string lead =
+        ToLower(proj->schema.column(proj->sort_columns.front()).name);
+    if (lead == shape.join_keys.front()) {
+      join = 0.55;
+      if (attrs != nullptr) attrs->sorted_join = true;
+    }
+  }
+  return width * prune * agg * join;
 }
 
 PlanChoice ChoosePlan(
@@ -184,22 +197,106 @@ PlanChoice ChoosePlan(
   if (candidates != nullptr) candidates->emplace_back("super", 1.0);
   for (const ProjectionDef* proj : catalog.ProjectionsOf(anchor.name)) {
     if (!Eligible(anchor, *proj, shape)) continue;
-    bool sorted_gb = false;
-    double cost = CostProjection(anchor, proj, shape, &sorted_gb);
+    CostAttrs attrs;
+    double cost = CostProjection(anchor, proj, shape, &attrs);
     if (candidates != nullptr) candidates->emplace_back(proj->name, cost);
     // Strictly cheaper wins; ties keep the earlier choice (super first,
     // then name order from ProjectionsOf) — fully deterministic.
     if (cost < choice.cost) {
       choice.projection = proj;
       choice.cost = cost;
-      choice.sorted_group_by = sorted_gb;
+      choice.sorted_group_by = attrs.sorted_group_by;
+      choice.sorted_join = attrs.sorted_join;
       choice.reason = StrCat(
           "projection ", proj->name, " (", proj->columns.size(), "/",
           anchor.schema.num_columns(), " columns",
-          sorted_gb ? ", sorted group-by" : "", ")");
+          attrs.sorted_group_by ? ", sorted group-by" : "",
+          attrs.sorted_join ? ", sorted join" : "", ")");
     }
   }
   return choice;
+}
+
+std::optional<PlanChoice> ChooseSortedJoinPlan(const Catalog& catalog,
+                                               const TableDef& anchor,
+                                               const QueryShape& shape) {
+  if (shape.join_keys.empty()) return std::nullopt;
+  std::optional<PlanChoice> choice;
+  for (const ProjectionDef* proj : catalog.ProjectionsOf(anchor.name)) {
+    if (!Eligible(anchor, *proj, shape)) continue;
+    CostAttrs attrs;
+    double cost = CostProjection(anchor, proj, shape, &attrs);
+    if (!attrs.sorted_join) continue;
+    // Strictly cheaper wins; ties keep the earlier (name-ordered) pick.
+    if (choice.has_value() && cost >= choice->cost) continue;
+    PlanChoice pick;
+    pick.projection = proj;
+    pick.cost = cost;
+    pick.sorted_group_by = attrs.sorted_group_by;
+    pick.sorted_join = true;
+    pick.reason = StrCat(
+        "projection ", proj->name, " (", proj->columns.size(), "/",
+        anchor.schema.num_columns(), " columns",
+        attrs.sorted_group_by ? ", sorted group-by" : "", ", sorted join)");
+    choice = pick;
+  }
+  return choice;
+}
+
+namespace {
+
+// Lower-cased segmentation column names of the chosen physical layout:
+// the projection's own segmentation, or the anchor's for the super
+// projection. Empty = unsegmented (replicated on every node).
+std::vector<std::string> LayoutSegmentation(const TableDef& anchor,
+                                            const ProjectionDef* proj) {
+  std::vector<std::string> names;
+  if (proj == nullptr) {
+    for (int c : anchor.segmentation.columns) {
+      names.push_back(ToLower(anchor.schema.column(c).name));
+    }
+  } else {
+    for (int c : proj->segmentation.columns) {
+      names.push_back(ToLower(proj->schema.column(c).name));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+JoinPlan ClassifyJoin(const TableDef& left_anchor, const PlanChoice& left,
+                      const std::string& left_key,
+                      const TableDef& right_anchor, const PlanChoice& right,
+                      const std::string& right_key) {
+  JoinPlan plan;
+  plan.left = left;
+  plan.right = right;
+  plan.merge = left.sorted_join && right.sorted_join;
+  if (plan.merge) {
+    const std::vector<std::string> left_seg =
+        LayoutSegmentation(left_anchor, left.projection);
+    const std::vector<std::string> right_seg =
+        LayoutSegmentation(right_anchor, right.projection);
+    // A replicated right side joins against any left partitioning; a
+    // segmented right side co-locates only when both sides hash on their
+    // join-key column (equal keys share a segment index — which needs
+    // the key columns to be the same type, since the segmentation hash
+    // is typed).
+    bool same_type = false;
+    auto lc = left_anchor.schema.IndexOf(left_key);
+    auto rc = right_anchor.schema.IndexOf(right_key);
+    if (lc.ok() && rc.ok()) {
+      same_type = left_anchor.schema.column(*lc).type ==
+                  right_anchor.schema.column(*rc).type;
+    }
+    plan.co_located =
+        right_seg.empty() ||
+        (same_type &&
+         left_seg.size() == 1 && left_seg.front() == ToLower(left_key) &&
+         right_seg.size() == 1 && right_seg.front() == ToLower(right_key));
+  }
+  return plan;
 }
 
 std::vector<Encoding> ChooseEncodings(const Schema& schema,

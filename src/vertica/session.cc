@@ -272,6 +272,11 @@ Result<QueryResult> Session::Execute(sim::Process& self,
     release_grant();
     return overhead;
   }
+  // Workload capture: scans dispatched below record their query shapes;
+  // stamp every entry this statement produced with its total duration
+  // once it finishes (the designer weighs shapes by what they cost).
+  const int64_t first_request_id = db_->next_query_request_id();
+  const double statement_started = db_->engine()->now();
   Result<QueryResult> result = std::visit(
       [&](auto&& stmt) -> Result<QueryResult> {
         using T = std::decay_t<decltype(stmt)>;
@@ -303,6 +308,8 @@ Result<QueryResult> Session::Execute(sim::Process& self,
       },
       statement);
   release_grant();
+  db_->StampQueryDurations(first_request_id,
+                           db_->engine()->now() - statement_started);
   // The node died while the statement was in flight: whatever the server
   // did (including a commit that reached durability just before the
   // kill), the client never hears the outcome.
@@ -634,7 +641,53 @@ Result<QueryResult> Session::ExecExplain(sim::Process& self,
   emit(StrCat("EXPLAIN SELECT FROM ",
               select.from.empty() ? "<constants>" : select.from));
   std::string from = ToLower(select.from);
-  if (select.from.empty() || !select.join.empty() ||
+  auto fmt_cost = [](double cost) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4f", cost);
+    return std::string(buf);
+  };
+  auto fmt_candidates = [&fmt_cost](
+      const std::vector<std::pair<std::string, double>>& candidates) {
+    std::string cands;
+    for (const auto& [cand_name, cand_cost] : candidates) {
+      if (!cands.empty()) cands += ", ";
+      cands += StrCat(cand_name, "=", fmt_cost(cand_cost));
+    }
+    return cands;
+  };
+  if (!select.join.empty()) {
+    // Typed forced-hint errors (per-table projection, forced merge)
+    // propagate so EXPLAIN fails the same way execution would.
+    FABRIC_ASSIGN_OR_RETURN(std::optional<JoinQueryPlan> planned,
+                            PlanJoinQuery(select));
+    if (!planned.has_value()) {
+      emit("  join: n/a (not a plannable base-table join)");
+      return result;
+    }
+    const JoinQueryPlan& jq = *planned;
+    emit(StrCat("  join strategy: ", jq.plan.strategy(), " join",
+                jq.plan.co_located ? " (co-located)" : ""));
+    emit(StrCat("  join key: ", select.from, ".",
+                jq.left_table->schema.column(jq.left_key).name, " = ",
+                select.join, ".",
+                jq.right_table->schema.column(jq.right_key).name));
+    auto side_name = [](const projections::PlanChoice& pick) {
+      return pick.projection == nullptr ? std::string("super")
+                                        : pick.projection->name;
+    };
+    emit(StrCat("  projection(", select.from, "): ",
+                side_name(jq.plan.left),
+                " (cost=", fmt_cost(jq.plan.left.cost), ")"));
+    emit(StrCat("  projection(", select.join, "): ",
+                side_name(jq.plan.right),
+                " (cost=", fmt_cost(jq.plan.right.cost), ")"));
+    emit(StrCat("  candidates(", select.from, "): ",
+                fmt_candidates(jq.left_candidates)));
+    emit(StrCat("  candidates(", select.join, "): ",
+                fmt_candidates(jq.right_candidates)));
+    return result;
+  }
+  if (select.from.empty() ||
       StartsWith(from, "v_catalog.") || StartsWith(from, "v_monitor.") ||
       db_->catalog().HasView(select.from)) {
     emit("  projection: n/a (not a base-table scan)");
@@ -1202,14 +1255,13 @@ Result<QueryResult> Session::ExecDelete(sim::Process& self,
 
 // --------------------------------------------------------------- SELECT
 
-namespace {
-
 // Memory-budget context for the aggregate path: when the admission
 // grant caps the hash table, overflowing groups spill to partitioned
 // runs on the node's local disk (grace hash) and merge back at the end.
 // The callbacks charge the simulated disk; results stay byte-identical
 // to the unbudgeted run because every partial is mergeable and the final
-// collection re-sorts by encoded group key.
+// collection re-sorts by encoded group key. Declared in session.h so the
+// scan/join helpers can thread it through as a parameter.
 struct SpillEnv {
   double budget_bytes = 0;  // 0 = unlimited (no spilling)
   int partitions = 8;
@@ -1217,6 +1269,8 @@ struct SpillEnv {
   std::function<Status(double bytes)> charge_read;
   std::function<void(double bytes, int64_t groups)> on_spill;
 };
+
+namespace {
 
 // Estimated resident size of one hash-table entry (key + partial
 // states); deliberately coarse — the budget is a simulation knob, not a
@@ -1828,6 +1882,69 @@ Result<QueryResult> Session::SystemTable(
     }
     return result;
   }
+  if (lower_name == "v_monitor.query_requests") {
+    result.schema = Schema({{"request_id", DataType::kInt64},
+                            {"table_name", DataType::kVarchar},
+                            {"join_table", DataType::kVarchar},
+                            {"referenced_columns", DataType::kVarchar},
+                            {"group_by_columns", DataType::kVarchar},
+                            {"join_key_columns", DataType::kVarchar},
+                            {"aggregate", DataType::kBool},
+                            {"pool_name", DataType::kVarchar},
+                            {"strategy", DataType::kVarchar},
+                            {"started_at", DataType::kFloat64},
+                            {"duration_seconds", DataType::kFloat64}});
+    auto csv = [](const std::vector<std::string>& names) {
+      std::string out;
+      for (const std::string& name : names) {
+        if (!out.empty()) out += ",";
+        out += name;
+      }
+      return out;
+    };
+    for (const QueryRequest& request : db_->query_requests()) {
+      result.rows.push_back(
+          {Value::Int64(request.request_id), Value::Varchar(request.table),
+           Value::Varchar(request.join_table),
+           Value::Varchar(csv(request.referenced)),
+           Value::Varchar(csv(request.group_by)),
+           Value::Varchar(csv(request.join_keys)),
+           Value::Bool(request.aggregate), Value::Varchar(request.pool),
+           Value::Varchar(request.strategy),
+           Value::Float64(request.started_at),
+           Value::Float64(request.duration)});
+    }
+    return result;
+  }
+  if (lower_name == "v_monitor.design_proposals") {
+    result.schema = Schema({{"proposal_name", DataType::kVarchar},
+                            {"anchor_table", DataType::kVarchar},
+                            {"columns", DataType::kVarchar},
+                            {"sort_columns", DataType::kVarchar},
+                            {"segment_columns", DataType::kVarchar},
+                            {"benefit", DataType::kFloat64},
+                            {"storage_bytes", DataType::kFloat64},
+                            {"ddl", DataType::kVarchar}});
+    auto csv = [](const std::vector<std::string>& names) {
+      std::string out;
+      for (const std::string& name : names) {
+        if (!out.empty()) out += ",";
+        out += name;
+      }
+      return out;
+    };
+    for (const designer::Proposal& proposal : db_->design_proposals()) {
+      result.rows.push_back(
+          {Value::Varchar(proposal.name), Value::Varchar(proposal.anchor),
+           Value::Varchar(csv(proposal.columns)),
+           Value::Varchar(csv(proposal.sort_columns)),
+           Value::Varchar(csv(proposal.segment_columns)),
+           Value::Float64(proposal.benefit),
+           Value::Float64(proposal.storage_bytes),
+           Value::Varchar(proposal.ddl)});
+    }
+    return result;
+  }
   return NotFoundError(
       StrCat("unknown system table '", lower_name, "'"));
 }
@@ -1893,112 +2010,13 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
 
   std::string from = ToLower(select.from);
 
-  // INNER JOIN: execute both sides as internal distributed scans, join
-  // at the initiator (hash join on simple column equality, nested-loop
-  // otherwise), then run the outer pipeline over the combined rows. Views
-  // over joins are what let V2S push join processing into Vertica
-  // (Section 3.1.1).
+  // INNER JOIN: a planned merge/hash join when both sides are base
+  // tables with a simple equality ON (ExecJoin), with a recursive
+  // scan-then-join fallback for views, system tables and complex ON
+  // clauses. Views over joins are what let V2S push join processing into
+  // Vertica (Section 3.1.1).
   if (!select.join.empty()) {
-    auto scan_side = [&](const std::string& table)
-        -> Result<QueryResult> {
-      sql::SelectStmt sub;
-      sql::SelectItem star;
-      star.star = true;
-      sub.items.push_back(std::move(star));
-      sub.from = table;
-      sub.at_epoch = select.at_epoch;
-      return ExecSelect(self, sub, /*to_client=*/false, view_depth + 1);
-    };
-    FABRIC_ASSIGN_OR_RETURN(QueryResult left, scan_side(select.from));
-    FABRIC_ASSIGN_OR_RETURN(QueryResult right, scan_side(select.join));
-
-    // Combined schema: left columns, then right columns; a right column
-    // whose name collides is exposed as <join>_<name>.
-    std::vector<storage::ColumnDef> combined_columns =
-        left.schema.columns();
-    for (const storage::ColumnDef& column : right.schema.columns()) {
-      storage::ColumnDef renamed = column;
-      if (left.schema.Contains(column.name)) {
-        renamed.name = StrCat(select.join, "_", column.name);
-      }
-      combined_columns.push_back(renamed);
-    }
-    Schema combined(std::move(combined_columns));
-
-    // Join CPU on the initiator: hash-join-shaped cost.
-    DataProfile join_cost;
-    join_cost.rows = static_cast<double>(left.rows.size()) +
-                     static_cast<double>(right.rows.size());
-    join_cost.ScaleBy(cost.data_scale);
-    FABRIC_RETURN_IF_ERROR(net::RunCpu(self, db_->network(),
-                                       db_->node_host(node_),
-                                       join_cost.rows *
-                                           cost.scan_cpu_per_row * 2));
-
-    // Hash join when ON is `leftcol = rightcol`; nested loop otherwise.
-    std::vector<Row> joined;
-    const sql::Expr& on = *select.join_on;
-    int left_key = -1, right_key = -1;
-    if (on.kind == sql::Expr::Kind::kBinary && on.op == "=" &&
-        on.args[0]->kind == sql::Expr::Kind::kColumnRef &&
-        on.args[1]->kind == sql::Expr::Kind::kColumnRef) {
-      auto l = left.schema.IndexOf(on.args[0]->column);
-      auto r = right.schema.IndexOf(on.args[1]->column);
-      if (!l.ok() || !r.ok()) {
-        // Reversed spelling: right.col = left.col.
-        l = left.schema.IndexOf(on.args[1]->column);
-        r = right.schema.IndexOf(on.args[0]->column);
-      }
-      if (l.ok() && r.ok()) {
-        left_key = *l;
-        right_key = *r;
-      }
-    }
-    if (left_key >= 0) {
-      std::multimap<std::string, const Row*> build;
-      for (const Row& row : right.rows) {
-        if (row[right_key].is_null()) continue;  // NULL never joins
-        build.emplace(row[right_key].ToDisplayString(), &row);
-      }
-      for (const Row& lrow : left.rows) {
-        if (lrow[left_key].is_null()) continue;
-        auto [begin, end] =
-            build.equal_range(lrow[left_key].ToDisplayString());
-        for (auto it = begin; it != end; ++it) {
-          Row out = lrow;
-          out.insert(out.end(), it->second->begin(), it->second->end());
-          joined.push_back(std::move(out));
-        }
-      }
-    } else {
-      for (const Row& lrow : left.rows) {
-        for (const Row& rrow : right.rows) {
-          Row out = lrow;
-          out.insert(out.end(), rrow.begin(), rrow.end());
-          sql::EvalContext context;
-          context.schema = &combined;
-          context.row = &out;
-          context.udx = udx;
-          FABRIC_ASSIGN_OR_RETURN(bool match,
-                                  sql::EvalPredicate(on, context));
-          if (match) joined.push_back(std::move(out));
-        }
-      }
-    }
-
-    FABRIC_ASSIGN_OR_RETURN(QueryResult result,
-                            LocalSelect(joined, combined, select, udx,
-                                        agg_udx, db_->pipeline_compiler(),
-                                        spill));
-    if (to_client) {
-      DataProfile profile = ProfileRows(result.rows);
-      profile.ScaleBy(cost.data_scale);
-      double wire = profile.JdbcWireBytes(cost);
-      double cap = profile.StreamRateCap(cost.result_stream_bytes_per_sec,
-                                         cost.result_row_overhead, wire);
-      FABRIC_RETURN_IF_ERROR(StreamToClient(self, wire, cap));
-    }
-    return result;
+    return ExecJoin(self, select, to_client, view_depth, spill);
   }
 
   // System tables.
@@ -2055,31 +2073,88 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   // Base table: distributed scan.
   FABRIC_ASSIGN_OR_RETURN(const TableDef* def,
                           db_->catalog().GetTable(select.from));
-  FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * table_storage,
-                          db_->GetStorage(select.from));
 
   // Projection-aware planning: cost every eligible physical layout of
   // the anchor and scan the cheapest (the super projection is the 1.0
-  // baseline). The test hook pins the choice when set.
+  // baseline). The test hooks pin the choice when set.
   projections::QueryShape shape = projections::ShapeOf(select, def->schema);
-  projections::PlanChoice plan;
+  FABRIC_ASSIGN_OR_RETURN(projections::PlanChoice plan,
+                          ResolveScanPlan(*def, shape));
+
+  // Workload capture for the designer (v_monitor.query_requests).
+  QueryRequest request;
+  request.table = ToLower(def->name);
+  if (shape.star) {
+    for (int c = 0; c < def->schema.num_columns(); ++c) {
+      request.referenced.push_back(ToLower(def->schema.column(c).name));
+    }
+  } else {
+    request.referenced = shape.referenced;
+  }
+  request.group_by = shape.group_by;
+  request.aggregate = shape.aggregate;
+  request.pool = resource_pool_;
+  db_->RecordQueryRequest(std::move(request));
+
+  return ExecScanSelect(self, select, def, plan, to_client, spill);
+}
+
+Result<projections::PlanChoice> Session::ResolveScanPlan(
+    const TableDef& def, const projections::QueryShape& shape) const {
+  auto hint = forced_table_projections_.find(ToLower(def.name));
+  if (hint != forced_table_projections_.end()) {
+    projections::PlanChoice plan;  // defaults = the super projection
+    if (hint->second.empty()) {
+      plan.reason = "forced super projection (per-table hint)";
+      return plan;
+    }
+    Result<const ProjectionDef*> forced =
+        db_->catalog().GetProjection(hint->second);
+    if (!forced.ok() || !EqualsIgnoreCase((*forced)->anchor, def.name) ||
+        !projections::Eligible(def, **forced, shape)) {
+      return FailedPreconditionError(
+          StrCat(kForcedProjectionToken, ": projection '", hint->second,
+                 "' cannot serve this query over table '", def.name, "'"));
+    }
+    projections::CostAttrs attrs;
+    plan.projection = *forced;
+    plan.cost = projections::CostProjection(def, *forced, shape, &attrs);
+    plan.sorted_group_by = attrs.sorted_group_by;
+    plan.sorted_join = attrs.sorted_join;
+    plan.reason = StrCat("forced by per-table hint (", hint->second, ")");
+    return plan;
+  }
   if (forced_projection_.has_value()) {
-    // "" (or an ineligible / wrongly-anchored name) pins the super
-    // projection: `plan` keeps its defaults.
+    // Legacy session-wide hint: "" (or an ineligible / wrongly-anchored
+    // name) silently pins the super projection.
+    projections::PlanChoice plan;
     if (!forced_projection_->empty()) {
       Result<const ProjectionDef*> forced =
           db_->catalog().GetProjection(*forced_projection_);
-      if (forced.ok() && (*forced)->anchor == def->name &&
-          projections::Eligible(*def, **forced, shape)) {
+      if (forced.ok() && (*forced)->anchor == def.name &&
+          projections::Eligible(def, **forced, shape)) {
+        projections::CostAttrs attrs;
         plan.projection = *forced;
-        plan.cost = projections::CostProjection(*def, *forced, shape,
-                                                &plan.sorted_group_by);
+        plan.cost = projections::CostProjection(def, *forced, shape, &attrs);
+        plan.sorted_group_by = attrs.sorted_group_by;
+        plan.sorted_join = attrs.sorted_join;
         plan.reason = "forced by session hint";
       }
     }
-  } else {
-    plan = projections::ChoosePlan(db_->catalog(), *def, shape);
+    return plan;
   }
+  return projections::ChoosePlan(db_->catalog(), def, shape);
+}
+
+Result<QueryResult> Session::ExecScanSelect(
+    sim::Process& self, const sql::SelectStmt& select, const TableDef* def,
+    const projections::PlanChoice& plan, bool to_client,
+    const SpillEnv* spill) {
+  const CostModel& cost = db_->cost();
+  const sql::UdxResolver* udx = &db_->udx_resolver();
+  const sql::AggregateUdxResolver* agg_udx = &db_->aggregate_udx_resolver();
+  FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * table_storage,
+                          db_->GetStorage(select.from));
 
   // Everything below scans through the chosen physical layout: its
   // schema, its segmentation, its segment stores.
@@ -2495,6 +2570,796 @@ Result<QueryResult> Session::ExecSelect(sim::Process& self,
   }();
   return LocalSelect(gathered, schema, local, udx, agg_udx,
                      db_->pipeline_compiler(), spill);
+}
+
+Result<std::optional<JoinQueryPlan>> Session::PlanJoinQuery(
+    const sql::SelectStmt& select) const {
+  std::optional<JoinQueryPlan> none;
+  if (select.from.empty() || select.join.empty() ||
+      select.join_on == nullptr) {
+    return none;
+  }
+  const std::string from = ToLower(select.from);
+  const std::string join = ToLower(select.join);
+  if (from == join || StartsWith(from, "v_catalog.") ||
+      StartsWith(from, "v_monitor.") || StartsWith(join, "v_catalog.") ||
+      StartsWith(join, "v_monitor.") ||
+      db_->catalog().HasView(select.from) ||
+      db_->catalog().HasView(select.join)) {
+    return none;
+  }
+  Result<const TableDef*> left_or = db_->catalog().GetTable(select.from);
+  Result<const TableDef*> right_or = db_->catalog().GetTable(select.join);
+  if (!left_or.ok() || !right_or.ok()) return none;  // legacy path reports
+  const TableDef* left = *left_or;
+  const TableDef* right = *right_or;
+
+  // ON must be a simple column equality resolving one column per anchor
+  // (either spelling); anything else joins through the legacy
+  // nested-loop path.
+  const sql::Expr& on = *select.join_on;
+  int lk = -1;
+  int rk = -1;
+  if (on.kind == sql::Expr::Kind::kBinary && on.op == "=" &&
+      on.args[0]->kind == sql::Expr::Kind::kColumnRef &&
+      on.args[1]->kind == sql::Expr::Kind::kColumnRef) {
+    auto l = left->schema.IndexOf(on.args[0]->column);
+    auto r = right->schema.IndexOf(on.args[1]->column);
+    if (!l.ok() || !r.ok()) {
+      l = left->schema.IndexOf(on.args[1]->column);
+      r = right->schema.IndexOf(on.args[0]->column);
+    }
+    if (l.ok() && r.ok()) {
+      lk = *l;
+      rk = *r;
+    }
+  }
+  if (lk < 0 || rk < 0) return none;
+
+  JoinQueryPlan jq;
+  jq.left_table = left;
+  jq.right_table = right;
+  jq.left_key = lk;
+  jq.right_key = rk;
+
+  // Column pruning: resolve every outer reference against the combined
+  // exposed schema (left anchor columns, then right anchor columns with
+  // collisions renamed <join>_<name>), then map each back to its side.
+  // Renames compare against the full left anchor schema — not the pruned
+  // subset — so the exposed names never depend on the projection choice.
+  const int left_n = left->schema.num_columns();
+  std::vector<storage::ColumnDef> combined_columns = left->schema.columns();
+  for (const storage::ColumnDef& column : right->schema.columns()) {
+    storage::ColumnDef renamed = column;
+    if (left->schema.Contains(column.name)) {
+      renamed.name = StrCat(select.join, "_", column.name);
+    }
+    combined_columns.push_back(renamed);
+  }
+  Schema combined(std::move(combined_columns));
+  std::set<int> refs;
+  bool star = false;
+  for (const sql::SelectItem& item : select.items) {
+    if (item.star) {
+      star = true;
+      continue;
+    }
+    if (!CollectColumns(*item.expr, combined, &refs).ok()) return none;
+  }
+  if (select.where != nullptr &&
+      !CollectColumns(*select.where, combined, &refs).ok()) {
+    return none;
+  }
+  for (const std::string& g : select.group_by) {
+    auto idx = combined.IndexOf(g);
+    if (!idx.ok()) return none;
+    refs.insert(*idx);
+  }
+  for (const sql::OrderItem& item : select.order_by) {
+    auto idx = combined.IndexOf(item.column);
+    if (!idx.ok()) return none;
+    refs.insert(*idx);
+  }
+  if (star) {
+    for (int c = 0; c < combined.num_columns(); ++c) refs.insert(c);
+  }
+  refs.insert(lk);
+  refs.insert(left_n + rk);
+  for (int c : refs) {
+    if (c < left_n) {
+      jq.left_needed.push_back(c);
+    } else {
+      jq.right_needed.push_back(c - left_n);
+    }
+  }
+
+  // Per-side shapes carry explicit column lists (never star) so narrow
+  // sorted projections stay eligible for wide tables.
+  auto side_shape = [&select](const TableDef& t,
+                              const std::vector<int>& needed, int key) {
+    projections::QueryShape shape;
+    for (int c : needed) {
+      shape.referenced.push_back(ToLower(t.schema.column(c).name));
+    }
+    shape.join_keys.push_back(ToLower(t.schema.column(key).name));
+    shape.at_epoch = select.at_epoch;
+    return shape;
+  };
+  projections::QueryShape left_shape = side_shape(*left, jq.left_needed, lk);
+  projections::QueryShape right_shape =
+      side_shape(*right, jq.right_needed, rk);
+
+  // Per side: the cheapest plan overall plus the cheapest merge-capable
+  // plan (sorted on the join key). When both sides have a merge-capable
+  // layout the merge join wins outright — its per-row rate is far below
+  // the hash rate, so a slightly wider sorted projection still beats the
+  // narrowest unsorted one. A forced hint pins the side to one layout.
+  struct SidePlan {
+    projections::PlanChoice overall;
+    std::optional<projections::PlanChoice> sorted;
+  };
+  auto plan_side = [this](const TableDef& t,
+                          const projections::QueryShape& shape,
+                          std::vector<std::pair<std::string, double>>* cands)
+      -> Result<SidePlan> {
+    SidePlan side;
+    side.overall = projections::ChoosePlan(db_->catalog(), t, shape, cands);
+    const bool forced =
+        forced_table_projections_.count(ToLower(t.name)) > 0 ||
+        forced_projection_.has_value();
+    if (forced) {
+      FABRIC_ASSIGN_OR_RETURN(side.overall, ResolveScanPlan(t, shape));
+      if (side.overall.sorted_join) side.sorted = side.overall;
+      return side;
+    }
+    side.sorted = projections::ChooseSortedJoinPlan(db_->catalog(), t, shape);
+    return side;
+  };
+  FABRIC_ASSIGN_OR_RETURN(SidePlan left_side,
+                          plan_side(*left, left_shape, &jq.left_candidates));
+  FABRIC_ASSIGN_OR_RETURN(
+      SidePlan right_side,
+      plan_side(*right, right_shape, &jq.right_candidates));
+
+  bool want_merge =
+      left_side.sorted.has_value() && right_side.sorted.has_value();
+  if (forced_join_strategy_.has_value()) {
+    if (*forced_join_strategy_ == "hash") {
+      want_merge = false;
+    } else if (*forced_join_strategy_ == "merge") {
+      if (!want_merge) {
+        return FailedPreconditionError(StrCat(
+            kForcedJoinStrategyToken, ": no merge-capable projection pair for ",
+            select.from, " JOIN ", select.join,
+            " (both sides must scan a layout sorted on the join key)"));
+      }
+    } else {
+      return InvalidArgumentError(StrCat("unknown forced join strategy '",
+                                         *forced_join_strategy_, "'"));
+    }
+  }
+  const projections::PlanChoice& lpick =
+      want_merge ? *left_side.sorted : left_side.overall;
+  const projections::PlanChoice& rpick =
+      want_merge ? *right_side.sorted : right_side.overall;
+  jq.plan = projections::ClassifyJoin(*left, lpick,
+                                      left_shape.join_keys.front(), *right,
+                                      rpick, right_shape.join_keys.front());
+  if (!want_merge) {
+    jq.plan.merge = false;
+    jq.plan.co_located = false;
+  }
+  return std::optional<JoinQueryPlan>(std::move(jq));
+}
+
+Result<QueryResult> Session::ExecJoin(sim::Process& self,
+                                      const sql::SelectStmt& select,
+                                      bool to_client, int view_depth,
+                                      const SpillEnv* spill) {
+  const CostModel& cost = db_->cost();
+  const sql::UdxResolver* udx = &db_->udx_resolver();
+  const sql::AggregateUdxResolver* agg_udx = &db_->aggregate_udx_resolver();
+
+  FABRIC_ASSIGN_OR_RETURN(std::optional<JoinQueryPlan> planned,
+                          PlanJoinQuery(select));
+  if (!planned.has_value()) {
+    // Legacy path (views, system tables, complex ON): execute both sides
+    // as internal distributed scans, join at the initiator (hash join on
+    // simple column equality, nested-loop otherwise), then run the outer
+    // pipeline over the combined rows. Views over joins are what let V2S
+    // push join processing into Vertica (Section 3.1.1).
+    auto scan_side = [&](const std::string& table) -> Result<QueryResult> {
+      sql::SelectStmt sub;
+      sql::SelectItem star;
+      star.star = true;
+      sub.items.push_back(std::move(star));
+      sub.from = table;
+      sub.at_epoch = select.at_epoch;
+      return ExecSelect(self, sub, /*to_client=*/false, view_depth + 1);
+    };
+    FABRIC_ASSIGN_OR_RETURN(QueryResult left, scan_side(select.from));
+    FABRIC_ASSIGN_OR_RETURN(QueryResult right, scan_side(select.join));
+
+    // Combined schema: left columns, then right columns; a right column
+    // whose name collides is exposed as <join>_<name>.
+    std::vector<storage::ColumnDef> combined_columns =
+        left.schema.columns();
+    for (const storage::ColumnDef& column : right.schema.columns()) {
+      storage::ColumnDef renamed = column;
+      if (left.schema.Contains(column.name)) {
+        renamed.name = StrCat(select.join, "_", column.name);
+      }
+      combined_columns.push_back(renamed);
+    }
+    Schema combined(std::move(combined_columns));
+
+    // Join CPU on the initiator: hash-join-shaped cost.
+    obs::IncrCounter("vertica.hash_joins");
+    DataProfile join_cost;
+    join_cost.rows = static_cast<double>(left.rows.size()) +
+                     static_cast<double>(right.rows.size());
+    join_cost.ScaleBy(cost.data_scale);
+    FABRIC_RETURN_IF_ERROR(
+        net::RunCpu(self, db_->network(), db_->node_host(node_),
+                    join_cost.rows * cost.join_hash_cpu_per_row));
+
+    // Hash join when ON is `leftcol = rightcol`; nested loop otherwise.
+    std::vector<Row> joined;
+    const sql::Expr& on = *select.join_on;
+    int left_key = -1, right_key = -1;
+    if (on.kind == sql::Expr::Kind::kBinary && on.op == "=" &&
+        on.args[0]->kind == sql::Expr::Kind::kColumnRef &&
+        on.args[1]->kind == sql::Expr::Kind::kColumnRef) {
+      auto l = left.schema.IndexOf(on.args[0]->column);
+      auto r = right.schema.IndexOf(on.args[1]->column);
+      if (!l.ok() || !r.ok()) {
+        // Reversed spelling: right.col = left.col.
+        l = left.schema.IndexOf(on.args[1]->column);
+        r = right.schema.IndexOf(on.args[0]->column);
+      }
+      if (l.ok() && r.ok()) {
+        left_key = *l;
+        right_key = *r;
+      }
+    }
+    if (left_key >= 0) {
+      std::multimap<std::string, const Row*> build;
+      for (const Row& row : right.rows) {
+        if (row[right_key].is_null()) continue;  // NULL never joins
+        build.emplace(row[right_key].ToDisplayString(), &row);
+      }
+      for (const Row& lrow : left.rows) {
+        if (lrow[left_key].is_null()) continue;
+        auto [begin, end] =
+            build.equal_range(lrow[left_key].ToDisplayString());
+        for (auto it = begin; it != end; ++it) {
+          Row out = lrow;
+          out.insert(out.end(), it->second->begin(), it->second->end());
+          joined.push_back(std::move(out));
+        }
+      }
+    } else {
+      for (const Row& lrow : left.rows) {
+        for (const Row& rrow : right.rows) {
+          Row out = lrow;
+          out.insert(out.end(), rrow.begin(), rrow.end());
+          sql::EvalContext context;
+          context.schema = &combined;
+          context.row = &out;
+          context.udx = udx;
+          FABRIC_ASSIGN_OR_RETURN(bool match,
+                                  sql::EvalPredicate(on, context));
+          if (match) joined.push_back(std::move(out));
+        }
+      }
+    }
+
+    FABRIC_ASSIGN_OR_RETURN(QueryResult result,
+                            LocalSelect(joined, combined, select, udx,
+                                        agg_udx, db_->pipeline_compiler(),
+                                        spill));
+    if (to_client) {
+      DataProfile profile = ProfileRows(result.rows);
+      profile.ScaleBy(cost.data_scale);
+      double wire = profile.JdbcWireBytes(cost);
+      double cap = profile.StreamRateCap(cost.result_stream_bytes_per_sec,
+                                         cost.result_row_overhead, wire);
+      FABRIC_RETURN_IF_ERROR(StreamToClient(self, wire, cap));
+    }
+    return result;
+  }
+
+  // Planned path: both sides are base tables scanning a chosen layout.
+  const JoinQueryPlan& jq = *planned;
+  const TableDef& left_t = *jq.left_table;
+  const TableDef& right_t = *jq.right_table;
+  const char* strategy = jq.plan.strategy();
+
+  // Workload capture for the designer: one request per side, so the
+  // designer sees which tables want join-key-sorted layouts.
+  auto record_side = [&](const TableDef& t, const std::vector<int>& needed,
+                         int key, const TableDef& other) {
+    QueryRequest request;
+    request.table = ToLower(t.name);
+    request.join_table = ToLower(other.name);
+    for (int c : needed) {
+      request.referenced.push_back(ToLower(t.schema.column(c).name));
+    }
+    request.join_keys.push_back(ToLower(t.schema.column(key).name));
+    for (const std::string& g : select.group_by) {
+      if (t.schema.Contains(g)) request.group_by.push_back(ToLower(g));
+    }
+    request.aggregate = !select.group_by.empty();
+    request.pool = resource_pool_;
+    request.strategy = strategy;
+    db_->RecordQueryRequest(std::move(request));
+  };
+  record_side(left_t, jq.left_needed, jq.left_key, right_t);
+  record_side(right_t, jq.right_needed, jq.right_key, left_t);
+
+  obs::IncrCounter(jq.plan.merge ? "vertica.merge_joins"
+                                 : "vertica.hash_joins");
+  obs::TraceEvent(
+      "vertica", "join.plan",
+      {{"strategy", strategy},
+       {"left", jq.plan.left.projection != nullptr
+                    ? jq.plan.left.projection->name
+                    : "super"},
+       {"right", jq.plan.right.projection != nullptr
+                     ? jq.plan.right.projection->name
+                     : "super"},
+       {"co_located", jq.plan.co_located ? 1 : 0}});
+
+  // Combined schema over the pruned column sets, in anchor order per
+  // side; the rename rule matches the legacy path (collisions against
+  // the full left anchor schema), so a query sees the same column names
+  // whichever strategy or projection pair serves it.
+  std::vector<storage::ColumnDef> combined_columns;
+  for (int c : jq.left_needed) {
+    combined_columns.push_back(left_t.schema.column(c));
+  }
+  for (int c : jq.right_needed) {
+    storage::ColumnDef renamed = right_t.schema.column(c);
+    if (left_t.schema.Contains(renamed.name)) {
+      renamed.name = StrCat(select.join, "_", renamed.name);
+    }
+    combined_columns.push_back(renamed);
+  }
+  Schema combined(std::move(combined_columns));
+
+  std::vector<Row> joined;
+  if (jq.plan.co_located) {
+    FABRIC_ASSIGN_OR_RETURN(joined, ExecCoLocatedJoin(self, select, jq));
+  } else {
+    // Gathered join: scan each side through its chosen layout (pruned to
+    // the needed columns), then join at the initiator.
+    auto scan_side = [&](const TableDef& t, const std::vector<int>& needed,
+                         const projections::PlanChoice& pick)
+        -> Result<QueryResult> {
+      sql::SelectStmt sub;
+      for (int c : needed) {
+        sql::SelectItem item;
+        item.expr = sql::Expr::ColumnRef(t.schema.column(c).name);
+        sub.items.push_back(std::move(item));
+      }
+      sub.from = t.name;
+      sub.at_epoch = select.at_epoch;
+      return ExecScanSelect(self, sub, &t, pick, /*to_client=*/false,
+                            nullptr);
+    };
+    FABRIC_ASSIGN_OR_RETURN(QueryResult left,
+                            scan_side(left_t, jq.left_needed, jq.plan.left));
+    FABRIC_ASSIGN_OR_RETURN(
+        QueryResult right,
+        scan_side(right_t, jq.right_needed, jq.plan.right));
+
+    // Join-key positions within the pruned rows.
+    const int lpos = static_cast<int>(
+        std::find(jq.left_needed.begin(), jq.left_needed.end(),
+                  jq.left_key) -
+        jq.left_needed.begin());
+    const int rpos = static_cast<int>(
+        std::find(jq.right_needed.begin(), jq.right_needed.end(),
+                  jq.right_key) -
+        jq.right_needed.begin());
+
+    // Join CPU on the initiator: the merge rate skips the hash table
+    // build/probe because both inputs already arrive sorted on the key.
+    DataProfile join_cost;
+    join_cost.rows = static_cast<double>(left.rows.size()) +
+                     static_cast<double>(right.rows.size());
+    join_cost.ScaleBy(cost.data_scale);
+    FABRIC_RETURN_IF_ERROR(net::RunCpu(
+        self, db_->network(), db_->node_host(node_),
+        join_cost.rows * (jq.plan.merge ? cost.join_merge_cpu_per_row
+                                        : cost.join_hash_cpu_per_row)));
+
+    if (jq.plan.merge) {
+      // Merge join: a stable sorted index over the right side replaces
+      // the hash table. Keys compare by display string — the same
+      // equality the hash path uses — and equal right keys keep their
+      // arrival order, so the output is byte-identical to the hash
+      // join's.
+      std::vector<std::pair<std::string, size_t>> index;
+      index.reserve(right.rows.size());
+      for (size_t i = 0; i < right.rows.size(); ++i) {
+        if (right.rows[i][rpos].is_null()) continue;  // NULL never joins
+        index.emplace_back(right.rows[i][rpos].ToDisplayString(), i);
+      }
+      std::stable_sort(index.begin(), index.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.first < b.first;
+                       });
+      for (const Row& lrow : left.rows) {
+        if (lrow[lpos].is_null()) continue;
+        const std::string key = lrow[lpos].ToDisplayString();
+        auto it = std::lower_bound(
+            index.begin(), index.end(), key,
+            [](const auto& entry, const std::string& k) {
+              return entry.first < k;
+            });
+        for (; it != index.end() && it->first == key; ++it) {
+          Row out = lrow;
+          const Row& rrow = right.rows[it->second];
+          out.insert(out.end(), rrow.begin(), rrow.end());
+          joined.push_back(std::move(out));
+        }
+      }
+    } else {
+      std::multimap<std::string, const Row*> build;
+      for (const Row& row : right.rows) {
+        if (row[rpos].is_null()) continue;  // NULL never joins
+        build.emplace(row[rpos].ToDisplayString(), &row);
+      }
+      for (const Row& lrow : left.rows) {
+        if (lrow[lpos].is_null()) continue;
+        auto [begin, end] =
+            build.equal_range(lrow[lpos].ToDisplayString());
+        for (auto it = begin; it != end; ++it) {
+          Row out = lrow;
+          out.insert(out.end(), it->second->begin(), it->second->end());
+          joined.push_back(std::move(out));
+        }
+      }
+    }
+  }
+
+  FABRIC_ASSIGN_OR_RETURN(QueryResult result,
+                          LocalSelect(joined, combined, select, udx,
+                                      agg_udx, db_->pipeline_compiler(),
+                                      spill));
+  if (to_client) {
+    DataProfile profile = ProfileRows(result.rows);
+    profile.ScaleBy(cost.data_scale);
+    double wire = profile.JdbcWireBytes(cost);
+    double cap = profile.StreamRateCap(cost.result_stream_bytes_per_sec,
+                                       cost.result_row_overhead, wire);
+    FABRIC_RETURN_IF_ERROR(StreamToClient(self, wire, cap));
+  }
+  return result;
+}
+
+Result<std::vector<storage::Row>> Session::ExecCoLocatedJoin(
+    sim::Process& self, const sql::SelectStmt& select,
+    const JoinQueryPlan& jq) {
+  const CostModel& cost = db_->cost();
+  const TableDef& left_t = *jq.left_table;
+  const TableDef& right_t = *jq.right_table;
+
+  // Epoch snapshot: same rules as the single-table scan.
+  Epoch snapshot;
+  if (select.at_epoch >= 0) {
+    if (static_cast<Epoch>(select.at_epoch) > db_->current_epoch()) {
+      return OutOfRangeError(
+          StrCat("epoch ", select.at_epoch, " is in the future"));
+    }
+    if (static_cast<Epoch>(select.at_epoch) < db_->ahm()) {
+      return OutOfRangeError(StrCat(
+          "HISTORY_PURGED: epoch ", select.at_epoch,
+          " predates the ancient history mark ", db_->ahm()));
+    }
+    snapshot = static_cast<Epoch>(select.at_epoch);
+  } else {
+    snapshot = db_->current_epoch();
+  }
+  db_->PinEpoch(snapshot);
+  struct EpochPin {
+    Database* db;
+    Epoch epoch;
+    ~EpochPin() { db->UnpinEpoch(epoch); }
+  } epoch_pin{db_, snapshot};
+
+  FABRIC_RETURN_IF_ERROR(db_->PoolAdmit(self, node_));
+  struct PoolGuard {
+    Database* db;
+    int node;
+    ~PoolGuard() { db->PoolRelease(node); }
+  } pool_guard{db_, node_};
+
+  // Storage sets for the chosen layouts.
+  auto side_set = [this](const TableDef& t,
+                         const projections::PlanChoice& pick)
+      -> Result<Database::SegmentSet*> {
+    if (pick.projection != nullptr) {
+      return db_->GetProjectionStorage(pick.projection->name);
+    }
+    FABRIC_ASSIGN_OR_RETURN(Database::TableStorage * table_storage,
+                            db_->GetStorage(t.name));
+    return static_cast<Database::SegmentSet*>(table_storage);
+  };
+  FABRIC_ASSIGN_OR_RETURN(Database::SegmentSet * left_set,
+                          side_set(left_t, jq.plan.left));
+  FABRIC_ASSIGN_OR_RETURN(Database::SegmentSet * right_set,
+                          side_set(right_t, jq.plan.right));
+  for (const projections::PlanChoice* pick :
+       {&jq.plan.left, &jq.plan.right}) {
+    if (pick->projection != nullptr) {
+      obs::IncrCounter(
+          StrCat("vertica.projection_scans{", pick->projection->name, "}"));
+      obs::TraceEvent("vertica", "projection.scan",
+                      {{"projection", pick->projection->name},
+                       {"table", pick->projection->anchor}});
+    }
+  }
+
+  // Map each needed anchor column (and the join key) to its position in
+  // the scanned layout's store schema; rows are emitted in anchor order
+  // so the combined layout matches the gathered path's exactly.
+  auto side_positions = [](const projections::PlanChoice& pick,
+                           const std::vector<int>& needed, int key,
+                           std::vector<int>* positions,
+                           int* key_position) -> Status {
+    auto to_store = [&pick](int anchor_col) -> int {
+      const ProjectionDef* proj = pick.projection;
+      if (proj == nullptr) return anchor_col;
+      for (size_t i = 0; i < proj->columns.size(); ++i) {
+        if (proj->columns[i] == anchor_col) return static_cast<int>(i);
+      }
+      return -1;
+    };
+    for (int c : needed) {
+      int p = to_store(c);
+      if (p < 0) return InternalError("projection missing a needed column");
+      positions->push_back(p);
+    }
+    *key_position = to_store(key);
+    if (*key_position < 0) {
+      return InternalError("projection missing the join key");
+    }
+    return Status::OK();
+  };
+  std::vector<int> left_positions, right_positions;
+  int left_key_position = -1, right_key_position = -1;
+  FABRIC_RETURN_IF_ERROR(side_positions(jq.plan.left, jq.left_needed,
+                                        jq.left_key, &left_positions,
+                                        &left_key_position));
+  FABRIC_RETURN_IF_ERROR(side_positions(jq.plan.right, jq.right_needed,
+                                        jq.right_key, &right_positions,
+                                        &right_key_position));
+
+  const Segmentation& left_seg = jq.plan.left.projection != nullptr
+                                     ? jq.plan.left.projection->segmentation
+                                     : left_t.segmentation;
+  const bool right_replicated =
+      (jq.plan.right.projection != nullptr
+           ? jq.plan.right.projection->segmentation
+           : right_t.segmentation)
+          .unsegmented();
+
+  // One join process per left segment, on whichever node serves that
+  // segment today (primary, or buddy after failover). A replicated right
+  // side is read from the serving node's local copy; a segmented right
+  // side reads the matching segment (equal keys land on equal segment
+  // indices — that is what ClassifyJoin certified).
+  struct JoinTarget {
+    int segment;
+    storage::SegmentStore* left_store;
+    storage::SegmentStore* right_store;
+    int host;        // node whose CPU runs the join
+    int right_host;  // node serving the right store (differs only in
+                     // asymmetric failover states)
+  };
+  std::vector<JoinTarget> targets;
+  if (left_seg.unsegmented()) {
+    targets.push_back(JoinTarget{node_, left_set->per_node[node_].get(),
+                                 right_set->per_node[node_].get(), node_,
+                                 node_});
+  } else {
+    for (int n = 0; n < db_->num_nodes(); ++n) {
+      FABRIC_ASSIGN_OR_RETURN(Database::SegmentCopy left_copy,
+                              db_->ReadCopy(left_set, n));
+      storage::SegmentStore* right_store = nullptr;
+      int right_host = left_copy.host;
+      if (right_replicated) {
+        right_store = right_set->per_node[left_copy.host].get();
+      } else {
+        FABRIC_ASSIGN_OR_RETURN(Database::SegmentCopy right_copy,
+                                db_->ReadCopy(right_set, n));
+        right_store = right_copy.store;
+        right_host = right_copy.host;
+      }
+      if (left_copy.host != n) {
+        obs::TraceEvent("ksafety", "scan.reroute",
+                        {{"table", left_t.name},
+                         {"segment", n},
+                         {"to_node", left_copy.host}});
+        obs::IncrCounter("ksafety.scan_reroutes");
+      }
+      targets.push_back(JoinTarget{n, left_copy.store, right_store,
+                                   left_copy.host, right_host});
+    }
+  }
+
+  // Shared state between the per-segment join processes and the gather
+  // below; heap-allocated so the joins stay valid if this process is
+  // killed mid-query.
+  struct JoinState {
+    Database* db;
+    CostModel cost;
+    Epoch snapshot;
+    TxnId txn;
+    std::vector<int> left_positions, right_positions;
+    int left_key_position, right_key_position;
+    double left_scale, right_scale;
+    int initiator;
+    std::vector<std::vector<Row>> node_rows;
+    std::vector<Status> node_status;
+    int producers_left = 0;
+    std::unique_ptr<sim::Condition> progress;
+  };
+  auto state = std::make_shared<JoinState>();
+  state->db = db_;
+  state->cost = cost;
+  state->snapshot = snapshot;
+  state->txn = txn_;
+  state->left_positions = left_positions;
+  state->right_positions = right_positions;
+  state->left_key_position = left_key_position;
+  state->right_key_position = right_key_position;
+  state->left_scale = db_->EffectiveScale(left_t.name);
+  state->right_scale = db_->EffectiveScale(right_t.name);
+  state->initiator = node_;
+  state->node_rows.resize(db_->num_nodes());
+  state->node_status.assign(db_->num_nodes(), Status::OK());
+  state->producers_left = static_cast<int>(targets.size());
+  state->progress = std::make_unique<sim::Condition>(db_->engine());
+
+  for (const JoinTarget& target : targets) {
+    db_->engine()->Spawn(
+        StrCat("vjoin:", left_t.name, "x", right_t.name, ":n",
+               target.segment),
+        [state, target](sim::Process& proc) {
+          Status status = [&]() -> Status {
+            Database* db = state->db;
+            auto scan = [&](storage::SegmentStore* store,
+                            const std::vector<int>& cost_columns,
+                            storage::ScanStats* stats)
+                -> Result<std::vector<Row>> {
+              storage::ScanSpec spec;
+              spec.as_of = state->snapshot;
+              spec.txn = state->txn;
+              spec.projection = &cost_columns;
+              return store->Scan(spec, stats);
+            };
+            storage::ScanStats left_stats, right_stats;
+            FABRIC_ASSIGN_OR_RETURN(
+                std::vector<Row> left_rows,
+                scan(target.left_store, state->left_positions, &left_stats));
+            FABRIC_ASSIGN_OR_RETURN(std::vector<Row> right_rows,
+                                    scan(target.right_store,
+                                         state->right_positions,
+                                         &right_stats));
+            obs::IncrCounter(
+                "vertica.rows_scanned",
+                left_stats.rows_visible * state->left_scale +
+                    right_stats.rows_visible * state->right_scale);
+
+            // Node-local merge join, emitting combined rows pruned to the
+            // needed columns in anchor order (see ExecJoin): left rows in
+            // storage order, matches in right storage order — the same
+            // order the gathered hash join produces for this segment.
+            std::vector<std::pair<std::string, size_t>> index;
+            index.reserve(right_rows.size());
+            for (size_t i = 0; i < right_rows.size(); ++i) {
+              const Value& key = right_rows[i][state->right_key_position];
+              if (key.is_null()) continue;  // NULL never joins
+              index.emplace_back(key.ToDisplayString(), i);
+            }
+            std::stable_sort(index.begin(), index.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first < b.first;
+                             });
+            std::vector<Row> out;
+            for (const Row& lrow : left_rows) {
+              const Value& key_value = lrow[state->left_key_position];
+              if (key_value.is_null()) continue;
+              const std::string key = key_value.ToDisplayString();
+              auto it = std::lower_bound(
+                  index.begin(), index.end(), key,
+                  [](const auto& entry, const std::string& k) {
+                    return entry.first < k;
+                  });
+              for (; it != index.end() && it->first == key; ++it) {
+                const Row& rrow = right_rows[it->second];
+                Row row;
+                row.reserve(state->left_positions.size() +
+                            state->right_positions.size());
+                for (int p : state->left_positions) row.push_back(lrow[p]);
+                for (int p : state->right_positions) row.push_back(rrow[p]);
+                out.push_back(std::move(row));
+              }
+            }
+
+            // Virtual-time cost: both scans' bytes and container opens
+            // plus the merge-join CPU per input row, all on the serving
+            // node. Only the join output travels to the initiator.
+            auto scanned_of = [](const storage::ScanStats& stats,
+                                 double scale) {
+              DataProfile scanned = stats.visible_profile;
+              DataProfile out_cost = stats.output_profile;
+              out_cost.rows = 0;  // passing rows were already counted
+              scanned.Add(out_cost);
+              scanned.ScaleBy(scale);
+              return scanned;
+            };
+            DataProfile scanned = scanned_of(left_stats, state->left_scale);
+            scanned.Add(scanned_of(right_stats, state->right_scale));
+            double cpu =
+                scanned.ScanCpu(state->cost) +
+                static_cast<double>(left_stats.containers_scanned +
+                                    right_stats.containers_scanned) *
+                    state->cost.ros_container_open_cpu +
+                (static_cast<double>(left_rows.size()) * state->left_scale +
+                 static_cast<double>(right_rows.size()) *
+                     state->right_scale) *
+                    state->cost.join_merge_cpu_per_row;
+            const net::Host& host = db->node_host(target.host);
+            FABRIC_RETURN_IF_ERROR(
+                net::RunCpu(proc, db->network(), host, cpu));
+            if (target.right_host != target.host) {
+              // Asymmetric failover: the right segment is served from a
+              // different node, so its scan output crosses the cluster.
+              DataProfile moved = right_stats.output_profile;
+              moved.ScaleBy(state->right_scale);
+              if (moved.raw_bytes > 0) {
+                const net::Host& rhost = db->node_host(target.right_host);
+                FABRIC_RETURN_IF_ERROR(db->network()->Transfer(
+                    proc, {rhost.int_egress, host.int_ingress},
+                    moved.raw_bytes));
+              }
+            }
+            if (target.host != state->initiator) {
+              DataProfile produced = ProfileRows(out);
+              produced.ScaleBy(state->cost.data_scale);
+              if (produced.raw_bytes > 0) {
+                const net::Host& initiator =
+                    db->node_host(state->initiator);
+                FABRIC_RETURN_IF_ERROR(db->network()->Transfer(
+                    proc, {host.int_egress, initiator.int_ingress},
+                    produced.raw_bytes));
+              }
+            }
+            state->node_rows[target.segment] = std::move(out);
+            return Status::OK();
+          }();
+          state->node_status[target.segment] = status;
+          --state->producers_left;
+          state->progress->NotifyAll();
+        });
+  }
+
+  FABRIC_RETURN_IF_ERROR(state->progress->WaitUntil(
+      self, [&] { return state->producers_left == 0; }));
+  for (const JoinTarget& target : targets) {
+    FABRIC_RETURN_IF_ERROR(state->node_status[target.segment]);
+  }
+  std::vector<Row> joined;
+  for (const JoinTarget& target : targets) {
+    for (Row& row : state->node_rows[target.segment]) {
+      joined.push_back(std::move(row));
+    }
+  }
+  return joined;
 }
 
 Status Session::StreamToClient(sim::Process& self, double wire_bytes,

@@ -1,16 +1,50 @@
 #ifndef FABRIC_VERTICA_SESSION_H_
 #define FABRIC_VERTICA_SESSION_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "common/result.h"
 #include "vertica/database.h"
+#include "vertica/projections/planner.h"
 #include "vertica/sql_ast.h"
 
 namespace fabric::vertica {
+
+struct SpillEnv;
+
+// Stable message prefix of the FAILED_PRECONDITION error a per-table
+// forced-projection hint raises when the named projection cannot serve
+// the query (unknown, wrong anchor, or ineligible for the shape).
+inline constexpr char kForcedProjectionToken[] =
+    "FORCED_PROJECTION_INELIGIBLE";
+
+// Stable message prefix of the FAILED_PRECONDITION error a forced
+// "merge" join strategy raises when the two sides' layouts cannot feed a
+// merge join (either side lacks a projection sorted on its join key).
+inline constexpr char kForcedJoinStrategyToken[] =
+    "FORCED_JOIN_STRATEGY_UNAVAILABLE";
+
+// A fully planned two-table INNER JOIN (both sides base tables, simple
+// column-equality ON): the join keys, the anchor columns each side must
+// scan, the chosen layout per side and the join strategy they imply.
+// Shared by the executor and EXPLAIN.
+struct JoinQueryPlan {
+  const TableDef* left_table = nullptr;
+  const TableDef* right_table = nullptr;
+  int left_key = -1;   // join-key column index in each anchor schema
+  int right_key = -1;
+  std::vector<int> left_needed;   // anchor columns each side scans,
+  std::vector<int> right_needed;  // ascending, join key included
+  projections::JoinPlan plan;
+  std::vector<std::pair<std::string, double>> left_candidates;
+  std::vector<std::pair<std::string, double>> right_candidates;
+};
 
 // One client connection to a Vertica node (the JDBC-connection analogue
 // the connector tasks hold). Sessions execute SQL with full cost
@@ -84,9 +118,32 @@ class Session {
 
   // Test hook pinning the planner's projection choice for base-table
   // scans: nullopt = automatic (default), "" = force the super
-  // projection, a name = force that projection when eligible.
+  // projection, a name = force that projection when eligible (silently
+  // falling back to the super projection otherwise — legacy semantics).
   void set_forced_projection(std::optional<std::string> name) {
     forced_projection_ = std::move(name);
+  }
+
+  // Per-table variant for joins: pins the projection used whenever
+  // `table` is scanned ("" = the super projection). Unlike the legacy
+  // session-wide hint, an unknown/ineligible name fails the statement
+  // with a FAILED_PRECONDITION error prefixed kForcedProjectionToken.
+  // Takes precedence over the session-wide hint for that table.
+  void set_forced_projection(const std::string& table,
+                             const std::string& projection) {
+    forced_table_projections_[ToLower(table)] = projection;
+  }
+  void clear_forced_projections() {
+    forced_table_projections_.clear();
+    forced_projection_.reset();
+  }
+
+  // Test hook pinning the join strategy: nullopt = automatic (default),
+  // "hash" = always allowed, "merge" = fail the statement with a
+  // FAILED_PRECONDITION error prefixed kForcedJoinStrategyToken when the
+  // sides' layouts cannot feed a merge join.
+  void set_forced_join_strategy(std::optional<std::string> strategy) {
+    forced_join_strategy_ = std::move(strategy);
   }
 
   // Internal: executes a parsed SELECT without streaming to the client
@@ -105,6 +162,37 @@ class Session {
   Result<QueryResult> ExecSelect(sim::Process& self,
                                  const sql::SelectStmt& select,
                                  bool to_client, int view_depth);
+  // The INNER JOIN arm of ExecSelect: plans both sides (merge join on
+  // co-sorted projections, hash join otherwise), falls back to the
+  // recursive scan-and-hash path for views / system tables / complex ON.
+  Result<QueryResult> ExecJoin(sim::Process& self,
+                               const sql::SelectStmt& select, bool to_client,
+                               int view_depth, const SpillEnv* spill);
+  // Distributed scan of one base table through an already-chosen layout
+  // (the tail of ExecSelect; also used for each side of a planned join).
+  Result<QueryResult> ExecScanSelect(sim::Process& self,
+                                     const sql::SelectStmt& select,
+                                     const TableDef* def,
+                                     const projections::PlanChoice& plan,
+                                     bool to_client, const SpillEnv* spill);
+  // Node-local merge join of co-located layouts: every node joins its
+  // own segments of both sides and ships only the join output to the
+  // initiator. Returns combined rows ordered by (segment, left storage
+  // order) — byte-identical to the gathered hash join's row order.
+  Result<std::vector<storage::Row>> ExecCoLocatedJoin(
+      sim::Process& self, const sql::SelectStmt& select,
+      const JoinQueryPlan& jq);
+  // Resolves the physical layout for one base-table scan: the per-table
+  // forced hint first (typed error when it cannot serve the shape), then
+  // the legacy session-wide hint (silent fallback), then the cost-based
+  // planner.
+  Result<projections::PlanChoice> ResolveScanPlan(
+      const TableDef& def, const projections::QueryShape& shape) const;
+  // Plans a two-table INNER JOIN. nullopt = not plannable here (a view /
+  // system-table side, self join, or non-equality ON) — the caller uses
+  // the legacy recursive path. Typed forced-hint errors propagate.
+  Result<std::optional<JoinQueryPlan>> PlanJoinQuery(
+      const sql::SelectStmt& select) const;
   Result<QueryResult> ExecCreateTable(sim::Process& self,
                                       const sql::CreateTableStmt& stmt);
   Result<QueryResult> ExecCreateView(sim::Process& self,
@@ -153,6 +241,8 @@ class Session {
   const net::Host* client_;  // may be null (console)
   storage::TxnId txn_ = 0;   // open explicit transaction
   std::optional<std::string> forced_projection_;
+  std::map<std::string, std::string> forced_table_projections_;
+  std::optional<std::string> forced_join_strategy_;
   std::string resource_pool_;
   double memory_request_ = 0;
   wm::Grant wm_grant_;

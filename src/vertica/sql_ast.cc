@@ -139,7 +139,11 @@ std::string SelectStmt::ToSql() const {
   }
   if (!from.empty()) out += StrCat(" FROM ", from);
   if (!join.empty()) {
-    out += StrCat(" JOIN ", join, " ON ", join_on->ToSql());
+    // A programmatically built statement may carry a join with no ON
+    // (the parser always sets one); render the always-true condition so
+    // the text stays parseable instead of dereferencing null.
+    out += StrCat(" JOIN ", join, " ON ",
+                  join_on != nullptr ? join_on->ToSql() : "(1 = 1)");
   }
   if (where != nullptr) out += StrCat(" WHERE ", where->ToSql());
   if (!group_by.empty()) out += StrCat(" GROUP BY ", Join(group_by, ", "));
